@@ -1,0 +1,104 @@
+package neuralcache
+
+import (
+	"neuralcache/internal/baseline"
+	"neuralcache/internal/core"
+)
+
+// PhaseTiming is one slice of the latency breakdown (Figure 14).
+type PhaseTiming struct {
+	Phase   string
+	Seconds float64
+}
+
+// LayerTiming is one layer's latency (Figure 13's Neural Cache series).
+type LayerTiming struct {
+	Name        string
+	Seconds     float64
+	SerialIters int
+	Utilization float64
+}
+
+// Estimate is the analytic model's accounting for a batch of inferences.
+type Estimate struct {
+	Model            string
+	BatchSize        int
+	LatencySeconds   float64 // end-to-end for the whole batch
+	ThroughputPerSec float64 // inferences/s across all sockets
+	EnergyJ          float64 // package energy for the batch
+	AvgPowerW        float64
+	DRAMEnergyJ      float64 // reported separately (see Config)
+	Phases           []PhaseTiming
+	Layers           []LayerTiming
+}
+
+// Estimate prices a batch of inferences with the analytic engine.
+func (s *System) Estimate(m *Model, batch int) (*Estimate, error) {
+	rep, err := s.core.Estimate(m.net, batch)
+	if err != nil {
+		return nil, err
+	}
+	out := &Estimate{
+		Model:            rep.Model,
+		BatchSize:        rep.BatchSize,
+		LatencySeconds:   rep.Latency(),
+		ThroughputPerSec: rep.Throughput(),
+		EnergyJ:          rep.TotalEnergyJ(),
+		AvgPowerW:        rep.AveragePowerWatts(),
+		DRAMEnergyJ:      rep.DRAMEnergyJ,
+	}
+	for _, p := range core.Phases() {
+		out.Phases = append(out.Phases, PhaseTiming{Phase: p.String(), Seconds: rep.Seconds[p]})
+	}
+	for _, l := range rep.Layers {
+		out.Layers = append(out.Layers, LayerTiming{
+			Name: l.Name, Seconds: l.Seconds.Total(),
+			SerialIters: l.SerialIters, Utilization: l.Utilization,
+		})
+	}
+	return out, nil
+}
+
+// Phase returns the seconds attributed to a named phase, or 0.
+func (e *Estimate) Phase(name string) float64 {
+	for _, p := range e.Phases {
+		if p.Phase == name {
+			return p.Seconds
+		}
+	}
+	return 0
+}
+
+// Baseline is a comparison device (the paper's measured CPU or GPU,
+// substituted by a calibrated analytical model — DESIGN.md §4).
+type Baseline struct {
+	dev baseline.Device
+}
+
+// CPUBaseline returns the dual-socket Xeon E5-2697 v3 model.
+func CPUBaseline() Baseline { return Baseline{dev: baseline.XeonE5()} }
+
+// GPUBaseline returns the Titan Xp model.
+func GPUBaseline() Baseline { return Baseline{dev: baseline.TitanXp()} }
+
+// Name returns the device name.
+func (b Baseline) Name() string { return b.dev.Name }
+
+// Description summarizes the device (Table II).
+func (b Baseline) Description() string { return b.dev.String() }
+
+// LatencySeconds returns batch-1 Inception v3 latency.
+func (b Baseline) LatencySeconds() float64 { return b.dev.TotalSeconds() }
+
+// Throughput returns inferences/s at a batch size (Figure 16).
+func (b Baseline) Throughput(batch int) float64 { return b.dev.Throughput(batch) }
+
+// EnergyJ returns batch-1 package energy (Table III).
+func (b Baseline) EnergyJ() float64 { return b.dev.EnergyPerInferenceJ() }
+
+// PowerW returns average inference power (Table III).
+func (b Baseline) PowerW() float64 { return b.dev.MeasuredPowerW }
+
+// LayerSeconds returns the per-layer latency series for a model
+// (Figure 13's CPU/GPU bars).
+func (b Baseline) LayerSeconds(m *Model) []float64 { return b.dev.LayerSeconds(m.net) }

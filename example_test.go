@@ -1,0 +1,94 @@
+package neuralcache_test
+
+import (
+	"fmt"
+
+	"neuralcache"
+)
+
+// Example shows the three entry points: facts about the modeled cache,
+// in-cache vector arithmetic, and pricing a DNN inference.
+func Example() {
+	sys, err := neuralcache.New(neuralcache.DefaultConfig())
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("arrays:", sys.Arrays())
+	fmt.Println("lanes:", sys.Lanes())
+
+	a := []uint64{1, 2, 3}
+	b := []uint64{10, 20, 30}
+	sum, stats, _ := sys.VectorAdd(a, b, 8)
+	fmt.Println("sum:", sum, "in", stats.ChargedCycles, "cycles")
+	// Output:
+	// arrays: 4480
+	// lanes: 1146880
+	// sum: [11 22 33] in 9 cycles
+}
+
+// ExampleSystem_Estimate prices a batch-1 Inception v3 inference and
+// reports the dominant phase, reproducing the shape of the paper's
+// Figure 14.
+func ExampleSystem_Estimate() {
+	sys, _ := neuralcache.New(neuralcache.DefaultConfig())
+	est, _ := sys.Estimate(neuralcache.InceptionV3(), 1)
+	dominant, best := "", 0.0
+	for _, p := range est.Phases {
+		if p.Seconds > best {
+			dominant, best = p.Phase, p.Seconds
+		}
+	}
+	fmt.Println("dominant phase:", dominant)
+	fmt.Println("layers:", len(est.Layers))
+	// Output:
+	// dominant phase: filter-load
+	// layers: 20
+}
+
+// ExampleSystem_Run executes a small CNN bit-accurately on the simulated
+// arrays; the result matches the host integer reference byte for byte.
+func ExampleSystem_Run() {
+	cfg := neuralcache.DefaultConfig()
+	cfg.Slices = 1
+	sys, _ := neuralcache.New(cfg)
+
+	m := neuralcache.SmallCNN()
+	m.InitWeights(7)
+	h, w, c := m.InputShape()
+	in := neuralcache.NewTensor(h, w, c, 1.0/255)
+	for i := range in.Data {
+		in.Data[i] = uint8(i % 251)
+	}
+
+	inCache, _ := sys.Run(m, in)
+	ref, _ := m.RunReference(in)
+	identical := true
+	for i := range ref.Output.Data {
+		if inCache.Output.Data[i] != ref.Output.Data[i] {
+			identical = false
+		}
+	}
+	fmt.Println("in-cache == reference:", identical)
+	fmt.Println("classes:", len(inCache.Logits))
+	// Output:
+	// in-cache == reference: true
+	// classes: 10
+}
+
+// ExampleModel_LayerTable regenerates a row of the paper's Table I from
+// the model's shapes alone.
+func ExampleModel_LayerTable() {
+	rows := neuralcache.InceptionV3().LayerTable()
+	r := rows[2]
+	fmt.Println(r.Name, r.Convolutions, "convolutions")
+	// Output:
+	// Conv2D_2b_3x3 1382976 convolutions
+}
+
+// ExampleCPUBaseline compares against the paper's measured CPU anchor.
+func ExampleCPUBaseline() {
+	cpu := neuralcache.CPUBaseline()
+	fmt.Printf("%s: %.1f ms, %.2f W\n", cpu.Name(), cpu.LatencySeconds()*1e3, cpu.PowerW())
+	// Output:
+	// CPU - Xeon E5: 86.6 ms, 105.56 W
+}

@@ -1,0 +1,90 @@
+// Digits: bit-accurate in-cache inference on a small CNN, verified
+// against the host integer reference executor.
+//
+// Ten synthetic 16×16 glyphs run through SmallCNN twice: once on the
+// simulated compute-SRAM arrays (every MAC as stepped bit-serial
+// microcode) and once on the host reference. The outputs must agree byte
+// for byte — the same verification the paper performed against
+// instrumented TensorFlow traces.
+//
+//	go run ./examples/digits
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"neuralcache"
+)
+
+// glyph renders a crude synthetic "digit": a deterministic pattern of
+// strokes per class, plus seeded noise, so each class has a distinct
+// activation pattern.
+func glyph(class int, seed int64) *neuralcache.Tensor {
+	t := neuralcache.NewTensor(16, 16, 4, 1.0/255)
+	r := rand.New(rand.NewSource(seed))
+	for h := 0; h < 16; h++ {
+		for w := 0; w < 16; w++ {
+			for c := 0; c < 4; c++ {
+				v := uint8(r.Intn(40))
+				if (h+w+class*3)%7 < 2 { // class-dependent diagonal strokes
+					v = uint8(180 + r.Intn(60))
+				}
+				if h%(class+2) == 0 && c == class%4 { // class-dependent bands
+					v = uint8(120 + r.Intn(80))
+				}
+				t.Set(h, w, c, v)
+			}
+		}
+	}
+	return t
+}
+
+func main() {
+	log.SetFlags(0)
+	cfg := neuralcache.DefaultConfig()
+	cfg.Slices = 1 // a single slice is plenty for functional verification
+	sys, err := neuralcache.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	model := neuralcache.SmallCNN()
+	model.InitWeights(2024)
+
+	fmt.Println("class | in-cache argmax | reference argmax | outputs identical | compute cycles")
+	fmt.Println("------+-----------------+------------------+-------------------+---------------")
+	allMatch := true
+	for class := 0; class < 10; class++ {
+		in := glyph(class, int64(100+class))
+		inCache, err := sys.Run(model, in)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ref, err := model.RunReference(in)
+		if err != nil {
+			log.Fatal(err)
+		}
+		same := len(inCache.Output.Data) == len(ref.Output.Data)
+		for i := range ref.Output.Data {
+			if inCache.Output.Data[i] != ref.Output.Data[i] {
+				same = false
+				break
+			}
+		}
+		for i := range ref.Logits {
+			if inCache.Logits[i] != ref.Logits[i] {
+				same = false
+			}
+		}
+		allMatch = allMatch && same
+		fmt.Printf("%5d | %15d | %16d | %17v | %d\n",
+			class, inCache.Argmax(), ref.Argmax(), same, inCache.ComputeCycles)
+	}
+	if !allMatch {
+		log.Fatal("in-cache execution diverged from the reference — this is a bug")
+	}
+	fmt.Println("\nEvery byte of every inference matches the host integer reference:")
+	fmt.Println("the bit-serial microcode (multiply = tag-predicated shifted adds,")
+	fmt.Println("reduction = lane moves + adds) computes exactly the same arithmetic.")
+}

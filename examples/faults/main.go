@@ -1,0 +1,111 @@
+// Faults: the blast radius of silicon defects in a compute cache.
+//
+// The paper argues (§II-B) that two-row activation is robust to process
+// variation — 6σ margins, 20 working test chips. This example asks the
+// complementary operational question: when a cell does fail, what does it
+// do to an inference? It injects stuck-at cells and dead bit lines into
+// the simulated arrays and compares inference outputs against the healthy
+// run.
+//
+//	go run ./examples/faults
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"neuralcache"
+)
+
+func main() {
+	log.SetFlags(0)
+	cfg := neuralcache.DefaultConfig()
+	cfg.Slices = 1
+	sys, err := neuralcache.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	model := neuralcache.SmallCNN()
+	model.InitWeights(77)
+	h, w, c := model.InputShape()
+	in := neuralcache.NewTensor(h, w, c, 1.0/255)
+	r := rand.New(rand.NewSource(7))
+	for i := range in.Data {
+		in.Data[i] = uint8(r.Intn(256))
+	}
+
+	healthy, err := sys.Run(model, in)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("healthy run: class %d, logits %v\n\n", healthy.Argmax(), healthy.Logits)
+
+	campaigns := []struct {
+		name   string
+		faults []neuralcache.Fault
+	}{
+		{"one stuck-at-0 cell in a product row (array 0, row 150, lane 40)",
+			[]neuralcache.Fault{{Array: 0, Row: 150, Lane: 40, Kind: neuralcache.FaultStuckAt0}}},
+		{"one stuck-at-1 cell on an input MSB row (array 0, row 79, lane 0)",
+			[]neuralcache.Fault{{Array: 0, Row: 79, Lane: 0, Kind: neuralcache.FaultStuckAt1}}},
+		{"one dead bit line (array 1, lane 5)",
+			[]neuralcache.Fault{{Array: 1, Lane: 5, Kind: neuralcache.FaultDeadLane}}},
+		{"twenty random stuck cells across the first eight arrays",
+			randomFaults(20, 8, 99)},
+	}
+
+	for _, cmp := range campaigns {
+		faulty, err := sys.RunWithFaults(model, in, cmp.faults)
+		if err != nil {
+			log.Fatal(err)
+		}
+		changedLogits := 0
+		var maxDelta int32
+		for i := range healthy.Logits {
+			d := faulty.Logits[i] - healthy.Logits[i]
+			if d != 0 {
+				changedLogits++
+			}
+			if d < 0 {
+				d = -d
+			}
+			if d > maxDelta {
+				maxDelta = d
+			}
+		}
+		verdict := ""
+		if changedLogits == 0 {
+			verdict = "  (corrupted mid-network, then masked by 8-bit requantization)"
+		}
+		fmt.Printf("%s:\n", cmp.name)
+		fmt.Printf("  logits changed: %d/%d (max |delta| %d), class %d -> %d%s\n",
+			changedLogits, len(healthy.Logits), maxDelta,
+			healthy.Argmax(), faulty.Argmax(), verdict)
+	}
+
+	fmt.Println("\nTwo observations a deployment would care about:")
+	fmt.Println("1. 8-bit requantization MASKS many single-bit upsets — a low-order")
+	fmt.Println("   product-bit fault often rounds away entirely.")
+	fmt.Println("2. Faults that touch a layer's MAX accumulator shift the CPU's")
+	fmt.Println("   requantization scalars and perturb EVERY output of that layer —")
+	fmt.Println("   a single cell can have network-wide blast radius.")
+}
+
+func randomFaults(n, arrays int, seed int64) []neuralcache.Fault {
+	r := rand.New(rand.NewSource(seed))
+	out := make([]neuralcache.Fault, n)
+	for i := range out {
+		kind := neuralcache.FaultStuckAt0
+		if r.Intn(2) == 1 {
+			kind = neuralcache.FaultStuckAt1
+		}
+		out[i] = neuralcache.Fault{
+			Array: r.Intn(arrays),
+			Row:   r.Intn(256),
+			Lane:  r.Intn(256),
+			Kind:  kind,
+		}
+	}
+	return out
+}

@@ -1,0 +1,88 @@
+// Inception: the paper's headline evaluation in one run.
+//
+// Prices a full Inception v3 inference on the modeled 35 MB Xeon E5 cache
+// and compares latency, throughput, energy and power against the
+// calibrated CPU (dual Xeon E5-2697 v3) and GPU (Titan Xp) baselines —
+// Figures 13–16 and Table III of the paper.
+//
+//	go run ./examples/inception
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"neuralcache"
+)
+
+func main() {
+	log.SetFlags(0)
+	sys, err := neuralcache.New(neuralcache.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	model := neuralcache.InceptionV3()
+	cpu, gpu := neuralcache.CPUBaseline(), neuralcache.GPUBaseline()
+
+	fmt.Printf("Inception v3: %d MACs, %.1f MB of 8-bit filters, 20 layers\n\n",
+		model.MACs(), float64(totalFilterBytes(model))/(1<<20))
+
+	est, err := sys.Estimate(model, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("Batch-1 latency (Figure 15):")
+	fmt.Printf("  %-16s %8.2f ms\n", cpu.Name(), cpu.LatencySeconds()*1e3)
+	fmt.Printf("  %-16s %8.2f ms\n", gpu.Name(), gpu.LatencySeconds()*1e3)
+	fmt.Printf("  %-16s %8.2f ms   (%.1fx over CPU, %.1fx over GPU; paper: 18.3x / 7.7x)\n\n",
+		"Neural Cache", est.LatencySeconds*1e3,
+		cpu.LatencySeconds()/est.LatencySeconds, gpu.LatencySeconds()/est.LatencySeconds)
+
+	fmt.Println("Latency breakdown (Figure 14):")
+	for _, p := range est.Phases {
+		if p.Seconds == 0 {
+			continue
+		}
+		fmt.Printf("  %-13s %6.3f ms  (%4.1f%%)\n", p.Phase, p.Seconds*1e3,
+			100*p.Seconds/est.LatencySeconds)
+	}
+
+	fmt.Println("\nThroughput vs batch size (Figure 16, inferences/s):")
+	fmt.Printf("  %-6s %12s %12s %12s\n", "batch", "CPU", "GPU", "Neural Cache")
+	for _, b := range []int{1, 4, 16, 64, 256} {
+		e, err := sys.Estimate(model, b)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-6d %12.1f %12.1f %12.1f\n", b, cpu.Throughput(b), gpu.Throughput(b), e.ThroughputPerSec)
+	}
+
+	fmt.Println("\nEnergy and power per inference (Table III):")
+	fmt.Printf("  %-16s %8.3f J %10.2f W\n", cpu.Name(), cpu.EnergyJ(), cpu.PowerW())
+	fmt.Printf("  %-16s %8.3f J %10.2f W\n", gpu.Name(), gpu.EnergyJ(), gpu.PowerW())
+	fmt.Printf("  %-16s %8.3f J %10.2f W   (%.1fx less energy than CPU; paper: 37.1x)\n",
+		"Neural Cache", est.EnergyJ, est.AvgPowerW, cpu.EnergyJ()/est.EnergyJ)
+
+	fmt.Println("\nSlowest five layers (Figure 13, Neural Cache series):")
+	layers := append([]neuralcache.LayerTiming(nil), est.Layers...)
+	for i := 0; i < 5; i++ {
+		best := i
+		for j := i + 1; j < len(layers); j++ {
+			if layers[j].Seconds > layers[best].Seconds {
+				best = j
+			}
+		}
+		layers[i], layers[best] = layers[best], layers[i]
+		fmt.Printf("  %-16s %6.3f ms (%d serial iterations)\n",
+			layers[i].Name, layers[i].Seconds*1e3, layers[i].SerialIters)
+	}
+}
+
+func totalFilterBytes(m *neuralcache.Model) int {
+	total := 0
+	for _, r := range m.LayerTable() {
+		total += r.FilterBytes
+	}
+	return total
+}

@@ -1,0 +1,136 @@
+package neuralcache
+
+import (
+	"fmt"
+
+	"neuralcache/internal/core"
+	"neuralcache/internal/sram"
+)
+
+// InferenceResult is the outcome of a bit-accurate in-cache run.
+type InferenceResult struct {
+	Output *Tensor
+	// Logits holds the classifier layer's raw accumulators when the model
+	// ends in a logits layer; argmax over it is the predicted class.
+	Logits []int32
+	// ComputeCycles / AccessCycles are the emergent stepped-microcode
+	// counters summed over all simulated arrays.
+	ComputeCycles uint64
+	AccessCycles  uint64
+	ArraysUsed    int
+}
+
+// Run executes the model bit-accurately on simulated compute arrays. The
+// model must have weights (InitWeights) and the input must match its
+// shape. Functional execution supports convolutions whose effective
+// channels fit one array (≤256 lanes); every bundled verification model
+// qualifies, while Inception v3 is meant for Estimate.
+func (s *System) Run(m *Model, in *Tensor) (*InferenceResult, error) {
+	h, w, c := m.InputShape()
+	if in.H != h || in.W != w || in.C != c {
+		return nil, fmt.Errorf("neuralcache: input %dx%dx%d, model %s expects %dx%dx%d",
+			in.H, in.W, in.C, m.Name(), h, w, c)
+	}
+	res, err := s.core.RunFunctional(m.net, in.internal())
+	if err != nil {
+		return nil, err
+	}
+	out := &InferenceResult{
+		Output:        fromInternal(res.Output),
+		ComputeCycles: res.Stats.ComputeCycles,
+		AccessCycles:  res.Stats.AccessCycles,
+		ArraysUsed:    res.ArraysUsed,
+	}
+	if res.Trace.Logits != nil {
+		out.Logits = append([]int32(nil), res.Trace.Logits...)
+	}
+	return out, nil
+}
+
+// FaultKind selects an injected hardware defect for fault campaigns.
+type FaultKind int
+
+// Supported defects (see internal/sram: stuck cells re-assert after every
+// write-back; a dead lane's peripheral never writes back).
+const (
+	FaultStuckAt0 FaultKind = iota
+	FaultStuckAt1
+	FaultDeadLane
+)
+
+// Fault is one injected defect, addressed by the functional engine's
+// compute-array ordinal.
+type Fault struct {
+	Array int // round-robin compute-array ordinal
+	Row   int // word line (ignored for FaultDeadLane)
+	Lane  int // bit line
+	Kind  FaultKind
+}
+
+// RunWithFaults executes the model bit-accurately with hardware defects
+// injected before any data lands, for blast-radius studies: compare
+// against Run on the same input to see which outputs a defect corrupts.
+func (s *System) RunWithFaults(m *Model, in *Tensor, faults []Fault) (*InferenceResult, error) {
+	h, w, c := m.InputShape()
+	if in.H != h || in.W != w || in.C != c {
+		return nil, fmt.Errorf("neuralcache: input %dx%dx%d, model %s expects %dx%dx%d",
+			in.H, in.W, in.C, m.Name(), h, w, c)
+	}
+	inject := func(ordinal int, a *sram.Array) {
+		for _, f := range faults {
+			if f.Array != ordinal {
+				continue
+			}
+			switch f.Kind {
+			case FaultStuckAt0:
+				a.InjectStuckAt(f.Row, f.Lane, 0)
+			case FaultStuckAt1:
+				a.InjectStuckAt(f.Row, f.Lane, 1)
+			case FaultDeadLane:
+				a.InjectDeadLane(f.Lane)
+			}
+		}
+	}
+	res, err := s.core.RunFunctionalFaulty(m.net, in.internal(), core.FaultInjector(inject))
+	if err != nil {
+		return nil, err
+	}
+	out := &InferenceResult{
+		Output:        fromInternal(res.Output),
+		ComputeCycles: res.Stats.ComputeCycles,
+		AccessCycles:  res.Stats.AccessCycles,
+		ArraysUsed:    res.ArraysUsed,
+	}
+	if res.Trace.Logits != nil {
+		out.Logits = append([]int32(nil), res.Trace.Logits...)
+	}
+	return out, nil
+}
+
+// RunReference executes the model on the host integer reference executor
+// — the oracle the in-cache engine is verified against. It returns the
+// same result type with zero cycle counters; System.Run must produce
+// byte-identical Output and Logits.
+func (m *Model) RunReference(in *Tensor) (*InferenceResult, error) {
+	out, tr, err := runReference(m.net, in.internal())
+	if err != nil {
+		return nil, err
+	}
+	res := &InferenceResult{Output: fromInternal(out)}
+	if tr.Logits != nil {
+		res.Logits = append([]int32(nil), tr.Logits...)
+	}
+	return res, nil
+}
+
+// Argmax returns the index of the largest logit, or -1 when there are
+// none.
+func (r *InferenceResult) Argmax() int {
+	best := -1
+	for i, v := range r.Logits {
+		if best < 0 || v > r.Logits[best] {
+			best = i
+		}
+	}
+	return best
+}

@@ -1,0 +1,99 @@
+package baseline
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"neuralcache/internal/nn"
+)
+
+func TestCalibrationAnchorsMatchTableIII(t *testing.T) {
+	cpu, gpu := XeonE5(), TitanXp()
+	// Energy = power × latency must reproduce Table III.
+	if e := cpu.EnergyPerInferenceJ(); math.Abs(e-9.137) > 0.02 {
+		t.Errorf("CPU energy %.3f J, Table III says 9.137", e)
+	}
+	if e := gpu.EnergyPerInferenceJ(); math.Abs(e-4.087) > 0.02 {
+		t.Errorf("GPU energy %.3f J, Table III says 4.087", e)
+	}
+	// Figure 15 ratios against Neural Cache's 4.72 ms.
+	if r := cpu.TotalSeconds() / 0.00472; math.Abs(r-18.3) > 0.4 {
+		t.Errorf("CPU/NC latency ratio %.1f, paper says 18.3", r)
+	}
+	if r := gpu.TotalSeconds() / 0.00472; math.Abs(r-7.7) > 0.2 {
+		t.Errorf("GPU/NC latency ratio %.1f, paper says 7.7", r)
+	}
+}
+
+func TestLayerSecondsShape(t *testing.T) {
+	net := nn.InceptionV3()
+	for _, d := range []Device{XeonE5(), TitanXp()} {
+		layers := d.LayerSeconds(net)
+		if len(layers) != 20 {
+			t.Fatalf("%s: %d layers, want 20", d.Name, len(layers))
+		}
+		var sum, mixed float64
+		for i, v := range layers {
+			if v < 0 {
+				t.Fatalf("%s: negative layer latency %g", d.Name, v)
+			}
+			sum += v
+			if strings.HasPrefix(net.Layers[i].Name(), "Mixed") {
+				mixed += v
+			}
+		}
+		if math.Abs(sum-d.TotalSeconds()) > 1e-9 {
+			t.Errorf("%s: layers sum to %.4f s, want %.4f", d.Name, sum, d.TotalSeconds())
+		}
+		// Figure 13: the mixed layers dominate baseline time.
+		if mixed/sum < 0.5 {
+			t.Errorf("%s: mixed layers only %.0f%% of total, paper shows them dominating",
+				d.Name, 100*mixed/sum)
+		}
+	}
+}
+
+func TestThroughputCurve(t *testing.T) {
+	for _, d := range []Device{XeonE5(), TitanXp()} {
+		if got := d.Throughput(1); math.Abs(got-d.Batch1Throughput) > 0.01*d.Batch1Throughput {
+			t.Errorf("%s: batch-1 throughput %.1f, anchor %.1f", d.Name, got, d.Batch1Throughput)
+		}
+		prev := 0.0
+		for _, b := range []int{1, 4, 16, 64, 256} {
+			thr := d.Throughput(b)
+			if thr <= prev {
+				t.Errorf("%s: throughput not increasing at batch %d", d.Name, b)
+			}
+			prev = thr
+		}
+		if prev > d.MaxThroughput {
+			t.Errorf("%s: throughput %.1f exceeds plateau %.1f", d.Name, prev, d.MaxThroughput)
+		}
+		// Near-plateau at 256 (the Figure 16 flattening).
+		if prev < 0.9*d.MaxThroughput {
+			t.Errorf("%s: batch-256 throughput %.1f has not plateaued (max %.1f)",
+				d.Name, prev, d.MaxThroughput)
+		}
+		if d.Throughput(0) != 0 {
+			t.Errorf("%s: zero batch throughput nonzero", d.Name)
+		}
+	}
+}
+
+func TestGPUPlateausPast64(t *testing.T) {
+	gpu := TitanXp()
+	gain := gpu.Throughput(256) / gpu.Throughput(64)
+	if gain > 1.12 {
+		t.Errorf("GPU gains %.2f× from batch 64 to 256; paper shows a plateau", gain)
+	}
+}
+
+func TestDeviceString(t *testing.T) {
+	s := XeonE5().String()
+	for _, frag := range []string{"Xeon", "2.6 GHz", "35 MB"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("device description %q missing %q", s, frag)
+		}
+	}
+}

@@ -1,0 +1,164 @@
+// Package bitvec provides fixed-width 256-bit vectors.
+//
+// A Vec256 models one word line's worth of bit cells in an 8 KB compute
+// SRAM array (256 bit lines), or equivalently one peripheral latch row
+// (carry or tag latches, one per bit line). All bit-line-parallel circuit
+// operations — the wire-AND produced by simultaneous two-row activation,
+// the NOR sensed on the complementary bit lines, the sum/carry logic in the
+// column peripherals — reduce to word-wide boolean algebra on Vec256
+// values, which is what makes whole-array simulation fast: one simulated
+// compute cycle touches four machine words per logical row instead of 256
+// individual bits.
+package bitvec
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+// Words is the number of 64-bit words backing a Vec256.
+const Words = 4
+
+// Bits is the number of bits in a Vec256 — one per bit line in an 8 KB
+// SRAM array.
+const Bits = 256
+
+// Vec256 is a 256-bit vector. The zero value is the all-zeros vector,
+// ready to use. Bit i corresponds to bit line i of an array.
+type Vec256 [Words]uint64
+
+// Zero returns the all-zeros vector.
+func Zero() Vec256 { return Vec256{} }
+
+// Ones returns the all-ones vector.
+func Ones() Vec256 {
+	return Vec256{^uint64(0), ^uint64(0), ^uint64(0), ^uint64(0)}
+}
+
+// Bit reports the value of bit i. It panics if i is out of range, matching
+// the behaviour of a slice index: callers are expected to stay within the
+// array's 256 bit lines.
+func (v Vec256) Bit(i int) uint {
+	if i < 0 || i >= Bits {
+		panic(fmt.Sprintf("bitvec: bit index %d out of range [0,%d)", i, Bits))
+	}
+	return uint(v[i>>6]>>(uint(i)&63)) & 1
+}
+
+// SetBit returns a copy of v with bit i set to b (0 or 1).
+func (v Vec256) SetBit(i int, b uint) Vec256 {
+	if i < 0 || i >= Bits {
+		panic(fmt.Sprintf("bitvec: bit index %d out of range [0,%d)", i, Bits))
+	}
+	w, off := i>>6, uint(i)&63
+	v[w] &^= 1 << off
+	v[w] |= uint64(b&1) << off
+	return v
+}
+
+// And returns v & u, the wire-AND sensed on the true bit lines when two
+// word lines are activated simultaneously.
+func (v Vec256) And(u Vec256) Vec256 {
+	for i := range v {
+		v[i] &= u[i]
+	}
+	return v
+}
+
+// Or returns v | u.
+func (v Vec256) Or(u Vec256) Vec256 {
+	for i := range v {
+		v[i] |= u[i]
+	}
+	return v
+}
+
+// Xor returns v ^ u.
+func (v Vec256) Xor(u Vec256) Vec256 {
+	for i := range v {
+		v[i] ^= u[i]
+	}
+	return v
+}
+
+// Nor returns ^(v | u), the value sensed on the complementary bit lines
+// (BLB) during a two-row activation.
+func (v Vec256) Nor(u Vec256) Vec256 {
+	for i := range v {
+		v[i] = ^(v[i] | u[i])
+	}
+	return v
+}
+
+// Not returns ^v.
+func (v Vec256) Not() Vec256 {
+	for i := range v {
+		v[i] = ^v[i]
+	}
+	return v
+}
+
+// AndNot returns v &^ u.
+func (v Vec256) AndNot(u Vec256) Vec256 {
+	for i := range v {
+		v[i] &^= u[i]
+	}
+	return v
+}
+
+// Select returns (v & mask) | (u &^ mask): per bit line, v where the mask
+// bit is 1 and u where it is 0. This is the tag-predicated write-back mux:
+// mask is the tag latch row, v the new value, u the stored value.
+func (v Vec256) Select(u, mask Vec256) Vec256 {
+	for i := range v {
+		v[i] = (v[i] & mask[i]) | (u[i] &^ mask[i])
+	}
+	return v
+}
+
+// OnesCount returns the number of set bits.
+func (v Vec256) OnesCount() int {
+	n := 0
+	for i := range v {
+		n += bits.OnesCount64(v[i])
+	}
+	return n
+}
+
+// IsZero reports whether every bit is zero.
+func (v Vec256) IsZero() bool {
+	return v[0]|v[1]|v[2]|v[3] == 0
+}
+
+// Equal reports whether v and u are identical.
+func (v Vec256) Equal(u Vec256) bool { return v == u }
+
+// Mask returns a vector with bits [0,n) set. n is clamped to [0, 256].
+func Mask(n int) Vec256 {
+	if n <= 0 {
+		return Vec256{}
+	}
+	if n >= Bits {
+		return Ones()
+	}
+	var v Vec256
+	for w := 0; w < Words && n > 0; w++ {
+		if n >= 64 {
+			v[w] = ^uint64(0)
+			n -= 64
+		} else {
+			v[w] = (1 << uint(n)) - 1
+			n = 0
+		}
+	}
+	return v
+}
+
+// String renders the vector LSB-first as a compact hex string, which keeps
+// test failure output readable.
+func (v Vec256) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%016x:%016x:%016x:%016x", v[0], v[1], v[2], v[3])
+	return b.String()
+}

@@ -1,0 +1,174 @@
+package bitvec
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestZeroAndOnes(t *testing.T) {
+	z := Zero()
+	if !z.IsZero() {
+		t.Fatalf("Zero() is not zero: %v", z)
+	}
+	o := Ones()
+	if got := o.OnesCount(); got != Bits {
+		t.Fatalf("Ones() has %d bits set, want %d", got, Bits)
+	}
+	if o.IsZero() {
+		t.Fatal("Ones() reported as zero")
+	}
+}
+
+func TestBitSetBit(t *testing.T) {
+	var v Vec256
+	for _, i := range []int{0, 1, 63, 64, 127, 128, 200, 255} {
+		v = v.SetBit(i, 1)
+		if v.Bit(i) != 1 {
+			t.Fatalf("bit %d not set", i)
+		}
+	}
+	if got := v.OnesCount(); got != 8 {
+		t.Fatalf("OnesCount = %d, want 8", got)
+	}
+	v = v.SetBit(63, 0)
+	if v.Bit(63) != 0 {
+		t.Fatal("bit 63 not cleared")
+	}
+	if got := v.OnesCount(); got != 7 {
+		t.Fatalf("OnesCount = %d, want 7 after clear", got)
+	}
+}
+
+func TestBitPanicsOutOfRange(t *testing.T) {
+	for _, i := range []int{-1, 256, 1000} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Bit(%d) did not panic", i)
+				}
+			}()
+			Zero().Bit(i)
+		}()
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("SetBit(%d) did not panic", i)
+				}
+			}()
+			Zero().SetBit(i, 1)
+		}()
+	}
+}
+
+func TestMask(t *testing.T) {
+	cases := []struct{ n, want int }{
+		{-5, 0}, {0, 0}, {1, 1}, {7, 7}, {64, 64}, {65, 65},
+		{128, 128}, {255, 255}, {256, 256}, {999, 256},
+	}
+	for _, c := range cases {
+		m := Mask(c.n)
+		if got := m.OnesCount(); got != c.want {
+			t.Errorf("Mask(%d).OnesCount = %d, want %d", c.n, got, c.want)
+		}
+		// All set bits must be contiguous from 0.
+		for i := 0; i < Bits; i++ {
+			want := uint(0)
+			if i < c.want {
+				want = 1
+			}
+			if m.Bit(i) != want {
+				t.Fatalf("Mask(%d).Bit(%d) = %d, want %d", c.n, i, m.Bit(i), want)
+			}
+		}
+	}
+}
+
+func randVec(r *rand.Rand) Vec256 {
+	var v Vec256
+	for i := range v {
+		v[i] = r.Uint64()
+	}
+	return v
+}
+
+func TestBooleanIdentities(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 200; i++ {
+		a, b, m := randVec(r), randVec(r), randVec(r)
+		if got := a.And(b); got != b.And(a) {
+			t.Fatal("And not commutative")
+		}
+		if got := a.Xor(b).Xor(b); got != a {
+			t.Fatal("Xor not involutive")
+		}
+		if got := a.Nor(b); got != a.Or(b).Not() {
+			t.Fatal("Nor != Not(Or)")
+		}
+		if got := a.AndNot(b); got != a.And(b.Not()) {
+			t.Fatal("AndNot != And(Not)")
+		}
+		// Select with all-ones mask picks v; all-zeros picks u.
+		if got := a.Select(b, Ones()); got != a {
+			t.Fatal("Select with ones mask != v")
+		}
+		if got := a.Select(b, Zero()); got != b {
+			t.Fatal("Select with zero mask != u")
+		}
+		// Per-bit mux semantics.
+		sel := a.Select(b, m)
+		for bit := 0; bit < Bits; bit += 17 {
+			want := b.Bit(bit)
+			if m.Bit(bit) == 1 {
+				want = a.Bit(bit)
+			}
+			if sel.Bit(bit) != want {
+				t.Fatalf("Select bit %d = %d, want %d", bit, sel.Bit(bit), want)
+			}
+		}
+	}
+}
+
+func TestDeMorganProperty(t *testing.T) {
+	f := func(a, b Vec256) bool {
+		return a.Nor(b) == a.Not().And(b.Not())
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFullAdderProperty(t *testing.T) {
+	// The column peripheral computes sum = A^B^C and carry-out =
+	// (A&B) | ((A^B)&C) from the sensed AND/NOR values. Check the boolean
+	// identity the peripheral relies on: A^B == ^(A&B) & ^(^A&^B).
+	f := func(a, b Vec256) bool {
+		and := a.And(b)
+		nor := a.Nor(b)
+		xor := and.Or(nor).Not()
+		return xor == a.Xor(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOnesCountMatchesBits(t *testing.T) {
+	f := func(v Vec256) bool {
+		n := 0
+		for i := 0; i < Bits; i++ {
+			n += int(v.Bit(i))
+		}
+		return n == v.OnesCount()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStringFormat(t *testing.T) {
+	s := Zero().String()
+	if len(s) != 4*16+3 {
+		t.Fatalf("String length = %d, want %d: %q", len(s), 4*16+3, s)
+	}
+}

@@ -1,0 +1,104 @@
+package core
+
+import (
+	"fmt"
+
+	"neuralcache/internal/dram"
+	"neuralcache/internal/energy"
+	"neuralcache/internal/geometry"
+	"neuralcache/internal/interconnect"
+	"neuralcache/internal/mapping"
+)
+
+// Config assembles a Neural Cache system from its substrates.
+type Config struct {
+	Geometry geometry.Config
+	Fabric   interconnect.Config
+	DRAM     dram.Config
+	Energy   energy.Model
+	Cost     CostModel
+	Mapping  mapping.Params
+	// Sockets is the number of host CPUs in the node; Neural Cache
+	// throughput scales linearly with it (§VI-B evaluates a dual-socket
+	// node; latency is per-socket).
+	Sockets int
+
+	// InputMulticastFactor is the average fan-out one intra-slice bus
+	// transfer achieves when depositing replicated input windows beyond
+	// the bank latch (partial multicast of M-replicated windows across
+	// banks). Calibrated so input streaming is ≈15% of batch-1 latency
+	// (Figure 14); see DESIGN.md §4.
+	InputMulticastFactor float64
+	// OutputPathOverhead multiplies output-transfer bus time to cover the
+	// gather and transpose-gateway passes on the way to the reserved way.
+	OutputPathOverhead float64
+	// IncludeDRAMEnergy adds DRAM transfer energy to the package total
+	// (off by default, matching the paper's RAPL package-domain numbers).
+	IncludeDRAMEnergy bool
+}
+
+// DefaultConfig returns the paper's evaluated system: a dual-socket Xeon
+// E5-2697 v3 with a 35 MB, 14-slice LLC at 22 nm.
+func DefaultConfig() Config {
+	return Config{
+		Geometry:             geometry.XeonE5(),
+		Fabric:               interconnect.XeonE5(),
+		DRAM:                 dram.DDR4(),
+		Energy:               energy.NewModel(energy.Tech22nm),
+		Cost:                 DefaultCost(),
+		Mapping:              mapping.Defaults(),
+		Sockets:              2,
+		InputMulticastFactor: 6.6,
+		OutputPathOverhead:   4,
+	}
+}
+
+// WithSlices resizes the cache (Table IV's capacity scaling).
+func (c Config) WithSlices(n int) Config {
+	c.Geometry = c.Geometry.WithSlices(n)
+	c.Fabric.Slices = n
+	c.Mapping.Geometry = c.Geometry
+	return c
+}
+
+// Validate checks the assembled system.
+func (c Config) Validate() error {
+	if err := c.Geometry.Validate(); err != nil {
+		return err
+	}
+	if err := c.Fabric.Validate(); err != nil {
+		return err
+	}
+	if err := c.DRAM.Validate(); err != nil {
+		return err
+	}
+	if c.Fabric.Slices != c.Geometry.Slices {
+		return fmt.Errorf("core: fabric has %d slices, geometry %d", c.Fabric.Slices, c.Geometry.Slices)
+	}
+	if c.Sockets <= 0 {
+		return fmt.Errorf("core: %d sockets", c.Sockets)
+	}
+	if c.InputMulticastFactor < 1 || c.OutputPathOverhead < 1 {
+		return fmt.Errorf("core: calibration factors below 1: %+v", c)
+	}
+	if c.Cost.FreqGHz <= 0 || c.Cost.ActBits <= 0 {
+		return fmt.Errorf("core: invalid cost model %+v", c.Cost)
+	}
+	return nil
+}
+
+// System is a configured Neural Cache engine.
+type System struct {
+	cfg Config
+}
+
+// New builds a system, validating the configuration.
+func New(cfg Config) (*System, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &System{cfg: cfg}, nil
+}
+
+// Config returns the system configuration.
+func (s *System) Config() Config { return s.cfg }

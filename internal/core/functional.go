@@ -1,0 +1,511 @@
+package core
+
+import (
+	"fmt"
+
+	"neuralcache/internal/geometry"
+	"neuralcache/internal/mapping"
+	"neuralcache/internal/nn"
+	"neuralcache/internal/sram"
+	"neuralcache/internal/tensor"
+)
+
+// Functional mode: bit-accurate in-cache execution. Every MAC, channel
+// reduction, window-sum (Σq_a) and pooling comparison runs as stepped
+// bit-serial microcode on instantiated SRAM arrays; the host performs only
+// the §IV-D scalar steps the paper also assigns to the CPU (choosing the
+// requantization scalars) plus the correction/requantize arithmetic, using
+// exactly the code shared with the integer reference executor
+// (nn.FinishConv, nn.MergeConcat), so a bit-exact match with the reference
+// validates the in-array compute path end to end.
+//
+// Functional mode exists for verification; it restricts convolutions to
+// LanesPerConv ≤ 256 (one array per convolution), which every
+// verification network satisfies. Timing comes from the analytic mode.
+
+// FunctionalResult is the outcome of a bit-accurate run.
+type FunctionalResult struct {
+	Output *tensor.Quant
+	Trace  *nn.Trace
+	// Stats aggregates the emergent microcode cycles across all arrays.
+	Stats sram.Stats
+	// ArraysUsed counts distinct compute arrays touched.
+	ArraysUsed int
+}
+
+// FaultInjector mutates a compute array the first time the functional
+// engine touches it (fault-campaign hook); ordinal is the round-robin
+// compute-array index.
+type FaultInjector func(ordinal int, a *sram.Array)
+
+// RunFunctional executes the network bit-accurately on instantiated
+// compute arrays.
+func (s *System) RunFunctional(net *nn.Network, in *tensor.Quant) (*FunctionalResult, error) {
+	return s.RunFunctionalFaulty(net, in, nil)
+}
+
+// RunFunctionalFaulty is RunFunctional with defect injection: inject is
+// called once per compute array on first use, before any data lands.
+func (s *System) RunFunctionalFaulty(net *nn.Network, in *tensor.Quant, inject FaultInjector) (*FunctionalResult, error) {
+	if in.Shape != net.Input {
+		return nil, fmt.Errorf("core: input shape %v, network expects %v", in.Shape, net.Input)
+	}
+	if err := net.Validate(); err != nil {
+		return nil, err
+	}
+	f := &funcExec{
+		sys:    s,
+		cache:  geometry.New(s.cfg.Geometry),
+		tr:     &nn.Trace{},
+		inject: inject,
+		seen:   map[int]bool{},
+	}
+	out, err := f.seq(net.Layers, in)
+	if err != nil {
+		return nil, err
+	}
+	return &FunctionalResult{
+		Output:     out,
+		Trace:      f.tr,
+		Stats:      f.cache.Stats(),
+		ArraysUsed: f.used,
+	}, nil
+}
+
+type funcExec struct {
+	sys    *System
+	cache  *geometry.Cache
+	tr     *nn.Trace
+	next   int // round-robin compute array cursor
+	used   int
+	inject FaultInjector
+	seen   map[int]bool
+}
+
+// nextArray returns the next compute array in round-robin order. Arrays
+// are not cleared between uses: every group fully overwrites the regions
+// it computes in, exactly as the stationary-filter schedule does.
+func (f *funcExec) nextArray() *sram.Array {
+	cfg := f.cache.Config()
+	n := cfg.ComputeArrays()
+	idx := f.next % n
+	f.next++
+	if f.used < n {
+		f.used++
+	}
+	// Map the compute-array ordinal to a structured address (skipping
+	// reserved ways).
+	perSlice := cfg.ComputeArraysPerSlice()
+	slice := idx / perSlice
+	rem := idx % perSlice
+	perWay := cfg.ArraysPerWay()
+	way := rem / perWay
+	rem %= perWay
+	perBank := cfg.ArraysPerBank()
+	bank := rem / perBank
+	rem %= perBank
+	sub := rem / cfg.ArraysPerSubArray
+	ai := rem % cfg.ArraysPerSubArray
+	arr := f.cache.Array(geometry.ArrayAddr{Slice: slice, Way: way, Bank: bank, SubArray: sub, Index: ai})
+	if f.inject != nil && !f.seen[idx] {
+		f.seen[idx] = true
+		f.inject(idx, arr)
+	}
+	return arr
+}
+
+func (f *funcExec) seq(layers []nn.Layer, x *tensor.Quant) (*tensor.Quant, error) {
+	var err error
+	for _, l := range layers {
+		switch t := l.(type) {
+		case *nn.Conv2D:
+			x, err = f.conv(t, x)
+		case *nn.Pool:
+			x, err = f.pool(t, x)
+		case *nn.BatchNorm:
+			x, err = f.batchNorm(t, x)
+		case *nn.Residual:
+			x, err = f.residual(t, x)
+		case *nn.Concat:
+			outs := make([]*tensor.Quant, len(t.Branches))
+			for i, b := range t.Branches {
+				outs[i], err = f.seq(b, x)
+				if err != nil {
+					return nil, err
+				}
+			}
+			x = nn.MergeConcat(t, x.Shape, outs, f.tr)
+		default:
+			err = fmt.Errorf("core: unknown layer type %T", l)
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	return x, nil
+}
+
+func (f *funcExec) conv(c *nn.Conv2D, x *tensor.Quant) (*tensor.Quant, error) {
+	placed := nn.Placed{Layer: c, In: x.Shape, Out: c.OutShape(x.Shape)}
+	plan, err := mapping.PlanConv(f.sys.cfg.Mapping, placed)
+	if err != nil {
+		return nil, err
+	}
+	if plan.LanesPerConv > sram.BitLines {
+		return nil, fmt.Errorf("core: functional mode supports up to %d lanes per convolution; %s needs %d",
+			sram.BitLines, c.LayerName, plan.LanesPerConv)
+	}
+	accScale := x.Scale * c.Filter.Scale
+	bias := nn.QuantizeBias(c.Bias, accScale)
+	accs, err := f.convAccs(plan, c, x, bias)
+	if err != nil {
+		return nil, err
+	}
+	return nn.FinishConv(c, placed.Out, accScale, bias, accs, f.tr), nil
+}
+
+// convAccs produces the raw accumulators by running the mapped microcode
+// on real arrays: per group, load filters and inputs transposed, run R'·S'
+// MulAccs, an in-array Σq_a pass, and the log₂(L) reduction trees, then
+// read back ACC and Σq_a and apply the correction zero_w·Σq_a and bias.
+func (f *funcExec) convAccs(plan *mapping.ConvPlan, c *nn.Conv2D, x *tensor.Quant, bias []int32) ([]int64, error) {
+	L := plan.LanesPerConv
+	lay := plan.Layout
+	groups := sram.BitLines / L
+	out := c.OutShape(x.Shape)
+	total := out.H * out.W * c.Cout
+	accs := make([]int64, total)
+	zw := int64(c.Filter.Zero)
+
+	filterCol := make([]uint64, sram.BitLines)
+	inputCol := make([]uint64, sram.BitLines)
+	saHost := make([]int64, groups)
+
+	for base := 0; base < total; base += groups {
+		arr := f.nextArray()
+		slots := groups
+		if base+slots > total {
+			slots = total - base
+		}
+		// Assemble the transposed filter and input planes for this array,
+		// byte position by byte position.
+		for j := 0; j < plan.EffFilter; j++ {
+			for i := range filterCol {
+				filterCol[i], inputCol[i] = 0, 0
+			}
+			for slot := 0; slot < slots; slot++ {
+				e, fw, m := decodeConv(base+slot, out)
+				for lane := 0; lane < L; lane++ {
+					fv, iv := operandBytes(plan, c, x, e, fw, m, lane, j)
+					filterCol[slot*L+lane] = uint64(fv)
+					inputCol[slot*L+lane] = uint64(iv)
+				}
+			}
+			arr.WriteElements(lay.FilterRow()+8*j, 8, filterCol)
+			if !plan.InputStreamed {
+				arr.WriteElements(lay.InputRow()+8*j, 8, inputCol)
+			}
+		}
+
+		// MAC phase.
+		arr.Zero(lay.PartialRow(), 32, false)
+		arr.Zero(lay.ScratchRow(), 24, false)
+		for j := 0; j < plan.EffFilter; j++ {
+			inRow := lay.InputRow() + 8*j
+			if plan.InputStreamed {
+				// Stream this MAC step's input byte for every lane.
+				for i := range inputCol {
+					inputCol[i] = 0
+				}
+				for slot := 0; slot < slots; slot++ {
+					e, fw, m := decodeConv(base+slot, out)
+					for lane := 0; lane < L; lane++ {
+						_, iv := operandBytes(plan, c, x, e, fw, m, lane, j)
+						inputCol[slot*L+lane] = uint64(iv)
+					}
+				}
+				inRow = lay.InputRow()
+				arr.WriteElements(inRow, 8, inputCol)
+				for slot := 0; slot < slots; slot++ {
+					for lane := 0; lane < L; lane++ {
+						idx := slot*L + lane
+						saHost[slot] += int64(inputCol[idx])
+					}
+				}
+			}
+			arr.MulAcc(lay.FilterRow()+8*j, inRow, lay.ScratchRow(), lay.PartialRow(), 8, 24)
+		}
+
+		// Σq_a pass (in-array for resident inputs): accumulate the window
+		// bytes into a 24-bit sum in the freed scratch region (wide enough
+		// for the cross-lane reduction), staging zero-extended bytes in
+		// the reduction operand area.
+		if !plan.InputStreamed {
+			arr.Zero(lay.ScratchRow(), 24, false)
+			for j := 0; j < plan.EffFilter; j++ {
+				arr.Zero(lay.ReduceRow(), 24, false)
+				arr.Copy(lay.InputRow()+8*j, lay.ReduceRow(), 8, false)
+				arr.AddTrunc(lay.ScratchRow(), lay.ReduceRow(), lay.ScratchRow(), 24)
+			}
+		}
+
+		// Channel reduction trees.
+		if L > 1 {
+			arr.Reduce(lay.PartialRow(), lay.ReduceRow(), 32, L)
+			if !plan.InputStreamed {
+				arr.Reduce(lay.ScratchRow(), lay.ReduceRow(), 24, L)
+			}
+		}
+
+		// Read back and apply the correction and bias.
+		for slot := 0; slot < slots; slot++ {
+			_, _, m := decodeConv(base+slot, out)
+			acc := int64(arr.ReadElement(slot*L, lay.PartialRow(), 32))
+			var sa int64
+			if plan.InputStreamed {
+				sa = saHost[slot]
+				saHost[slot] = 0
+			} else {
+				sa = int64(arr.ReadElement(slot*L, lay.ScratchRow(), 24))
+			}
+			acc -= zw * sa
+			if bias != nil {
+				acc += int64(bias[m])
+			}
+			accs[base+slot] = acc
+		}
+	}
+	return accs, nil
+}
+
+// decodeConv converts a flat convolution index to (e, f, m), matching the
+// reference executor's output order ((e·W + f)·C + m).
+func decodeConv(idx int, out tensor.Shape) (e, fw, m int) {
+	m = idx % out.C
+	idx /= out.C
+	fw = idx % out.W
+	e = idx / out.W
+	return e, fw, m
+}
+
+// pool executes a pooling layer in-array per §IV-D: window bytes stream
+// one at a time into every output's lane; max pooling keeps a running
+// maximum via subtract + MSB-masked selective copy (the sram.Max
+// microcode), average pooling keeps a running 16-bit sum and finishes
+// with an in-array divide (or a row-offset copy when the window is a
+// power of two).
+func (f *funcExec) pool(p *nn.Pool, x *tensor.Quant) (*tensor.Quant, error) {
+	placed := nn.Placed{Layer: p, In: x.Shape, Out: p.OutShape(x.Shape)}
+	plan, err := mapping.PlanPool(f.sys.cfg.Mapping, placed)
+	if err != nil {
+		return nil, err
+	}
+	out := tensor.NewQuant(placed.Out, x.Scale)
+	total := placed.Out.Elems()
+	col := make([]uint64, sram.BitLines)
+
+	// Row map: input slot, accumulator, then divide operands/scratch.
+	const (
+		inRow   = 0
+		accRow  = 8
+		divRow  = 24 // 16-bit divisor
+		quotRow = 40
+		remRow  = 56 // n+1 rows
+		scrRow  = 80 // n+2 rows for divide; 9 rows suffice for max
+	)
+
+	for base := 0; base < total; base += sram.BitLines {
+		arr := f.nextArray()
+		slots := sram.BitLines
+		if base+slots > total {
+			slots = total - base
+		}
+		width := 8
+		if p.Kind == nn.AvgPool {
+			width = 16
+		}
+		arr.Zero(accRow, width, false)
+		for wpos := 0; wpos < plan.Window; wpos++ {
+			r, s := wpos/p.S, wpos%p.S
+			for i := range col {
+				col[i] = 0
+			}
+			for slot := 0; slot < slots; slot++ {
+				e, fw, ch := decodeConv(base+slot, placed.Out)
+				h := e*p.Stride - p.PadH + r
+				w := fw*p.Stride - p.PadW + s
+				if h >= 0 && h < x.Shape.H && w >= 0 && w < x.Shape.W {
+					col[slot] = uint64(x.At(h, w, ch))
+				}
+			}
+			arr.WriteElements(inRow, 8, col)
+			if p.Kind == nn.MaxPool {
+				arr.Max(accRow, inRow, accRow, scrRow, 8)
+			} else {
+				// Zero-extend the byte into the quotient area (free at
+				// this point) and accumulate at 16 bits.
+				arr.Zero(quotRow, 16, false)
+				arr.Copy(inRow, quotRow, 8, false)
+				arr.AddTrunc(accRow, quotRow, accRow, 16)
+			}
+		}
+		resultRow := accRow
+		if p.Kind == nn.AvgPool {
+			if plan.DivideShift >= 0 {
+				arr.Copy(accRow+plan.DivideShift, quotRow, 8, false)
+			} else {
+				for i := range col {
+					col[i] = uint64(plan.Window)
+				}
+				arr.WriteElements(divRow, 16, col)
+				arr.Divide(accRow, divRow, quotRow, remRow, scrRow, 16)
+			}
+			resultRow = quotRow
+		}
+		for slot := 0; slot < slots; slot++ {
+			out.Data[base+slot] = uint8(arr.ReadElement(slot, resultRow, 8))
+		}
+	}
+	return out, nil
+}
+
+// residual executes a ResNet shortcut block: both paths run through the
+// normal conv pipeline, the host realigns their scales (the same shared
+// integers the reference uses), and the element-wise add itself runs
+// in-array — 256 lanes of 8-bit adds per array, producing 9-bit sums.
+func (f *funcExec) residual(r *nn.Residual, x *tensor.Quant) (*tensor.Quant, error) {
+	body, err := f.seq(r.Body, x)
+	if err != nil {
+		return nil, err
+	}
+	short, err := f.seq(r.Shortcut, x)
+	if err != nil {
+		return nil, err
+	}
+	qa, qb := nn.ResidualOperands(body, short)
+	sums := make([]int64, len(qa))
+	col := make([]uint64, sram.BitLines)
+	for base := 0; base < len(qa); base += sram.BitLines {
+		arr := f.nextArray()
+		slots := sram.BitLines
+		if base+slots > len(qa) {
+			slots = len(qa) - base
+		}
+		for i := range col {
+			col[i] = 0
+		}
+		for s := 0; s < slots; s++ {
+			col[s] = uint64(qa[base+s])
+		}
+		arr.WriteElements(0, 8, col)
+		for s := 0; s < slots; s++ {
+			col[s] = uint64(qb[base+s])
+		}
+		arr.WriteElements(8, 8, col)
+		arr.Add(0, 8, 16, 8)
+		for s := 0; s < slots; s++ {
+			sums[base+s] = int64(arr.ReadElement(s, 16, 9))
+		}
+	}
+	return nn.ResidualCombine(r.LayerName, body, short, sums, f.tr), nil
+}
+
+// batchNorm executes §IV-D's batch-norm sequence in-array: zero-extend
+// the input byte to 16 bits, multiply by the CPU's fixed-point Gamma
+// scalar (16×16→32-bit in-array multiply), add the rounding constant,
+// shift via a row-offset copy, add the per-channel Beta integers, ReLU by
+// MSB mask; the min/max and requantization use the shared host scalars
+// exactly as the convolutions do.
+func (f *funcExec) batchNorm(b *nn.BatchNorm, x *tensor.Quant) (*tensor.Quant, error) {
+	gamma, beta32 := nn.BatchNormScalars(b, x.Scale)
+	total := x.Shape.Elems()
+	accs := make([]int64, total)
+
+	// Row map: q16 | gamma16 | prod32 | round32 | y32 | beta32.
+	const (
+		qRow     = 0
+		gRow     = 16
+		prodRow  = 32
+		roundRow = 64
+		yRow     = 96
+		betaRow  = 128
+	)
+	col := make([]uint64, sram.BitLines)
+	sh := int(gamma.Shift)
+	for base := 0; base < total; base += sram.BitLines {
+		arr := f.nextArray()
+		slots := sram.BitLines
+		if base+slots > total {
+			slots = total - base
+		}
+		for i := range col {
+			col[i] = 0
+		}
+		for s := 0; s < slots; s++ {
+			col[s] = uint64(x.Data[base+s])
+		}
+		arr.WriteElements(qRow, 16, col)
+		for i := range col {
+			col[i] = uint64(gamma.Mult)
+		}
+		arr.WriteElements(gRow, 16, col)
+		arr.Multiply(qRow, gRow, prodRow, 16)
+		if sh > 0 {
+			for i := range col {
+				col[i] = 1 << (sh - 1)
+			}
+			arr.WriteElements(roundRow, 32, col)
+			arr.AddTrunc(prodRow, roundRow, prodRow, 32)
+		}
+		// Shift = read the product from row offset sh; zero-pad the top.
+		arr.Zero(yRow, 32, false)
+		arr.Copy(prodRow+sh, yRow, 32-sh, false)
+		// Per-channel Beta as two's-complement 32-bit adds.
+		for s := 0; s < slots; s++ {
+			col[s] = uint64(uint32(beta32[(base+s)%x.Shape.C]))
+		}
+		for s := slots; s < sram.BitLines; s++ {
+			col[s] = 0
+		}
+		arr.WriteElements(betaRow, 32, col)
+		arr.AddTrunc(yRow, betaRow, yRow, 32)
+		if b.ReLU {
+			arr.ReLU(yRow, 32)
+		}
+		for s := 0; s < slots; s++ {
+			accs[base+s] = int64(int32(uint32(arr.ReadElement(s, yRow, 32))))
+		}
+	}
+	return nn.FinishBatchNorm(b, x.Shape, x.Scale, beta32, accs, f.tr), nil
+}
+
+// operandBytes returns the filter and input byte for (lane, byte j) of
+// one convolution under the plan's layout: the plain per-channel window,
+// the split-filter segments, or the packed 1×1 channels.
+func operandBytes(plan *mapping.ConvPlan, c *nn.Conv2D, x *tensor.Quant, e, fw, m, lane, j int) (fv, iv uint8) {
+	h0 := e*c.Stride - c.PadH
+	w0 := fw*c.Stride - c.PadW
+	sample := func(pos, ch int) (uint8, uint8) {
+		if pos >= c.R*c.S || ch >= c.Cin {
+			return 0, 0
+		}
+		r, s := pos/c.S, pos%c.S
+		w := c.Filter.At(m, r, s, ch)
+		h, wd := h0+r, w0+s
+		if h < 0 || h >= x.Shape.H || wd < 0 || wd >= x.Shape.W {
+			return w, 0
+		}
+		return w, x.At(h, wd, ch)
+	}
+	switch {
+	case plan.PackFactor > 1:
+		ch := lane*plan.PackFactor + j
+		return sample(0, ch)
+	case plan.SplitFactor > 1:
+		ch := lane / plan.SplitFactor
+		seg := lane % plan.SplitFactor
+		return sample(seg*plan.EffFilter+j, ch)
+	default:
+		return sample(j, lane)
+	}
+}

@@ -1,0 +1,191 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"neuralcache/internal/nn"
+)
+
+// Invariant tests for the analytic model: properties that must hold for
+// any workload, independent of calibration.
+
+func TestLayerSecondsSumToTotal(t *testing.T) {
+	sys, net := inceptionSystem(t)
+	for _, batch := range []int{1, 8} {
+		rep, err := sys.Estimate(net, batch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sum float64
+		for _, l := range rep.Layers {
+			sum += l.Seconds.Total()
+		}
+		if math.Abs(sum-rep.Latency()) > 1e-12 {
+			t.Errorf("batch %d: layers sum %.9f, total %.9f", batch, sum, rep.Latency())
+		}
+	}
+}
+
+func TestEstimateDeterministic(t *testing.T) {
+	sys, net := inceptionSystem(t)
+	a, err := sys.Estimate(net, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := sys.Estimate(net, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Latency() != b.Latency() || a.Ledger != b.Ledger {
+		t.Error("analytic model is not deterministic")
+	}
+}
+
+func TestPropertyBatchMonotone(t *testing.T) {
+	sys, net := inceptionSystem(t)
+	cache := map[int]float64{}
+	lat := func(b int) float64 {
+		if v, ok := cache[b]; ok {
+			return v
+		}
+		rep, err := sys.Estimate(net, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cache[b] = rep.Latency()
+		return cache[b]
+	}
+	f := func(raw uint8) bool {
+		b := int(raw%63) + 1
+		return lat(b+1) > lat(b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyAmortizedLatencyImproves(t *testing.T) {
+	// Per-inference latency falls sharply from batch 1 as filter loading
+	// amortizes, then flattens — and may tick back up once reserved-way
+	// spills grow (the Figure 16 plateau). Assert the two structural
+	// facts rather than strict monotonicity: every batched per-image cost
+	// beats batch 1, and the early amortization is large.
+	sys, net := inceptionSystem(t)
+	r1, err := sys.Estimate(net, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	per1 := r1.Latency()
+	for _, b := range []int{2, 4, 8, 16, 32} {
+		rep, err := sys.Estimate(net, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		per := rep.Latency() / float64(b)
+		if per >= per1 {
+			t.Errorf("batch %d: per-inference %.4f ms not below batch-1 %.4f ms",
+				b, per*1e3, per1*1e3)
+		}
+	}
+	r4, err := sys.Estimate(net, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gain := per1 / (r4.Latency() / 4); gain < 1.2 {
+		t.Errorf("batch-4 amortization only %.2fx; filter loading should dominate batch 1", gain)
+	}
+}
+
+func TestEnergyScalesWithBatch(t *testing.T) {
+	sys, net := inceptionSystem(t)
+	r1, err := sys.Estimate(net, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r16, err := sys.Estimate(net, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Per-inference energy falls with batching (filter loading's idle
+	// time amortizes) but not below ~the compute-only floor.
+	e1 := r1.EnergyPerInferenceJ()
+	e16 := r16.EnergyPerInferenceJ()
+	if e16 >= e1 {
+		t.Errorf("per-inference energy did not amortize: %.3f vs %.3f J", e16, e1)
+	}
+	if e16 < 0.3*e1 {
+		t.Errorf("batched energy %.3f J implausibly below batch-1 %.3f J", e16, e1)
+	}
+}
+
+func TestFasterClockNeverSlower(t *testing.T) {
+	net := nn.InceptionV3()
+	slow := DefaultConfig()
+	slow.Cost.FreqGHz = 2.0
+	fast := DefaultConfig()
+	fast.Cost.FreqGHz = 4.0
+	sysS, err := New(slow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sysF, err := New(fast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := sysS.Estimate(net, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rf, err := sysF.Estimate(net, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rf.Latency() >= rs.Latency() {
+		t.Errorf("4 GHz (%.3f ms) not faster than 2 GHz (%.3f ms)",
+			rf.Latency()*1e3, rs.Latency()*1e3)
+	}
+	// Filter loading is DRAM-bound and must not scale with the clock.
+	if math.Abs(rf.Seconds[PhaseFilterLoad]-rs.Seconds[PhaseFilterLoad]) > 1e-9 {
+		t.Error("filter loading scaled with compute clock")
+	}
+}
+
+func TestBatchNormLayerCostAppears(t *testing.T) {
+	sys, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := sys.Estimate(nn.BNNet(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bn *LayerReport
+	for i := range rep.Layers {
+		if rep.Layers[i].Name == "bn1" {
+			bn = &rep.Layers[i]
+		}
+	}
+	if bn == nil {
+		t.Fatal("no bn1 layer report")
+	}
+	if bn.Seconds[PhaseQuant] <= 0 {
+		t.Error("batch-norm layer charged no quant time")
+	}
+	if bn.Seconds[PhaseMAC] != 0 {
+		t.Error("batch-norm layer charged MAC time")
+	}
+}
+
+func TestDisabledPackingFailsLoudly(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Mapping.PackingEnabled = false
+	sys, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Estimate(nn.InceptionV3(), 1); err == nil {
+		t.Error("wide 1x1 layers mapped without packing; §IV-A says they must not fit")
+	}
+}

@@ -1,0 +1,58 @@
+package dram
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDDR4Defaults(t *testing.T) {
+	c := DDR4()
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// 22 MB of filters at 11 GB/s effective ≈ 2.1 ms, the scale the
+	// paper's Figure 14 filter-loading share implies.
+	sec := c.StreamSeconds(22 << 20)
+	if sec < 1.5e-3 || sec > 3e-3 {
+		t.Errorf("22 MB stream = %.3f ms, want ≈2 ms", sec*1e3)
+	}
+	if peak := c.PeakStreamSeconds(22 << 20); peak >= sec {
+		t.Errorf("peak stream %.3f ms not faster than effective %.3f ms", peak*1e3, sec*1e3)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	bad := []Config{
+		{},
+		{PeakBW: 1e9, EffectiveBW: 2e9},
+		{PeakBW: 1e9, EffectiveBW: 1e9, EnergyPerBitPJ: -1},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d: accepted %+v", i, c)
+		}
+	}
+}
+
+func TestZeroBytesCostNothing(t *testing.T) {
+	c := DDR4()
+	if c.StreamSeconds(0) != 0 || c.PeakStreamSeconds(-5) != 0 {
+		t.Error("zero/negative byte streams should cost 0")
+	}
+	if c.EnergyJoules(0) != 0 {
+		t.Error("zero bytes should cost no energy")
+	}
+}
+
+func TestEnergyScalesLinearly(t *testing.T) {
+	c := DDR4()
+	e1 := c.EnergyJoules(1 << 20)
+	e2 := c.EnergyJoules(2 << 20)
+	if math.Abs(e2-2*e1) > 1e-15 {
+		t.Errorf("energy not linear: %g vs 2×%g", e2, e1)
+	}
+	// 1 MB at 15 pJ/bit = 1048576 × 8 × 15e-12 ≈ 0.126 mJ.
+	if math.Abs(e1-0.1258e-3) > 0.01e-3 {
+		t.Errorf("1 MB energy = %g J, want ≈0.126 mJ", e1)
+	}
+}

@@ -1,0 +1,122 @@
+// Package energy holds Neural Cache's energy, power and area models (§V,
+// §VI-C and Figure 12 of the paper). The per-cycle array energies come
+// from the paper's SPICE simulation of the 28 nm compute SRAM, scaled to
+// the 22 nm node of the evaluated Xeon E5-2697 v3; wire and DRAM energies
+// are documented estimates feeding the same ledger.
+package energy
+
+import "fmt"
+
+// Tech selects the process node for the array energy constants.
+type Tech int
+
+// Supported process nodes.
+const (
+	Tech28nm Tech = iota // the paper's SPICE-simulated prototype node
+	Tech22nm             // the evaluated Xeon E5 node (default)
+)
+
+// String names the node.
+func (t Tech) String() string {
+	switch t {
+	case Tech28nm:
+		return "28nm"
+	case Tech22nm:
+		return "22nm"
+	default:
+		return fmt.Sprintf("tech(%d)", int(t))
+	}
+}
+
+// Model carries the per-event energies in picojoules.
+type Model struct {
+	Tech Tech
+	// ComputeCyclePJ is the energy of one compute cycle of one 8 KB array
+	// (two-row activation, 256 bit lines): 25.7 pJ at 28 nm, 15.4 at 22 nm.
+	ComputeCyclePJ float64
+	// AccessCyclePJ is the energy of one normal SRAM access cycle reading
+	// or writing 256 bits: 13.9 pJ at 28 nm, 8.6 at 22 nm.
+	AccessCyclePJ float64
+	// BusPJPerByte is the intra-slice data-bus wire energy per byte moved.
+	BusPJPerByte float64
+	// RingPJPerByte is the inter-slice ring energy per byte per hop.
+	RingPJPerByte float64
+	// IdleWatts is the background power of the repurposed cache while a
+	// phase occupies it (leakage + control), spread over the whole
+	// inference.
+	IdleWatts float64
+}
+
+// NewModel returns the model for a process node.
+func NewModel(t Tech) Model {
+	m := Model{
+		Tech:          t,
+		BusPJPerByte:  4.0,
+		RingPJPerByte: 1.0,
+		IdleWatts:     6.0,
+	}
+	switch t {
+	case Tech28nm:
+		m.ComputeCyclePJ = 25.7
+		m.AccessCyclePJ = 13.9
+	case Tech22nm:
+		m.ComputeCyclePJ = 15.4
+		m.AccessCyclePJ = 8.6
+	default:
+		panic(fmt.Sprintf("energy: unknown tech %d", int(t)))
+	}
+	return m
+}
+
+// Ledger accumulates energy-relevant event counts across an inference.
+// Array cycle counts are summed over arrays (cycles × active arrays).
+type Ledger struct {
+	ArrayComputeCycles uint64 // Σ over arrays of compute cycles
+	ArrayAccessCycles  uint64 // Σ over arrays of access cycles
+	BusBytes           uint64 // intra-slice bus traffic
+	RingBytes          uint64 // ring traffic (bytes × hops)
+	DRAMBytes          uint64 // DRAM traffic (energy kept separate; see dram)
+}
+
+// Add accumulates other into l.
+func (l *Ledger) Add(other Ledger) {
+	l.ArrayComputeCycles += other.ArrayComputeCycles
+	l.ArrayAccessCycles += other.ArrayAccessCycles
+	l.BusBytes += other.BusBytes
+	l.RingBytes += other.RingBytes
+	l.DRAMBytes += other.DRAMBytes
+}
+
+// Breakdown is the ledger priced in joules.
+type Breakdown struct {
+	ComputeJ float64 // array compute cycles
+	AccessJ  float64 // array access cycles
+	BusJ     float64 // intra-slice wires
+	RingJ    float64 // ring wires
+	IdleJ    float64 // leakage/control over the run's wall-clock time
+}
+
+// Total returns the on-package total in joules (DRAM excluded, matching
+// the paper's RAPL package-domain comparison).
+func (b Breakdown) Total() float64 {
+	return b.ComputeJ + b.AccessJ + b.BusJ + b.RingJ + b.IdleJ
+}
+
+// Price converts a ledger into joules for a run taking `seconds`.
+func (m Model) Price(l Ledger, seconds float64) Breakdown {
+	return Breakdown{
+		ComputeJ: float64(l.ArrayComputeCycles) * m.ComputeCyclePJ * 1e-12,
+		AccessJ:  float64(l.ArrayAccessCycles) * m.AccessCyclePJ * 1e-12,
+		BusJ:     float64(l.BusBytes) * m.BusPJPerByte * 1e-12,
+		RingJ:    float64(l.RingBytes) * m.RingPJPerByte * 1e-12,
+		IdleJ:    m.IdleWatts * seconds,
+	}
+}
+
+// AveragePower returns watts for a breakdown over `seconds`.
+func AveragePower(b Breakdown, seconds float64) float64 {
+	if seconds <= 0 {
+		return 0
+	}
+	return b.Total() / seconds
+}

@@ -1,0 +1,97 @@
+package energy
+
+import (
+	"math"
+	"testing"
+)
+
+func TestModelConstantsMatchPaper(t *testing.T) {
+	m28 := NewModel(Tech28nm)
+	if m28.ComputeCyclePJ != 25.7 || m28.AccessCyclePJ != 13.9 {
+		t.Errorf("28nm constants %+v, want 25.7/13.9 pJ", m28)
+	}
+	m22 := NewModel(Tech22nm)
+	if m22.ComputeCyclePJ != 15.4 || m22.AccessCyclePJ != 8.6 {
+		t.Errorf("22nm constants %+v, want 15.4/8.6 pJ", m22)
+	}
+	if Tech22nm.String() != "22nm" || Tech28nm.String() != "28nm" {
+		t.Error("Tech.String mismatch")
+	}
+}
+
+func TestPriceBreakdown(t *testing.T) {
+	m := NewModel(Tech22nm)
+	l := Ledger{
+		ArrayComputeCycles: 1e6,
+		ArrayAccessCycles:  2e6,
+		BusBytes:           1e6,
+		RingBytes:          1e6,
+	}
+	b := m.Price(l, 1e-3)
+	if math.Abs(b.ComputeJ-15.4e-6) > 1e-12 {
+		t.Errorf("ComputeJ = %g, want 15.4 µJ", b.ComputeJ)
+	}
+	if math.Abs(b.AccessJ-17.2e-6) > 1e-12 {
+		t.Errorf("AccessJ = %g, want 17.2 µJ", b.AccessJ)
+	}
+	if b.IdleJ != m.IdleWatts*1e-3 {
+		t.Errorf("IdleJ = %g", b.IdleJ)
+	}
+	want := b.ComputeJ + b.AccessJ + b.BusJ + b.RingJ + b.IdleJ
+	if b.Total() != want {
+		t.Errorf("Total = %g, want %g", b.Total(), want)
+	}
+	if p := AveragePower(b, 1e-3); math.Abs(p-b.Total()/1e-3) > 1e-9 {
+		t.Errorf("AveragePower = %g", p)
+	}
+	if AveragePower(b, 0) != 0 {
+		t.Error("zero-duration power should be 0")
+	}
+}
+
+func TestLedgerAdd(t *testing.T) {
+	a := Ledger{ArrayComputeCycles: 1, ArrayAccessCycles: 2, BusBytes: 3, RingBytes: 4, DRAMBytes: 5}
+	a.Add(a)
+	if a.ArrayComputeCycles != 2 || a.DRAMBytes != 10 {
+		t.Errorf("Add gave %+v", a)
+	}
+}
+
+func TestCacheComputePowerScale(t *testing.T) {
+	// Sanity-check the headline power scale: all 4032 compute arrays
+	// running compute cycles at 2.5 GHz burn ≈155 W; over the ~35% of
+	// batch-1 time spent computing that is ≈54 W average, the magnitude
+	// Table III reports (52.92 W).
+	m := NewModel(Tech22nm)
+	watts := 4032.0 * m.ComputeCyclePJ * 1e-12 * 2.5e9
+	if watts < 140 || watts > 170 {
+		t.Errorf("full-compute power = %.1f W, want ≈155 W", watts)
+	}
+}
+
+func TestAreaModelMatchesPaperClaims(t *testing.T) {
+	a := XeonE5Area()
+	if f := a.ArrayOverheadFraction(); f < 0.05 || f > 0.08 {
+		t.Errorf("array overhead fraction = %.3f, want ≈6–7.5%%", f)
+	}
+	if f := a.DieOverheadFraction(); f >= 0.02 {
+		t.Errorf("die overhead fraction = %.4f, paper claims <2%%", f)
+	}
+	if a.ComputeArrayMM2() <= a.BaseArrayMM2() {
+		t.Error("compute array not larger than baseline")
+	}
+	// §IV-F: bank FSMs sum to ≈0.23 mm².
+	fsm := float64(a.BankFSMs) * a.BankFSMAreaUM2 * 1e-6
+	if math.Abs(fsm-0.23) > 0.01 {
+		t.Errorf("FSM total area = %.3f mm², want ≈0.23", fsm)
+	}
+}
+
+func TestUnknownTechPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewModel(99) did not panic")
+		}
+	}()
+	NewModel(Tech(99))
+}

@@ -1,0 +1,132 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func suite(t *testing.T) *Suite {
+	t.Helper()
+	s, err := NewSuite()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestAllTablesGenerate(t *testing.T) {
+	s := suite(t)
+	type gen struct {
+		name string
+		fn   func() (rows int, err error)
+	}
+	gens := []gen{
+		{"TableI", func() (int, error) { return s.TableI().Rows(), nil }},
+		{"TableII", func() (int, error) { return s.TableII().Rows(), nil }},
+		{"TableIII", func() (int, error) { tb, _, err := s.TableIII(); return rowsOf(tb), err }},
+		{"TableIV", func() (int, error) { tb, _, err := s.TableIV(); return rowsOf(tb), err }},
+		{"Figure12", func() (int, error) { return s.Figure12().Rows(), nil }},
+		{"Figure13", func() (int, error) { tb, err := s.Figure13(); return rowsOf(tb), err }},
+		{"Figure14", func() (int, error) { tb, _, err := s.Figure14(); return rowsOf(tb), err }},
+		{"Figure15", func() (int, error) { tb, _, err := s.Figure15(); return rowsOf(tb), err }},
+		{"Figure16", func() (int, error) { tb, _, err := s.Figure16(); return rowsOf(tb), err }},
+		{"Micro", func() (int, error) { return s.Micro().Rows(), nil }},
+		{"CaseStudy", func() (int, error) { tb, err := s.CaseStudy(); return rowsOf(tb), err }},
+		{"Ablations", func() (int, error) { tb, err := s.Ablations(); return rowsOf(tb), err }},
+	}
+	for _, g := range gens {
+		rows, err := g.fn()
+		if err != nil {
+			t.Errorf("%s: %v", g.name, err)
+			continue
+		}
+		if rows == 0 {
+			t.Errorf("%s: no rows", g.name)
+		}
+	}
+}
+
+func rowsOf(tb interface{ Rows() int }) int {
+	if tb == nil {
+		return 0
+	}
+	return tb.Rows()
+}
+
+func TestTableIHasPaperHeadlineRow(t *testing.T) {
+	s := suite(t)
+	out := s.TableI().String()
+	// The 2b case-study row must carry the exact conv count.
+	if !strings.Contains(out, "1382976") {
+		t.Errorf("Table I missing Conv2D_2b's 1382976 convolutions:\n%s", out)
+	}
+}
+
+func TestFigure16ThroughputOrdering(t *testing.T) {
+	s := suite(t)
+	_, nc, err := s.Figure16()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Neural Cache beats the GPU's plateau even at batch 1 (§VI-B).
+	if nc[1] <= s.GPU.MaxThroughput {
+		t.Errorf("NC batch-1 throughput %.0f does not exceed GPU plateau %.0f",
+			nc[1], s.GPU.MaxThroughput)
+	}
+	if nc[256] < nc[1] {
+		t.Errorf("throughput fell with batching: %.0f -> %.0f", nc[1], nc[256])
+	}
+}
+
+func TestMicroTableMatchesPaperNumbers(t *testing.T) {
+	s := suite(t)
+	out := s.Micro().String()
+	for _, frag := range []string{"1146880", "4480", "236", "660", "102"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("micro table missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+func TestAblationsTable(t *testing.T) {
+	s := suite(t)
+	tb, err := s.Ablations()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := tb.String()
+	for _, frag := range []string{"bank input latch", "filter packing", "TMU", "bit-slice skip", "unmappable"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("ablations missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+func TestSparsitySkipFinding(t *testing.T) {
+	// The honest §VII finding: with 256 lanes in lockstep, 50% zero lanes
+	// almost never produce an all-zero bit-slice, so skipping saves
+	// little. With 100% zeros it saves almost everything.
+	plainDense, skipDense := sparsitySkipMeasurement(0.5)
+	if plainDense != 96 {
+		t.Errorf("plain multiply = %d cycles, want 96", plainDense)
+	}
+	if skipDense < plainDense-2*9 {
+		t.Errorf("50%%-sparse skip saved too much (%d vs %d): 256-lane slices should rarely be empty",
+			skipDense, plainDense)
+	}
+	plainZero, skipZero := sparsitySkipMeasurement(1.0)
+	if skipZero >= plainZero/2 {
+		t.Errorf("all-zero multipliers should skip most work: %d vs %d", skipZero, plainZero)
+	}
+}
+
+func TestQuantErrorReport(t *testing.T) {
+	tb, err := QuantErrorReport(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := tb.String()
+	if !strings.Contains(out, "cosine") {
+		t.Errorf("quant error report malformed:\n%s", out)
+	}
+}

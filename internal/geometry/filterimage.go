@@ -1,0 +1,89 @@
+package geometry
+
+import (
+	"fmt"
+
+	"neuralcache/internal/bitvec"
+	"neuralcache/internal/sram"
+)
+
+// §IV-C: "Neural Cache assumes that filter weights are preprocessed to a
+// transpose format and laid out in DRAM such that they map to correct
+// bitlines and word-lines. Our experiments decode the set address and
+// faithfully model this layout." WayImage is that DRAM blob for one way
+// of one slice: 64-byte cache lines in set order, where line s carries
+// the two 32-byte rows DecodeSet(s) places in the way's arrays. A
+// sequential set walk — the paper's filter-loading micro-benchmark — then
+// deposits every row at its physical position without any address math at
+// load time.
+
+// WayImage is a pre-transposed filter blob for one cache way.
+type WayImage struct {
+	cfg  Config
+	data []byte
+}
+
+// NewWayImage allocates a zeroed image for the geometry.
+func NewWayImage(cfg Config) *WayImage {
+	return &WayImage{cfg: cfg, data: make([]byte, cfg.SetsPerWay()*64)}
+}
+
+// Bytes returns the DRAM-resident blob (128 KB for the Xeon E5 way).
+func (w *WayImage) Bytes() []byte { return w.data }
+
+// setIndex inverts Config.DecodeSet: the set whose line lands at (bank,
+// subArray, arrayIndex, rowPair).
+func (w *WayImage) setIndex(bank, sub, idx, row int) int {
+	cfg := w.cfg
+	s := row / 2
+	s = s*cfg.ArraysPerSubArray + idx
+	s = s*cfg.SubArraysPerBank + sub
+	s = s*cfg.BanksPerWay + bank
+	return s
+}
+
+// SetRow stores one transposed 256-bit row at its destination array
+// position. Rows pair up two to a 64-byte set line.
+func (w *WayImage) SetRow(bank, sub, idx, row int, bits bitvec.Vec256) {
+	if row < 0 || row >= sram.WordLines {
+		panic(fmt.Sprintf("geometry: row %d outside array", row))
+	}
+	set := w.setIndex(bank, sub, idx, row)
+	if set < 0 || set >= w.cfg.SetsPerWay() {
+		panic(fmt.Sprintf("geometry: position b%d/sa%d/a%d/r%d outside way", bank, sub, idx, row))
+	}
+	off := set*64 + (row%2)*32
+	for word := 0; word < bitvec.Words; word++ {
+		for b := 0; b < 8; b++ {
+			w.data[off+word*8+b] = byte(bits[word] >> (8 * b))
+		}
+	}
+}
+
+// Row reads back the stored row.
+func (w *WayImage) Row(bank, sub, idx, row int) bitvec.Vec256 {
+	set := w.setIndex(bank, sub, idx, row)
+	off := set*64 + (row%2)*32
+	var bits bitvec.Vec256
+	for word := 0; word < bitvec.Words; word++ {
+		for b := 0; b < 8; b++ {
+			bits[word] |= uint64(w.data[off+word*8+b]) << (8 * b)
+		}
+	}
+	return bits
+}
+
+// ApplyToWay replays the sequential set walk into one way of a slice,
+// writing every line's two rows into its array. It returns the bytes
+// streamed — the quantity the DRAM model prices at the measured-equivalent
+// set-strided bandwidth.
+func (w *WayImage) ApplyToWay(c *Cache, slice, way int) int {
+	cfg := w.cfg
+	for set := 0; set < cfg.SetsPerWay(); set++ {
+		bank, sub, idx, row := cfg.DecodeSet(set)
+		arr := c.Array(ArrayAddr{Slice: slice, Way: way, Bank: bank, SubArray: sub, Index: idx})
+		arr.WriteRow(row, w.Row(bank, sub, idx, row))
+		arr.WriteRow(row+1, w.Row(bank, sub, idx, row+1))
+	}
+	return len(w.data)
+}

@@ -1,0 +1,102 @@
+package geometry
+
+import (
+	"math/rand"
+	"testing"
+
+	"neuralcache/internal/bitvec"
+)
+
+func randRow(r *rand.Rand) bitvec.Vec256 {
+	var v bitvec.Vec256
+	for i := range v {
+		v[i] = r.Uint64()
+	}
+	return v
+}
+
+func TestWayImageRoundTrip(t *testing.T) {
+	cfg := XeonE5()
+	img := NewWayImage(cfg)
+	r := rand.New(rand.NewSource(1))
+	type pos struct{ bank, sub, idx, row int }
+	want := map[pos]bitvec.Vec256{}
+	for b := 0; b < cfg.BanksPerWay; b++ {
+		for s := 0; s < cfg.SubArraysPerBank; s++ {
+			for i := 0; i < cfg.ArraysPerSubArray; i++ {
+				for row := 0; row < 16; row++ {
+					v := randRow(r)
+					img.SetRow(b, s, i, row, v)
+					want[pos{b, s, i, row}] = v
+				}
+			}
+		}
+	}
+	for p, v := range want {
+		if got := img.Row(p.bank, p.sub, p.idx, p.row); got != v {
+			t.Fatalf("position %+v: row mismatch", p)
+		}
+	}
+	if len(img.Bytes()) != 128<<10 {
+		t.Errorf("image size = %d, want 128 KB", len(img.Bytes()))
+	}
+}
+
+func TestWayImageSetIndexInvertsDecodeSet(t *testing.T) {
+	cfg := XeonE5()
+	img := NewWayImage(cfg)
+	for set := 0; set < cfg.SetsPerWay(); set++ {
+		b, s, i, row := cfg.DecodeSet(set)
+		if got := img.setIndex(b, s, i, row); got != set {
+			t.Fatalf("set %d decodes to b%d/sa%d/a%d/r%d which re-encodes to %d",
+				set, b, s, i, row, got)
+		}
+	}
+}
+
+func TestWayImageApplyDepositsRowsAtPhysicalPositions(t *testing.T) {
+	cfg := XeonE5().WithSlices(1)
+	img := NewWayImage(cfg)
+	r := rand.New(rand.NewSource(2))
+	// Fill every row of every array position in the way.
+	rows := map[[4]int]bitvec.Vec256{}
+	for b := 0; b < cfg.BanksPerWay; b++ {
+		for s := 0; s < cfg.SubArraysPerBank; s++ {
+			for i := 0; i < cfg.ArraysPerSubArray; i++ {
+				for row := 0; row < 256; row++ {
+					v := randRow(r)
+					img.SetRow(b, s, i, row, v)
+					rows[[4]int{b, s, i, row}] = v
+				}
+			}
+		}
+	}
+	c := New(cfg)
+	const way = 3
+	bytes := img.ApplyToWay(c, 0, way)
+	if bytes != 128<<10 {
+		t.Errorf("streamed %d bytes, want 128 KB", bytes)
+	}
+	for key, v := range rows {
+		arr := c.Array(ArrayAddr{Slice: 0, Way: way, Bank: key[0], SubArray: key[1], Index: key[2]})
+		if got := arr.PeekRow(key[3]); got != v {
+			t.Fatalf("array b%d/sa%d/a%d row %d: deposited row mismatch", key[0], key[1], key[2], key[3])
+		}
+	}
+	// The walk must have charged one access cycle per row written.
+	stats := c.Stats()
+	wantWrites := uint64(cfg.SetsPerWay() * 2)
+	if stats.AccessCycles != wantWrites {
+		t.Errorf("access cycles = %d, want %d (2 rows per set)", stats.AccessCycles, wantWrites)
+	}
+}
+
+func TestWayImagePanicsOutOfRange(t *testing.T) {
+	img := NewWayImage(XeonE5())
+	defer func() {
+		if recover() == nil {
+			t.Error("row 256 accepted")
+		}
+	}()
+	img.SetRow(0, 0, 0, 256, bitvec.Zero())
+}

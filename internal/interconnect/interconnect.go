@@ -1,0 +1,130 @@
+// Package interconnect models the data-movement fabric Neural Cache rides
+// on (§IV-C of the paper): the bidirectional inter-slice ring of the Xeon
+// LLC and the intra-slice 256-bit data bus, organized as four 64-bit
+// quadrant buses each serving one bank position of a way. Two 8 KB arrays
+// in a bank share sense amps and receive 32 bits per bus cycle; an
+// optional 64-bit latch at each bank halves replicated input transfers.
+//
+// The package is an accounting model: methods convert byte volumes into
+// bus/ring cycles and record traffic for the energy ledger. Functional
+// data movement (actually depositing bits into arrays) is performed by the
+// engine, which charges time here.
+package interconnect
+
+import "fmt"
+
+// Config describes the fabric. Start from XeonE5() and adjust; the zero
+// value is invalid.
+type Config struct {
+	QuadrantBuses     int  // 64-bit buses per slice (4)
+	BusBytesPerCycle  int  // bytes one quadrant bus moves per cycle (8)
+	RingBytesPerCycle int  // bytes one ring stop forwards per cycle (32)
+	RingHopLatency    int  // cycles for one hop between adjacent slices
+	BankLatch         bool // 64-bit latch at each bank halving replicated input transfers
+	Slices            int  // ring stops
+}
+
+// XeonE5 returns the fabric of the 14-slice Xeon E5 LLC.
+func XeonE5() Config {
+	return Config{
+		QuadrantBuses:     4,
+		BusBytesPerCycle:  8,
+		RingBytesPerCycle: 32,
+		RingHopLatency:    1,
+		BankLatch:         true,
+		Slices:            14,
+	}
+}
+
+// Validate reports an error for non-realizable fabrics.
+func (c Config) Validate() error {
+	if c.QuadrantBuses <= 0 || c.BusBytesPerCycle <= 0 || c.RingBytesPerCycle <= 0 || c.Slices <= 0 {
+		return fmt.Errorf("interconnect: non-positive fabric parameter in %+v", c)
+	}
+	return nil
+}
+
+// SliceBusBytesPerCycle returns the aggregate intra-slice bus width in
+// bytes per cycle (32 for the 256-bit bus).
+func (c Config) SliceBusBytesPerCycle() int { return c.QuadrantBuses * c.BusBytesPerCycle }
+
+// Traffic accumulates byte volumes by fabric segment for the energy
+// ledger. The zero value is an empty ledger ready to use.
+type Traffic struct {
+	BusBytes  uint64 // intra-slice data bus traffic
+	RingBytes uint64 // inter-slice ring traffic (bytes × hops)
+}
+
+// Add accumulates other into t.
+func (t *Traffic) Add(other Traffic) {
+	t.BusBytes += other.BusBytes
+	t.RingBytes += other.RingBytes
+}
+
+// BusCycles returns the cycles the intra-slice bus needs to move `bytes`
+// within one slice when the payloads are spread evenly over the four
+// quadrant buses, recording the traffic. When replicated is true the same
+// data is consumed by both sub-arrays of each bank and the bank latch
+// halves the transfer count (§IV-C's input-streaming optimization); with
+// the latch disabled the bytes are sent twice.
+func (c Config) BusCycles(t *Traffic, bytes int, replicated bool) uint64 {
+	if bytes <= 0 {
+		return 0
+	}
+	effective := uint64(bytes)
+	if replicated && !c.BankLatch {
+		effective *= 2
+	}
+	t.BusBytes += effective
+	per := uint64(c.SliceBusBytesPerCycle())
+	return (effective + per - 1) / per
+}
+
+// BusBroadcastCycles returns the cycles to broadcast `bytes` from the
+// slice's C-BOX to every way on the bus. Broadcast occupies the bus once
+// regardless of the number of listening ways.
+func (c Config) BusBroadcastCycles(t *Traffic, bytes int) uint64 {
+	return c.BusCycles(t, bytes, false)
+}
+
+// RingBroadcastCycles returns the cycles to broadcast `bytes` from the
+// home slice to all slices over the bidirectional ring: the payload
+// travels at most ⌈slices/2⌉ hops in each direction, pipelined, so the
+// cost is the serialization time plus the worst-case hop latency.
+func (c Config) RingBroadcastCycles(t *Traffic, bytes int) uint64 {
+	if bytes <= 0 {
+		return 0
+	}
+	hops := (c.Slices + 1) / 2
+	t.RingBytes += uint64(bytes) * uint64(hops)
+	per := uint64(c.RingBytesPerCycle)
+	return (uint64(bytes)+per-1)/per + uint64(hops*c.RingHopLatency)
+}
+
+// RingTransferCycles returns the cycles to move `bytes` between two
+// slices `hops` apart.
+func (c Config) RingTransferCycles(t *Traffic, bytes, hops int) uint64 {
+	if bytes <= 0 {
+		return 0
+	}
+	if hops < 0 {
+		panic(fmt.Sprintf("interconnect: negative hop count %d", hops))
+	}
+	t.RingBytes += uint64(bytes) * uint64(hops)
+	per := uint64(c.RingBytesPerCycle)
+	return (uint64(bytes)+per-1)/per + uint64(hops*c.RingHopLatency)
+}
+
+// NeighborExchangeCycles returns the cycles for every slice to send
+// `bytesPerSlice` to an adjacent slice simultaneously (the inter-layer
+// halo exchange of output rows, §IV-C "Output Data Management"). The
+// exchanges proceed in parallel on the bidirectional ring, so the cost is
+// one hop's serialization.
+func (c Config) NeighborExchangeCycles(t *Traffic, bytesPerSlice int) uint64 {
+	if bytesPerSlice <= 0 {
+		return 0
+	}
+	t.RingBytes += uint64(bytesPerSlice) * uint64(c.Slices)
+	per := uint64(c.RingBytesPerCycle)
+	return (uint64(bytesPerSlice)+per-1)/per + uint64(c.RingHopLatency)
+}

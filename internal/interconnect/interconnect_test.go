@@ -1,0 +1,102 @@
+package interconnect
+
+import "testing"
+
+func TestXeonE5Fabric(t *testing.T) {
+	c := XeonE5()
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.SliceBusBytesPerCycle(); got != 32 {
+		t.Errorf("SliceBusBytesPerCycle = %d, want 32 (256-bit bus)", got)
+	}
+}
+
+func TestValidateRejectsZeroFabric(t *testing.T) {
+	if err := (Config{}).Validate(); err == nil {
+		t.Error("zero Config validated")
+	}
+	c := XeonE5()
+	c.QuadrantBuses = 0
+	if err := c.Validate(); err == nil {
+		t.Error("zero-bus Config validated")
+	}
+}
+
+func TestBusCycles(t *testing.T) {
+	c := XeonE5()
+	var tr Traffic
+	if got := c.BusCycles(&tr, 0, false); got != 0 {
+		t.Errorf("0 bytes cost %d cycles", got)
+	}
+	if got := c.BusCycles(&tr, 32, false); got != 1 {
+		t.Errorf("32 bytes cost %d cycles, want 1", got)
+	}
+	if got := c.BusCycles(&tr, 33, false); got != 2 {
+		t.Errorf("33 bytes cost %d cycles, want 2", got)
+	}
+	if tr.BusBytes != 65 {
+		t.Errorf("traffic = %d bytes, want 65", tr.BusBytes)
+	}
+}
+
+func TestBankLatchHalvesReplicatedTraffic(t *testing.T) {
+	with := XeonE5()
+	without := XeonE5()
+	without.BankLatch = false
+	var trWith, trWithout Traffic
+	cWith := with.BusCycles(&trWith, 1024, true)
+	cWithout := without.BusCycles(&trWithout, 1024, true)
+	if cWithout != 2*cWith {
+		t.Errorf("latch off = %d cycles, want 2× latch on (%d)", cWithout, cWith)
+	}
+	if trWithout.BusBytes != 2*trWith.BusBytes {
+		t.Errorf("latch off traffic %d, want 2× %d", trWithout.BusBytes, trWith.BusBytes)
+	}
+}
+
+func TestRingBroadcast(t *testing.T) {
+	c := XeonE5()
+	var tr Traffic
+	got := c.RingBroadcastCycles(&tr, 3200)
+	// Serialization 3200/32 = 100 cycles + ceil(14/2)=7 hops.
+	if got != 107 {
+		t.Errorf("broadcast cycles = %d, want 107", got)
+	}
+	if tr.RingBytes != 3200*7 {
+		t.Errorf("ring traffic = %d, want %d", tr.RingBytes, 3200*7)
+	}
+}
+
+func TestRingTransferScalesWithHops(t *testing.T) {
+	c := XeonE5()
+	var tr Traffic
+	near := c.RingTransferCycles(&tr, 64, 1)
+	far := c.RingTransferCycles(&tr, 64, 7)
+	if far <= near {
+		t.Errorf("7-hop transfer (%d) not slower than 1-hop (%d)", far, near)
+	}
+	if got := c.RingTransferCycles(&tr, 0, 3); got != 0 {
+		t.Errorf("0-byte transfer cost %d", got)
+	}
+}
+
+func TestNeighborExchange(t *testing.T) {
+	c := XeonE5()
+	var tr Traffic
+	got := c.NeighborExchangeCycles(&tr, 64)
+	if got != 2+1 {
+		t.Errorf("neighbor exchange = %d cycles, want 3", got)
+	}
+	if tr.RingBytes != 64*14 {
+		t.Errorf("traffic = %d, want %d (all slices exchange)", tr.RingBytes, 64*14)
+	}
+}
+
+func TestTrafficAdd(t *testing.T) {
+	a := Traffic{BusBytes: 10, RingBytes: 20}
+	a.Add(Traffic{BusBytes: 1, RingBytes: 2})
+	if a.BusBytes != 11 || a.RingBytes != 22 {
+		t.Errorf("Add gave %+v", a)
+	}
+}

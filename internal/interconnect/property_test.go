@@ -1,0 +1,65 @@
+package interconnect
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPropertyBusCyclesMonotone(t *testing.T) {
+	c := XeonE5()
+	f := func(a, b uint16) bool {
+		var tr Traffic
+		x, y := int(a), int(b)
+		if x > y {
+			x, y = y, x
+		}
+		return c.BusCycles(&tr, x, false) <= c.BusCycles(&tr, y, false)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyRingCyclesCoverSerialization(t *testing.T) {
+	c := XeonE5()
+	f := func(b uint16) bool {
+		var tr Traffic
+		bytes := int(b) + 1
+		cycles := c.RingBroadcastCycles(&tr, bytes)
+		minCycles := uint64(bytes) / uint64(c.RingBytesPerCycle)
+		return cycles >= minCycles
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyTrafficConservation(t *testing.T) {
+	// Every byte passed to the fabric must appear in the traffic ledger
+	// at least once (energy accounting can never undercount wires).
+	c := XeonE5()
+	f := func(b uint16) bool {
+		bytes := int(b) + 1
+		var tr Traffic
+		c.BusCycles(&tr, bytes, false)
+		if tr.BusBytes < uint64(bytes) {
+			return false
+		}
+		var tr2 Traffic
+		c.RingTransferCycles(&tr2, bytes, 3)
+		return tr2.RingBytes == uint64(bytes)*3
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNegativeHopsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("negative hops accepted")
+		}
+	}()
+	var tr Traffic
+	XeonE5().RingTransferCycles(&tr, 10, -1)
+}

@@ -1,0 +1,102 @@
+package isa
+
+// Program builders: the broadcast instruction streams the bank FSMs
+// execute for one serial iteration of a mapped layer (§IV-F: "the
+// compute instructions are followed by move instructions for data
+// management... the intra-slice address bus is used to broadcast the
+// instructions to all banks"). The analytic engine prices phases with the
+// same ChargedCycles table, so ProgramCycles(ConvIterProgram(...)) equals
+// the engine's per-iteration MAC+reduce charge by construction — a
+// cross-check asserted in tests.
+
+// ConvIterLayout carries the row bases a convolution program needs (the
+// mapping package's Layout, decoupled to avoid an import cycle).
+type ConvIterLayout struct {
+	FilterRow  int
+	InputRow   int
+	ScratchRow int
+	PartialRow int
+	ReduceRow  int
+}
+
+// ConvIterProgram emits the instruction stream for one serial iteration
+// of a convolution: zero the accumulator, R'·S' multiply-accumulates, and
+// the log₂(lanes) channel-reduction steps.
+func ConvIterProgram(l ConvIterLayout, effFilter, lanesPerConv, actBits, accBits, reduceBits int) []Instruction {
+	prog := []Instruction{
+		{Op: OpZero, Dst: l.PartialRow, Width: reduceBits},
+		{Op: OpZero, Dst: l.ScratchRow, Width: accBits},
+	}
+	for j := 0; j < effFilter; j++ {
+		prog = append(prog, Instruction{
+			Op: OpMulAcc,
+			A:  l.FilterRow + actBits*j, B: l.InputRow + actBits*j,
+			Scratch: l.ScratchRow, Dst: l.PartialRow,
+			Width: actBits, AccWidth: accBits,
+		})
+	}
+	for stride := lanesPerConv / 2; stride >= 1; stride /= 2 {
+		prog = append(prog, Instruction{
+			Op: OpReduceStep,
+			A:  l.PartialRow, B: l.ReduceRow,
+			Width: reduceBits, Stride: stride,
+		})
+	}
+	return prog
+}
+
+// PoolIterProgram emits the stream for one pooling iteration: per window
+// element a predicated running max (or extend-and-add for average),
+// finishing averages with a divide.
+func PoolIterProgram(window, actBits int, avg bool, divideShift int) []Instruction {
+	var prog []Instruction
+	const (
+		inRow  = 0
+		accRow = 8
+		scrRow = 16
+	)
+	prog = append(prog, Instruction{Op: OpZero, Dst: accRow, Width: 2 * actBits})
+	for w := 0; w < window; w++ {
+		if avg {
+			prog = append(prog, Instruction{
+				Op: OpAddTrunc, A: accRow, B: inRow, Dst: accRow, Width: 2 * actBits,
+			})
+		} else {
+			prog = append(prog, Instruction{
+				Op: OpMax, A: accRow, B: inRow, Dst: accRow, Scratch: scrRow, Width: actBits,
+			})
+		}
+	}
+	if avg {
+		if divideShift >= 0 {
+			prog = append(prog, Instruction{Op: OpCopy, A: accRow + divideShift, Dst: scrRow, Width: actBits})
+		} else {
+			prog = append(prog, Instruction{
+				Op: OpDivide, A: accRow, B: inRow, Dst: scrRow, Scratch: scrRow + 4*actBits, Width: 2 * actBits,
+			})
+		}
+	}
+	return prog
+}
+
+// ProgramCycles sums the charged cost of a program — the wall-clock
+// cycles of one broadcast iteration, since all arrays run it in lockstep.
+func ProgramCycles(prog []Instruction) uint64 {
+	var total uint64
+	for _, in := range prog {
+		total += uint64(ChargedCycles(in))
+	}
+	return total
+}
+
+// Disassemble renders a program one instruction per line.
+func Disassemble(prog []Instruction) string {
+	out := ""
+	for i, in := range prog {
+		out += in.String()
+		if i < len(prog)-1 {
+			out += "\n"
+		}
+	}
+	return out
+}

@@ -1,0 +1,111 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+)
+
+func conv2bLayout() ConvIterLayout {
+	// Conv2D_2b's mapping: filter 9 B, input 9 B, scratch 3 B, partial
+	// 4 B, reduce 4 B (Figure 10).
+	return ConvIterLayout{
+		FilterRow:  0,
+		InputRow:   72,
+		ScratchRow: 144,
+		PartialRow: 168,
+		ReduceRow:  200,
+	}
+}
+
+// TestConvIterProgramMatchesCaseStudy: the broadcast program for one
+// Conv2D_2b_3x3 iteration must charge exactly the paper's §VI-A cycles:
+// 9 MACs × 236 + 5 reduction steps × 132 = 2784, plus the accumulator
+// zeroing the paper folds elsewhere.
+func TestConvIterProgramMatchesCaseStudy(t *testing.T) {
+	prog := ConvIterProgram(conv2bLayout(), 9, 32, 8, 24, 32)
+	cycles := ProgramCycles(prog)
+	const zeroing = 32 + 24 // partial + scratch clears
+	want := uint64(9*236 + 5*132 + zeroing)
+	if cycles != want {
+		t.Errorf("program charges %d cycles, want %d", cycles, want)
+	}
+	if cycles-zeroing != 2784 {
+		t.Errorf("MAC+reduce = %d, paper's §VI-A says 2784", cycles-zeroing)
+	}
+	// Structure: 2 zeros, 9 MACs, 5 reduce steps.
+	var zeros, macs, reduces int
+	for _, in := range prog {
+		switch in.Op {
+		case OpZero:
+			zeros++
+		case OpMulAcc:
+			macs++
+		case OpReduceStep:
+			reduces++
+		}
+	}
+	if zeros != 2 || macs != 9 || reduces != 5 {
+		t.Errorf("program shape: %d zeros, %d MACs, %d reduces", zeros, macs, reduces)
+	}
+	// Reduction strides descend 16, 8, 4, 2, 1.
+	wantStride := 16
+	for _, in := range prog {
+		if in.Op == OpReduceStep {
+			if in.Stride != wantStride {
+				t.Errorf("reduce stride %d, want %d", in.Stride, wantStride)
+			}
+			wantStride /= 2
+		}
+	}
+}
+
+func TestConvIterProgramSingleLane(t *testing.T) {
+	// lanesPerConv = 1 needs no reduction steps.
+	prog := ConvIterProgram(conv2bLayout(), 16, 1, 8, 24, 32)
+	for _, in := range prog {
+		if in.Op == OpReduceStep {
+			t.Fatal("single-lane conv emitted a reduce step")
+		}
+	}
+}
+
+func TestPoolIterPrograms(t *testing.T) {
+	maxProg := PoolIterProgram(9, 8, false, -1)
+	var maxes int
+	for _, in := range maxProg {
+		if in.Op == OpMax {
+			maxes++
+		}
+	}
+	if maxes != 9 {
+		t.Errorf("max pool program has %d Max ops, want 9", maxes)
+	}
+
+	avgShift := PoolIterProgram(64, 8, true, 6)
+	last := avgShift[len(avgShift)-1]
+	if last.Op != OpCopy {
+		t.Errorf("power-of-two average should end in a shift copy, got %v", last.Op)
+	}
+
+	avgDiv := PoolIterProgram(9, 8, true, -1)
+	last = avgDiv[len(avgDiv)-1]
+	if last.Op != OpDivide {
+		t.Errorf("9-element average should end in a divide, got %v", last.Op)
+	}
+	// The divide must be charged the paper's 1.5n²+5.5n at 16-bit width.
+	if got := ChargedCycles(last); got != 472 {
+		t.Errorf("16-bit divide charged %d, want 472", got)
+	}
+}
+
+func TestDisassembleProgram(t *testing.T) {
+	prog := ConvIterProgram(conv2bLayout(), 2, 4, 8, 24, 32)
+	asm := Disassemble(prog)
+	lines := strings.Split(asm, "\n")
+	if len(lines) != len(prog) {
+		t.Fatalf("%d disassembly lines for %d instructions", len(lines), len(prog))
+	}
+	if !strings.Contains(asm, "mac") || !strings.Contains(asm, "redstep") {
+		t.Errorf("disassembly missing mnemonics:\n%s", asm)
+	}
+}

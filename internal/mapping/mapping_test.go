@@ -1,0 +1,246 @@
+package mapping
+
+import (
+	"math"
+	"testing"
+
+	"neuralcache/internal/nn"
+	"neuralcache/internal/sram"
+)
+
+func placedByName(t *testing.T, net *nn.Network, name string) nn.Placed {
+	t.Helper()
+	for _, p := range net.Flatten() {
+		if p.Layer.Name() == name {
+			return p
+		}
+	}
+	t.Fatalf("layer %q not found", name)
+	return nn.Placed{}
+}
+
+// TestConv2bCaseStudy reproduces the paper's §VI-A case study numbers for
+// Conv2D_2b_3x3: ≈1.4M convolutions, ≈32 thousand in parallel, 43 in
+// series, 99.7% utilization.
+func TestConv2bCaseStudy(t *testing.T) {
+	net := nn.InceptionV3()
+	plan, err := PlanConv(Defaults(), placedByName(t, net, "Conv2D_2b_3x3"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.TotalConvs != 1382976 {
+		t.Errorf("total convs = %d, want 1382976", plan.TotalConvs)
+	}
+	if plan.LanesPerConv != 32 {
+		t.Errorf("lanes per conv = %d, want 32 (C=32 channels)", plan.LanesPerConv)
+	}
+	if plan.ConvsPerPair != 16 {
+		t.Errorf("convs per array pair = %d, want 16", plan.ConvsPerPair)
+	}
+	if plan.ParallelConvs != 32256 {
+		t.Errorf("parallel convs = %d, want 32256 (≈32 thousand)", plan.ParallelConvs)
+	}
+	if plan.SerialIters != 43 {
+		t.Errorf("serial iterations = %d, want 43", plan.SerialIters)
+	}
+	if math.Abs(plan.Utilization-0.997) > 0.001 {
+		t.Errorf("utilization = %.4f, want ≈0.997", plan.Utilization)
+	}
+	if plan.MACsPerIter() != 9 {
+		t.Errorf("MACs per iteration = %d, want 9 (3×3 filter)", plan.MACsPerIter())
+	}
+	if plan.ReduceSteps != 5 {
+		t.Errorf("reduce steps = %d, want 5 (log2 32)", plan.ReduceSteps)
+	}
+}
+
+func TestFilterSplitting5x5(t *testing.T) {
+	// Mixed_5b's 5×5 filter (25 bytes > 9) must split into 3 segments of
+	// ≤9 bytes, tripling the effective channels: C=48 → 144 → 256 lanes.
+	net := nn.InceptionV3()
+	var fiveByFive nn.Placed
+	for _, p := range net.Flatten() {
+		if c := p.Conv(); c != nil && c.R == 5 && p.Layer.Group() == "Mixed_5b" {
+			fiveByFive = p
+			break
+		}
+	}
+	if fiveByFive.Layer == nil {
+		t.Fatal("no 5x5 conv found in Mixed_5b")
+	}
+	plan, err := PlanConv(Defaults(), fiveByFive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.SplitFactor != 3 {
+		t.Errorf("split factor = %d, want 3", plan.SplitFactor)
+	}
+	if plan.EffFilter != 9 {
+		t.Errorf("effective filter = %d bytes, want 9", plan.EffFilter)
+	}
+	if plan.EffChannels != 144 {
+		t.Errorf("effective channels = %d, want 144 (48×3)", plan.EffChannels)
+	}
+	if plan.LanesPerConv != 256 {
+		t.Errorf("lanes per conv = %d, want 256", plan.LanesPerConv)
+	}
+}
+
+func TestFilterPacking1x1(t *testing.T) {
+	// FullyConnected: 1×1×2048 filters pack 16 channels per bit line →
+	// 128 lanes per conv, inputs streamed.
+	net := nn.InceptionV3()
+	plan, err := PlanConv(Defaults(), placedByName(t, net, "FullyConnected"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.PackFactor != 16 {
+		t.Errorf("pack factor = %d, want 16", plan.PackFactor)
+	}
+	if plan.EffChannels != 128 || plan.LanesPerConv != 128 {
+		t.Errorf("effective channels = %d/%d lanes, want 128/128",
+			plan.EffChannels, plan.LanesPerConv)
+	}
+	if !plan.InputStreamed {
+		t.Error("packed 1×1 layer should stream inputs")
+	}
+	if plan.Layout.InputBytes != 1 {
+		t.Errorf("resident input bytes = %d, want 1", plan.Layout.InputBytes)
+	}
+	// Packing guarantees the channels of any layer fit an array pair.
+	if plan.LanesPerConv > 512 {
+		t.Error("packed channels exceed an array pair")
+	}
+}
+
+func TestPackingDisabledAblation(t *testing.T) {
+	p := Defaults()
+	p.PackingEnabled = false
+	net := nn.InceptionV3()
+	plan, err := PlanConv(p, placedByName(t, net, "Conv2D_3b_1x1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.PackFactor != 1 {
+		t.Errorf("pack factor = %d with packing disabled", plan.PackFactor)
+	}
+	if plan.LanesPerConv != 64 {
+		t.Errorf("lanes per conv = %d, want 64 (C=64 unpacked)", plan.LanesPerConv)
+	}
+	packed, err := PlanConv(Defaults(), placedByName(t, net, "Conv2D_3b_1x1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Packing shrinks lanes per conv and therefore the reduction depth.
+	if packed.ReduceSteps >= plan.ReduceSteps {
+		t.Errorf("packing did not reduce reduction depth: %d vs %d",
+			packed.ReduceSteps, plan.ReduceSteps)
+	}
+}
+
+func TestEveryInceptionConvMaps(t *testing.T) {
+	net := nn.InceptionV3()
+	for _, placed := range net.Flatten() {
+		c := placed.Conv()
+		if c == nil {
+			continue
+		}
+		plan, err := PlanConv(Defaults(), placed)
+		if err != nil {
+			t.Errorf("%s: %v", c.LayerName, err)
+			continue
+		}
+		if plan.Layout.Rows() > sram.WordLines {
+			t.Errorf("%s: layout uses %d rows", c.LayerName, plan.Layout.Rows())
+		}
+		if plan.LanesPerConv > 512 {
+			t.Errorf("%s: %d lanes per conv exceeds array pair", c.LayerName, plan.LanesPerConv)
+		}
+		if plan.SerialIters < 1 || plan.Utilization <= 0 || plan.Utilization > 1 {
+			t.Errorf("%s: serial=%d utilization=%f", c.LayerName, plan.SerialIters, plan.Utilization)
+		}
+		if plan.EffFilter > 16 {
+			t.Errorf("%s: effective filter %d bytes", c.LayerName, plan.EffFilter)
+		}
+	}
+}
+
+func TestLayoutRowBases(t *testing.T) {
+	l := Layout{FilterBytes: 9, InputBytes: 9, ScratchBytes: 3, PartialBytes: 4, ReduceBytes: 4, OutputBytes: 3}
+	if l.Rows() != 8*32 {
+		t.Errorf("Rows = %d, want 256", l.Rows())
+	}
+	if l.FilterRow() != 0 || l.InputRow() != 72 || l.ScratchRow() != 144 ||
+		l.PartialRow() != 168 || l.ReduceRow() != 200 || l.OutputRow() != 232 {
+		t.Errorf("row bases: %d %d %d %d %d %d", l.FilterRow(), l.InputRow(),
+			l.ScratchRow(), l.PartialRow(), l.ReduceRow(), l.OutputRow())
+	}
+}
+
+func TestPoolPlans(t *testing.T) {
+	net := nn.InceptionV3()
+	pool, err := PlanPool(Defaults(), placedByName(t, net, "MaxPool_3a_3x3"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pool.Window != 9 || pool.Kind != nn.MaxPool {
+		t.Errorf("window=%d kind=%v", pool.Window, pool.Kind)
+	}
+	if pool.TotalOuts != 73*73*64 {
+		t.Errorf("outs = %d", pool.TotalOuts)
+	}
+	if pool.SerialIters != 1 {
+		t.Errorf("serial = %d, want 1 (341k outs < 1M lanes)", pool.SerialIters)
+	}
+
+	avg, err := PlanPool(Defaults(), placedByName(t, net, "AvgPool"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if avg.DivideShift != 6 {
+		t.Errorf("8×8 avg pool divide shift = %d, want 6", avg.DivideShift)
+	}
+	// The 3×3 average pools inside modules need the true divider (§IV-D:
+	// "the divisor is only 4 bits").
+	for _, p := range net.Flatten() {
+		if pl := p.Pooling(); pl != nil && pl.Kind == nn.AvgPool && pl.R == 3 {
+			plan, err := PlanPool(Defaults(), p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if plan.DivideShift != -1 {
+				t.Errorf("%s: 9-element window should need a divide", pl.LayerName)
+			}
+			break
+		}
+	}
+}
+
+func TestPlanRejectsWrongKinds(t *testing.T) {
+	net := nn.InceptionV3()
+	if _, err := PlanConv(Defaults(), placedByName(t, net, "MaxPool_3a_3x3")); err == nil {
+		t.Error("PlanConv accepted a pool")
+	}
+	if _, err := PlanPool(Defaults(), placedByName(t, net, "Conv2D_1a_3x3")); err == nil {
+		t.Error("PlanPool accepted a conv")
+	}
+}
+
+func TestSmallOccupancy(t *testing.T) {
+	// The tiny FC layer (1001 convolutions) cannot fill the cache: one
+	// serial iteration at partial occupancy.
+	net := nn.InceptionV3()
+	plan, err := PlanConv(Defaults(), placedByName(t, net, "FullyConnected"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.SerialIters != 1 {
+		t.Errorf("serial = %d, want 1", plan.SerialIters)
+	}
+	if plan.ParallelConvs != 1001 {
+		t.Errorf("parallel = %d, want 1001 (partial occupancy)", plan.ParallelConvs)
+	}
+	if plan.Utilization >= 0.5 {
+		t.Errorf("utilization = %f, expected low for 1001 convs", plan.Utilization)
+	}
+}

@@ -1,0 +1,137 @@
+package mapping
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"neuralcache/internal/nn"
+	"neuralcache/internal/sram"
+	"neuralcache/internal/tensor"
+)
+
+// convCase is a random but realizable convolution geometry.
+type convCase struct {
+	R, S, Cin, Cout, H, Stride int
+}
+
+func (convCase) Generate(r *rand.Rand, _ int) reflect.Value {
+	kernels := [][2]int{{1, 1}, {3, 3}, {5, 5}, {1, 7}, {7, 1}, {3, 1}, {1, 3}, {4, 4}, {2, 5}}
+	k := kernels[r.Intn(len(kernels))]
+	c := convCase{
+		R: k[0], S: k[1],
+		Cin:    1 << r.Intn(9), // 1..256
+		Cout:   1 + r.Intn(512),
+		H:      8 + r.Intn(64),
+		Stride: 1 + r.Intn(2),
+	}
+	return reflect.ValueOf(c)
+}
+
+// TestPropertyMappingInvariants: for any realizable convolution, the plan
+// must satisfy the §IV-A structural guarantees.
+func TestPropertyMappingInvariants(t *testing.T) {
+	f := func(c convCase) bool {
+		conv := &nn.Conv2D{
+			LayerName: "p", LayerGroup: "p",
+			R: c.R, S: c.S, Cin: c.Cin, Cout: c.Cout, Stride: c.Stride,
+			PadH: (c.R - 1) / 2, PadW: (c.S - 1) / 2,
+		}
+		in := tensor.Shape{H: c.H, W: c.H, C: c.Cin}
+		placed := nn.Placed{Layer: conv, In: in, Out: conv.OutShape(in)}
+		plan, err := PlanConv(Defaults(), placed)
+		if err != nil {
+			// Only channel overflow may fail, and only without packing's
+			// help (Cin·split > 512): verify the reason is genuine.
+			return c.Cin*((c.R*c.S+8)/9) > 512 && c.R*c.S > 1
+		}
+		// Row budget must fit the array.
+		if plan.Layout.Rows() > sram.WordLines {
+			return false
+		}
+		// Lanes per conv must be a power of two within an array pair.
+		l := plan.LanesPerConv
+		if l <= 0 || l > 512 || l&(l-1) != 0 {
+			return false
+		}
+		// The filter segment must respect the split threshold (or the
+		// packing limit for 1×1).
+		if c.R*c.S == 1 {
+			if plan.EffFilter > 16 {
+				return false
+			}
+		} else if plan.EffFilter > 9 {
+			return false
+		}
+		// Utilization and serialization are consistent.
+		if plan.Utilization <= 0 || plan.Utilization > 1.0000001 {
+			return false
+		}
+		if plan.SerialIters*plan.ParallelConvs < plan.TotalConvs {
+			return false
+		}
+		// Split segments cover the whole window.
+		if plan.SplitFactor*plan.EffFilter < c.R*c.S {
+			return false
+		}
+		// Packed channels cover all input channels.
+		if plan.PackFactor > 1 && plan.PackFactor*plan.EffChannels < c.Cin {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyMoreSlicesNeverSlower: parallel capacity is monotone in the
+// cache size, so serialization can only improve.
+func TestPropertyMoreSlicesNeverSlower(t *testing.T) {
+	net := nn.InceptionV3()
+	f := func(extra uint8) bool {
+		small := Defaults()
+		big := Defaults()
+		big.Geometry = big.Geometry.WithSlices(14 + int(extra%16) + 1)
+		for _, placed := range net.Flatten() {
+			if placed.Conv() == nil {
+				continue
+			}
+			ps, err1 := PlanConv(small, placed)
+			pb, err2 := PlanConv(big, placed)
+			if err1 != nil || err2 != nil {
+				return false
+			}
+			if pb.SerialIters > ps.SerialIters {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLayoutRowsAccounting(t *testing.T) {
+	f := func(fb, ib uint8) bool {
+		l := Layout{
+			FilterBytes: int(fb%16) + 1, InputBytes: int(ib%16) + 1,
+			ScratchBytes: 3, PartialBytes: 4, ReduceBytes: 4, OutputBytes: 1,
+		}
+		// Row bases must tile exactly: each region starts where the
+		// previous ends.
+		ok := l.FilterRow() == 0 &&
+			l.InputRow() == l.FilterRow()+8*l.FilterBytes &&
+			l.ScratchRow() == l.InputRow()+8*l.InputBytes &&
+			l.PartialRow() == l.ScratchRow()+8*l.ScratchBytes &&
+			l.ReduceRow() == l.PartialRow()+8*l.PartialBytes &&
+			l.OutputRow() == l.ReduceRow()+8*l.ReduceBytes &&
+			l.Rows() == l.OutputRow()+8*l.OutputBytes
+		return ok
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

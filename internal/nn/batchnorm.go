@@ -1,0 +1,125 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"neuralcache/internal/tensor"
+)
+
+// BatchNorm is the explicit §IV-D batch-normalization path: "Batch
+// Normalization requires first quantizing to 32 bit unsigned. This is
+// accomplished by multiplying all values by a scalar from the CPU and
+// performing a shift. Afterwards scalar integers are added to each output
+// in the corresponding output channel. Afterwards, the data is
+// re-quantized." That is: one layer-wide fixed-point scale (Gamma), one
+// per-channel integer offset (Beta at the input scale), an optional ReLU,
+// and the standard min/max requantization.
+//
+// (Inception's per-conv batch norms are *folded* into the convolution
+// biases, as TensorFlow does; this layer exists for networks that keep BN
+// standalone and to exercise the §IV-D arithmetic end to end.)
+type BatchNorm struct {
+	LayerName  string
+	LayerGroup string
+	Channels   int
+	Gamma      float32   // layer-wide positive scale
+	Beta       []float32 // per-channel offset, real units
+	ReLU       bool
+}
+
+// Name implements Layer.
+func (b *BatchNorm) Name() string { return b.LayerName }
+
+// Group implements Layer.
+func (b *BatchNorm) Group() string { return b.LayerGroup }
+
+// OutShape implements Layer.
+func (b *BatchNorm) OutShape(in tensor.Shape) tensor.Shape {
+	if in.C != b.Channels {
+		panic(fmt.Sprintf("nn: %s expects %d channels, got %v", b.LayerName, b.Channels, in))
+	}
+	return in
+}
+
+// BatchNormAccumulators computes the 32-bit intermediate values of the
+// §IV-D sequence on a quantized input: y = (q·Mult + rnd) >> Shift +
+// beta32[c], in (h, w, c) order. Shared by the reference executor and the
+// in-cache engine.
+func BatchNormAccumulators(b *BatchNorm, x *tensor.Quant, gamma tensor.Requant, beta32 []int32) []int64 {
+	accs := make([]int64, x.Shape.Elems())
+	for i, q := range x.Data {
+		y := gamma.Apply32(int64(q)) + int64(beta32[i%x.Shape.C])
+		accs[i] = y
+	}
+	return accs
+}
+
+// BatchNormScalars derives the CPU-side integers for a batch-norm layer
+// on an input scale: the fixed-point Gamma multiplier and the per-channel
+// offsets quantized to the input scale.
+func BatchNormScalars(b *BatchNorm, inScale float64) (tensor.Requant, []int32) {
+	if b.Gamma <= 0 {
+		panic(fmt.Sprintf("nn: %s has non-positive gamma %f", b.LayerName, b.Gamma))
+	}
+	gamma := tensor.ChooseRequant(float64(b.Gamma))
+	beta32 := make([]int32, b.Channels)
+	for c := range beta32 {
+		if b.Beta != nil {
+			beta32[c] = int32(math.Round(float64(b.Beta[c]) / inScale))
+		}
+	}
+	return gamma, beta32
+}
+
+// FinishBatchNorm applies ReLU, min/max and requantization to the 32-bit
+// intermediates, recording the decision. Shared by reference and engine.
+func FinishBatchNorm(b *BatchNorm, shape tensor.Shape, inScale float64, beta32 []int32, accs []int64, tr *Trace) *tensor.Quant {
+	if b.ReLU {
+		for i, a := range accs {
+			if a < 0 {
+				accs[i] = 0
+			}
+		}
+	}
+	var maxAcc int64
+	for _, a := range accs {
+		if a > maxAcc {
+			maxAcc = a
+		}
+	}
+	rq, outScale := tensor.RequantForLayer(inScale, maxAcc)
+	out := tensor.NewQuant(shape, outScale)
+	for i, a := range accs {
+		out.Data[i] = rq.Apply(a)
+	}
+	tr.Convs = append(tr.Convs, &ConvDecision{
+		Name: b.LayerName, AccScale: inScale, Bias: beta32,
+		MaxAcc: maxAcc, Requant: rq, OutScale: outScale,
+	})
+	return out
+}
+
+func runBatchNorm(b *BatchNorm, x *tensor.Quant, tr *Trace) (*tensor.Quant, error) {
+	gamma, beta32 := BatchNormScalars(b, x.Scale)
+	accs := BatchNormAccumulators(b, x, gamma, beta32)
+	return FinishBatchNorm(b, x.Shape, x.Scale, beta32, accs, tr), nil
+}
+
+// BNNet is a verification network with a standalone batch-norm layer
+// between its convolutions.
+func BNNet() *Network {
+	return &Network{
+		Name:  "bn_net",
+		Input: tensor.Shape{H: 10, W: 10, C: 3},
+		Layers: []Layer{
+			&Conv2D{LayerName: "conv1", LayerGroup: "conv1", R: 3, S: 3, Cin: 3, Cout: 8,
+				Stride: 1, PadH: 1, PadW: 1, ReLU: false},
+			&BatchNorm{LayerName: "bn1", LayerGroup: "bn1", Channels: 8,
+				Gamma: 0.75, Beta: []float32{0.1, -0.05, 0.2, 0, -0.1, 0.3, 0.05, -0.2}, ReLU: true},
+			&Pool{LayerName: "pool", LayerGroup: "pool", Kind: MaxPool, R: 2, S: 2, Stride: 2},
+			&Conv2D{LayerName: "logits", LayerGroup: "logits", R: 1, S: 1, Cin: 8, Cout: 4,
+				Stride: 1, IsLogits: true},
+		},
+	}
+}

@@ -1,0 +1,165 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"neuralcache/internal/tensor"
+)
+
+func TestBatchNormScalars(t *testing.T) {
+	b := &BatchNorm{LayerName: "bn", Channels: 4, Gamma: 0.5,
+		Beta: []float32{1, -1, 0, 0.25}}
+	gamma, beta32 := BatchNormScalars(b, 0.01)
+	// Gamma as fixed point ≈ 0.5.
+	got := float64(gamma.Mult) / math.Ldexp(1, int(gamma.Shift))
+	if math.Abs(got-0.5) > 1e-4 {
+		t.Errorf("gamma fixed point = %f, want 0.5", got)
+	}
+	want := []int32{100, -100, 0, 25}
+	for i, w := range want {
+		if beta32[i] != w {
+			t.Errorf("beta32[%d] = %d, want %d", i, beta32[i], w)
+		}
+	}
+}
+
+func TestBatchNormScalarsPanicsOnBadGamma(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("gamma 0 accepted")
+		}
+	}()
+	BatchNormScalars(&BatchNorm{LayerName: "bn", Channels: 1, Gamma: 0}, 1)
+}
+
+func TestBatchNormAccumulatorsHandComputed(t *testing.T) {
+	b := &BatchNorm{LayerName: "bn", Channels: 2, Gamma: 0.5,
+		Beta: []float32{0, 0}, ReLU: false}
+	x := tensor.NewQuant(tensor.Shape{H: 1, W: 1, C: 2}, 1)
+	x.Set(0, 0, 0, 100)
+	x.Set(0, 0, 1, 7)
+	gamma, beta32 := BatchNormScalars(b, x.Scale)
+	accs := BatchNormAccumulators(b, x, gamma, beta32)
+	if accs[0] != 50 {
+		t.Errorf("0.5×100 = %d, want 50", accs[0])
+	}
+	// 0.5×7 = 3.5 rounds half up to 4.
+	if accs[1] != 4 {
+		t.Errorf("0.5×7 = %d, want 4 (round half up)", accs[1])
+	}
+}
+
+func TestBatchNormReLUAndNegativeBeta(t *testing.T) {
+	b := &BatchNorm{LayerName: "bn", Channels: 1, Gamma: 1,
+		Beta: []float32{-200}, ReLU: true}
+	x := tensor.NewQuant(tensor.Shape{H: 1, W: 1, C: 1}, 1)
+	x.Set(0, 0, 0, 50) // 50 − 200 = −150 → ReLU → 0
+	var tr Trace
+	out, err := runBatchNorm(b, x, &tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Data[0] != 0 {
+		t.Errorf("ReLU output = %d, want 0", out.Data[0])
+	}
+}
+
+func TestBatchNormShapeGuard(t *testing.T) {
+	b := &BatchNorm{LayerName: "bn", Channels: 8, Gamma: 1}
+	defer func() {
+		if recover() == nil {
+			t.Error("channel mismatch accepted")
+		}
+	}()
+	b.OutShape(tensor.Shape{H: 2, W: 2, C: 4})
+}
+
+func TestBNNetEndToEnd(t *testing.T) {
+	net := BNNet()
+	if err := net.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	net.InitWeights(1)
+	q := tensor.NewQuant(net.Input, 1.0/255)
+	r := rand.New(rand.NewSource(2))
+	for i := range q.Data {
+		q.Data[i] = uint8(r.Intn(256))
+	}
+	out, tr, err := RunQuant(net, q, QuantOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Shape.C != 4 {
+		t.Errorf("output shape %v", out.Shape)
+	}
+	if tr.Decision("bn1") == nil {
+		t.Error("no bn1 decision recorded")
+	}
+	// Float executor must accept the BN layer too.
+	fOut, err := RunFloat(net, q.Dequantize())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fOut.Data) != out.Shape.Elems() {
+		t.Error("float output shape mismatch")
+	}
+}
+
+func TestBatchNormQuantTracksFloat(t *testing.T) {
+	// The quantized BN path must approximate the float affine transform.
+	b := &BatchNorm{LayerName: "bn", Channels: 3, Gamma: 1.5,
+		Beta: []float32{0.2, -0.1, 0}, ReLU: true}
+	x := tensor.NewQuant(tensor.Shape{H: 4, W: 4, C: 3}, 0.01)
+	r := rand.New(rand.NewSource(8))
+	for i := range x.Data {
+		x.Data[i] = uint8(r.Intn(256))
+	}
+	var tr Trace
+	qOut, err := runBatchNorm(b, x, &tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fOut := batchNormFloat(b, x.Dequantize())
+	for i := range fOut.Data {
+		got := qOut.Scale * float64(qOut.Data[i])
+		want := float64(fOut.Data[i])
+		if math.Abs(got-want) > qOut.Scale+0.02 {
+			t.Fatalf("element %d: quant %f, float %f", i, got, want)
+		}
+	}
+}
+
+func TestInitWeightsDeterministic(t *testing.T) {
+	a := SmallCNN()
+	b := SmallCNN()
+	a.InitWeights(123)
+	b.InitWeights(123)
+	for i, pa := range a.Convs() {
+		fa := pa.Conv().Filter
+		fb := b.Convs()[i].Conv().Filter
+		if fa.Scale != fb.Scale || fa.Zero != fb.Zero {
+			t.Fatalf("conv %d: quant params differ", i)
+		}
+		for j := range fa.Data {
+			if fa.Data[j] != fb.Data[j] {
+				t.Fatalf("conv %d weight %d differs", i, j)
+			}
+		}
+	}
+	c := SmallCNN()
+	c.InitWeights(124)
+	same := true
+	for i, pa := range a.Convs() {
+		fc := c.Convs()[i].Conv().Filter
+		for j := range pa.Conv().Filter.Data {
+			if pa.Conv().Filter.Data[j] != fc.Data[j] {
+				same = false
+			}
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical weights")
+	}
+}

@@ -1,0 +1,242 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"neuralcache/internal/tensor"
+)
+
+func randInput(s tensor.Shape, seed int64) *tensor.Quant {
+	q := tensor.NewQuant(s, 1.0/255)
+	r := rand.New(rand.NewSource(seed))
+	for i := range q.Data {
+		q.Data[i] = uint8(r.Intn(256))
+	}
+	return q
+}
+
+func TestConvAccumulatorsHandComputed(t *testing.T) {
+	// 1×1 input, 1×1 kernel, 2 in channels, 1 out channel: acc must be
+	// q0·w0 + q1·w1 − zero·(q0+q1) + bias.
+	c := &Conv2D{LayerName: "c", LayerGroup: "c", R: 1, S: 1, Cin: 2, Cout: 1, Stride: 1}
+	c.Filter = tensor.NewFilter(1, 1, 2, 1)
+	c.Filter.Scale, c.Filter.Zero = 1, 10
+	c.Filter.Set(0, 0, 0, 0, 14) // w0 = +4 real
+	c.Filter.Set(0, 0, 0, 1, 7)  // w1 = −3 real
+	x := tensor.NewQuant(tensor.Shape{H: 1, W: 1, C: 2}, 1)
+	x.Set(0, 0, 0, 5)
+	x.Set(0, 0, 1, 3)
+	accs := ConvAccumulators(c, x, []int32{100})
+	want := int64(5*14+3*7) - 10*(5+3) + 100 // = 91 − 80 + 100 = 111
+	if accs[0] != want {
+		t.Fatalf("acc = %d, want %d", accs[0], want)
+	}
+	// The correction makes the integer algebra equal the real dot product:
+	// 5·4 + 3·(−3) + 100 = 111 at scale 1.
+	if real := 5*4 + 3*(-3) + 100; int64(real) != want {
+		t.Fatalf("real dot product %d disagrees with acc %d", real, want)
+	}
+}
+
+func TestConvReLUClampsNegative(t *testing.T) {
+	c := &Conv2D{LayerName: "c", LayerGroup: "c", R: 1, S: 1, Cin: 1, Cout: 1, Stride: 1, ReLU: true}
+	c.Filter = tensor.NewFilter(1, 1, 1, 1)
+	c.Filter.Scale, c.Filter.Zero = 1, 200 // weight 0 means −200 real
+	x := tensor.NewQuant(tensor.Shape{H: 1, W: 1, C: 1}, 1)
+	x.Set(0, 0, 0, 3)
+	accs := ConvAccumulators(c, x, nil)
+	if accs[0] != -600 { // raw: 3·0 − 200·3, ReLU applies in FinishConv
+		t.Fatalf("raw acc = %d, want -600", accs[0])
+	}
+	var tr Trace
+	out := FinishConv(c, c.OutShape(x.Shape), 1, nil, accs, &tr)
+	if out.Data[0] != 0 {
+		t.Fatalf("ReLU output = %d, want 0", out.Data[0])
+	}
+}
+
+func TestPoolOutputHandComputed(t *testing.T) {
+	x := tensor.NewQuant(tensor.Shape{H: 2, W: 2, C: 1}, 1)
+	x.Set(0, 0, 0, 10)
+	x.Set(0, 1, 0, 20)
+	x.Set(1, 0, 0, 30)
+	x.Set(1, 1, 0, 41)
+	maxP := &Pool{LayerName: "m", Kind: MaxPool, R: 2, S: 2, Stride: 2}
+	if got := PoolOutput(maxP, x).At(0, 0, 0); got != 41 {
+		t.Errorf("max pool = %d, want 41", got)
+	}
+	avgP := &Pool{LayerName: "a", Kind: AvgPool, R: 2, S: 2, Stride: 2}
+	if got := PoolOutput(avgP, x).At(0, 0, 0); got != 25 { // floor(101/4)
+		t.Errorf("avg pool = %d, want 25", got)
+	}
+}
+
+func TestAvgPoolPaddingCountsFullWindow(t *testing.T) {
+	// With SAME padding the corner window has 4 valid pixels of a 3×3
+	// window; division stays by 9 (the constant in-cache divisor §IV-D).
+	x := tensor.NewQuant(tensor.Shape{H: 3, W: 3, C: 1}, 1)
+	for h := 0; h < 3; h++ {
+		for w := 0; w < 3; w++ {
+			x.Set(h, w, 0, 90)
+		}
+	}
+	p := &Pool{LayerName: "a", Kind: AvgPool, R: 3, S: 3, Stride: 1, PadH: 1, PadW: 1}
+	out := PoolOutput(p, x)
+	if got := out.At(0, 0, 0); got != 40 { // floor(4·90/9)
+		t.Errorf("corner avg = %d, want 40", got)
+	}
+	if got := out.At(1, 1, 0); got != 90 {
+		t.Errorf("center avg = %d, want 90", got)
+	}
+}
+
+func TestSmallCNNQuantDeterministic(t *testing.T) {
+	n := SmallCNN()
+	n.InitWeights(7)
+	in := randInput(n.Input, 42)
+	out1, tr1, err := RunQuant(n, in, QuantOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out2, tr2, err := RunQuant(n, in, QuantOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out1.Data) != len(out2.Data) {
+		t.Fatal("shape mismatch")
+	}
+	for i := range out1.Data {
+		if out1.Data[i] != out2.Data[i] {
+			t.Fatalf("non-deterministic output at %d", i)
+		}
+	}
+	if len(tr1.Logits) != 10 || len(tr2.Logits) != 10 {
+		t.Fatalf("logits len %d/%d, want 10", len(tr1.Logits), len(tr2.Logits))
+	}
+	for i := range tr1.Logits {
+		if tr1.Logits[i] != tr2.Logits[i] {
+			t.Fatal("non-deterministic logits")
+		}
+	}
+	// Each conv must have a recorded decision with a sane multiplier.
+	if len(tr1.Convs) != 4 {
+		t.Fatalf("recorded %d conv decisions, want 4", len(tr1.Convs))
+	}
+	for _, d := range tr1.Convs {
+		if d.Requant.Mult == 0 || d.Requant.Mult >= 1<<tensor.MultiplierBits {
+			t.Errorf("%s: multiplier %d out of range", d.Name, d.Requant.Mult)
+		}
+		if d.OutScale <= 0 {
+			t.Errorf("%s: out scale %f", d.Name, d.OutScale)
+		}
+	}
+}
+
+func TestQuantMatchesFloatApproximately(t *testing.T) {
+	n := SmallCNN()
+	n.InitWeights(3)
+	in := randInput(n.Input, 99)
+	qOut, tr, err := RunQuant(n, in, QuantOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fOut, err := RunFloat(n, in.Dequantize())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Compare logits direction: the quantized logits (at accScale) must
+	// correlate strongly with the float logits.
+	d := tr.Decision("logits")
+	if d == nil {
+		t.Fatal("no decision for logits layer")
+	}
+	var dot, nq, nf float64
+	for i, l := range tr.Logits {
+		qv := float64(l) * d.AccScale
+		fv := float64(fOut.Data[i])
+		dot += qv * fv
+		nq += qv * qv
+		nf += fv * fv
+	}
+	if nq == 0 || nf == 0 {
+		t.Fatal("degenerate logits")
+	}
+	if cos := dot / math.Sqrt(nq*nf); cos < 0.98 {
+		t.Errorf("quant/float logit cosine similarity %.4f, want ≥0.98", cos)
+	}
+	_ = qOut
+}
+
+func TestBranchyCNNConcatRescale(t *testing.T) {
+	n := BranchyCNN()
+	n.InitWeights(11)
+	in := randInput(n.Input, 5)
+	out, tr, err := RunQuant(n, in, QuantOptions{CaptureActivations: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := out.Shape; got.C != 6 {
+		t.Fatalf("output shape %v, want C=6", got)
+	}
+	// The four branches almost surely end with distinct scales, so at
+	// least one rescale decision must be recorded, each with ratio ≤ 1
+	// (multiplier/2^shift ≤ 1).
+	if len(tr.Rescales) == 0 {
+		t.Fatal("no concat rescales recorded")
+	}
+	for _, rs := range tr.Rescales {
+		ratio := float64(rs.Requant.Mult) / math.Ldexp(1, int(rs.Requant.Shift))
+		if ratio > 1.0001 {
+			t.Errorf("branch %d rescale ratio %f > 1", rs.Branch, ratio)
+		}
+	}
+	if len(tr.Activations) == 0 {
+		t.Error("activation capture empty")
+	}
+}
+
+func TestRunQuantRejectsWrongInput(t *testing.T) {
+	n := SmallCNN()
+	n.InitWeights(1)
+	_, _, err := RunQuant(n, randInput(tensor.Shape{H: 3, W: 3, C: 1}, 1), QuantOptions{})
+	if err == nil {
+		t.Error("wrong input shape accepted")
+	}
+}
+
+func TestInceptionFirstLayerExecutes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("first-layer Inception run in -short mode")
+	}
+	// Execute just the stem conv of the real model to check the executor
+	// at Table I scale: 710,432 convolutions.
+	n := InceptionV3()
+	n.InitWeights(1)
+	stem := n.Layers[0].(*Conv2D)
+	in := randInput(n.Input, 1)
+	accScale := in.Scale * stem.Filter.Scale
+	accs := ConvAccumulators(stem, in, QuantizeBias(stem.Bias, accScale))
+	if len(accs) != 149*149*32 {
+		t.Fatalf("stem accs = %d, want %d", len(accs), 149*149*32)
+	}
+	var nonzero int
+	for _, a := range accs {
+		if a != 0 {
+			nonzero++
+		}
+	}
+	if nonzero == 0 {
+		t.Error("stem produced all-zero accumulators")
+	}
+}
+
+func TestValidateCatchesFilterMismatch(t *testing.T) {
+	n := SmallCNN()
+	n.InitWeights(1)
+	n.Layers[0].(*Conv2D).Filter = tensor.NewFilter(5, 5, 4, 8)
+	if err := n.Validate(); err == nil {
+		t.Error("mismatched filter accepted")
+	}
+}

@@ -1,0 +1,232 @@
+package nn
+
+import (
+	"fmt"
+
+	"neuralcache/internal/tensor"
+)
+
+// InceptionV3 builds the full Inception v3 inference graph (Szegedy et
+// al., CVPR 2016) exactly as the paper evaluates it: 94 convolution
+// sub-layers in 20 top-level layers, with the fully connected classifier
+// lowered to a 1×1 convolution (§IV-D). Table I of the paper is derived
+// from these shapes and is asserted test-for-test in table1_test.go.
+// Weights are not populated; call InitWeights for synthetic ones.
+func InceptionV3() *Network {
+	b := &builder{}
+	n := &Network{
+		Name:  "inception_v3",
+		Input: tensor.Shape{H: 299, W: 299, C: 3},
+	}
+	n.Layers = []Layer{
+		b.conv("Conv2D_1a_3x3", 3, 3, 3, 32, 2, 0, 0),
+		b.conv("Conv2D_2a_3x3", 3, 3, 32, 32, 1, 0, 0),
+		b.conv("Conv2D_2b_3x3", 3, 3, 32, 64, 1, 1, 1),
+		b.pool("MaxPool_3a_3x3", MaxPool, 3, 2, 0),
+		b.conv("Conv2D_3b_1x1", 1, 1, 64, 80, 1, 0, 0),
+		b.conv("Conv2D_4a_3x3", 3, 3, 80, 192, 1, 0, 0),
+		b.pool("MaxPool_5a_3x3", MaxPool, 3, 2, 0),
+		b.mixed5("Mixed_5b", 192, 32),
+		b.mixed5("Mixed_5c", 256, 64),
+		b.mixed5("Mixed_5d", 288, 64),
+		b.mixed6a("Mixed_6a", 288),
+		b.mixed6("Mixed_6b", 768, 128),
+		b.mixed6("Mixed_6c", 768, 160),
+		b.mixed6("Mixed_6d", 768, 160),
+		b.mixed6("Mixed_6e", 768, 192),
+		b.mixed7a("Mixed_7a", 768),
+		b.mixed7("Mixed_7b", 1280),
+		b.mixed7("Mixed_7c", 2048),
+		b.pool("AvgPool", AvgPool, 8, 1, 0),
+		b.logits("FullyConnected", 2048, 1001),
+	}
+	return n
+}
+
+// builder numbers the leaf layers so names stay unique inside modules.
+type builder struct {
+	group string
+	seq   int
+}
+
+func (b *builder) name(kind string) string {
+	b.seq++
+	if b.group == "" {
+		return fmt.Sprintf("%s_%d", kind, b.seq)
+	}
+	return fmt.Sprintf("%s/%s_%d", b.group, kind, b.seq)
+}
+
+// conv builds a top-level named convolution (its own Table I group).
+func (b *builder) conv(name string, r, s, cin, cout, stride, padH, padW int) *Conv2D {
+	return &Conv2D{
+		LayerName: name, LayerGroup: name,
+		R: r, S: s, Cin: cin, Cout: cout, Stride: stride,
+		PadH: padH, PadW: padW, ReLU: true,
+	}
+}
+
+// bconv builds a convolution inside the current module group.
+func (b *builder) bconv(r, s, cin, cout, stride, padH, padW int) *Conv2D {
+	return &Conv2D{
+		LayerName: b.name("conv"), LayerGroup: b.group,
+		R: r, S: s, Cin: cin, Cout: cout, Stride: stride,
+		PadH: padH, PadW: padW, ReLU: true,
+	}
+}
+
+// pool builds a top-level pooling layer (its own Table I group).
+func (b *builder) pool(name string, kind PoolKind, k, stride, pad int) *Pool {
+	return &Pool{
+		LayerName: name, LayerGroup: name,
+		Kind: kind, R: k, S: k, Stride: stride, PadH: pad, PadW: pad,
+	}
+}
+
+// bpool builds a pooling layer inside the current module group.
+func (b *builder) bpool(kind PoolKind, k, stride, pad int) *Pool {
+	return &Pool{
+		LayerName: b.name("pool"), LayerGroup: b.group,
+		Kind: kind, R: k, S: k, Stride: stride, PadH: pad, PadW: pad,
+	}
+}
+
+func (b *builder) logits(name string, cin, classes int) *Conv2D {
+	c := b.conv(name, 1, 1, cin, classes, 1, 0, 0)
+	c.ReLU = false
+	c.IsLogits = true
+	return c
+}
+
+// mixed5 is the 35×35 module: 1×1 / 5×5 / double-3×3 / pool-projection
+// branches (Figure 5 of the Inception v3 paper). poolProj is 32 for
+// Mixed_5b and 64 for 5c/5d.
+func (b *builder) mixed5(name string, cin, poolProj int) *Concat {
+	b.group = name
+	defer func() { b.group = "" }()
+	return &Concat{
+		LayerName: name, LayerGroup: name,
+		Branches: [][]Layer{
+			{b.bconv(1, 1, cin, 64, 1, 0, 0)},
+			{
+				b.bconv(1, 1, cin, 48, 1, 0, 0),
+				b.bconv(5, 5, 48, 64, 1, 2, 2),
+			},
+			{
+				b.bconv(1, 1, cin, 64, 1, 0, 0),
+				b.bconv(3, 3, 64, 96, 1, 1, 1),
+				b.bconv(3, 3, 96, 96, 1, 1, 1),
+			},
+			{
+				b.bpool(AvgPool, 3, 1, 1),
+				b.bconv(1, 1, cin, poolProj, 1, 0, 0),
+			},
+		},
+	}
+}
+
+// mixed6a is the 35→17 grid reduction.
+func (b *builder) mixed6a(name string, cin int) *Concat {
+	b.group = name
+	defer func() { b.group = "" }()
+	return &Concat{
+		LayerName: name, LayerGroup: name,
+		Branches: [][]Layer{
+			{b.bconv(3, 3, cin, 384, 2, 0, 0)},
+			{
+				b.bconv(1, 1, cin, 64, 1, 0, 0),
+				b.bconv(3, 3, 64, 96, 1, 1, 1),
+				b.bconv(3, 3, 96, 96, 2, 0, 0),
+			},
+			{b.bpool(MaxPool, 3, 2, 0)},
+		},
+	}
+}
+
+// mixed6 is the 17×17 module with factorized 7×7 convolutions; c7 is the
+// internal channel count (128 for 6b, 160 for 6c/6d, 192 for 6e).
+func (b *builder) mixed6(name string, cin, c7 int) *Concat {
+	b.group = name
+	defer func() { b.group = "" }()
+	return &Concat{
+		LayerName: name, LayerGroup: name,
+		Branches: [][]Layer{
+			{b.bconv(1, 1, cin, 192, 1, 0, 0)},
+			{
+				b.bconv(1, 1, cin, c7, 1, 0, 0),
+				b.bconv(1, 7, c7, c7, 1, 0, 3),
+				b.bconv(7, 1, c7, 192, 1, 3, 0),
+			},
+			{
+				b.bconv(1, 1, cin, c7, 1, 0, 0),
+				b.bconv(7, 1, c7, c7, 1, 3, 0),
+				b.bconv(1, 7, c7, c7, 1, 0, 3),
+				b.bconv(7, 1, c7, c7, 1, 3, 0),
+				b.bconv(1, 7, c7, 192, 1, 0, 3),
+			},
+			{
+				b.bpool(AvgPool, 3, 1, 1),
+				b.bconv(1, 1, cin, 192, 1, 0, 0),
+			},
+		},
+	}
+}
+
+// mixed7a is the 17→8 grid reduction.
+func (b *builder) mixed7a(name string, cin int) *Concat {
+	b.group = name
+	defer func() { b.group = "" }()
+	return &Concat{
+		LayerName: name, LayerGroup: name,
+		Branches: [][]Layer{
+			{
+				b.bconv(1, 1, cin, 192, 1, 0, 0),
+				b.bconv(3, 3, 192, 320, 2, 0, 0),
+			},
+			{
+				b.bconv(1, 1, cin, 192, 1, 0, 0),
+				b.bconv(1, 7, 192, 192, 1, 0, 3),
+				b.bconv(7, 1, 192, 192, 1, 3, 0),
+				b.bconv(3, 3, 192, 192, 2, 0, 0),
+			},
+			{b.bpool(MaxPool, 3, 2, 0)},
+		},
+	}
+}
+
+// mixed7 is the 8×8 module with split 3×3 branches (nested concats).
+func (b *builder) mixed7(name string, cin int) *Concat {
+	b.group = name
+	defer func() { b.group = "" }()
+	return &Concat{
+		LayerName: name, LayerGroup: name,
+		Branches: [][]Layer{
+			{b.bconv(1, 1, cin, 320, 1, 0, 0)},
+			{
+				b.bconv(1, 1, cin, 384, 1, 0, 0),
+				&Concat{
+					LayerName: b.name("split"), LayerGroup: name,
+					Branches: [][]Layer{
+						{b.bconv(1, 3, 384, 384, 1, 0, 1)},
+						{b.bconv(3, 1, 384, 384, 1, 1, 0)},
+					},
+				},
+			},
+			{
+				b.bconv(1, 1, cin, 448, 1, 0, 0),
+				b.bconv(3, 3, 448, 384, 1, 1, 1),
+				&Concat{
+					LayerName: b.name("split"), LayerGroup: name,
+					Branches: [][]Layer{
+						{b.bconv(1, 3, 384, 384, 1, 0, 1)},
+						{b.bconv(3, 1, 384, 384, 1, 1, 0)},
+					},
+				},
+			},
+			{
+				b.bpool(AvgPool, 3, 1, 1),
+				b.bconv(1, 1, cin, 192, 1, 0, 0),
+			},
+		},
+	}
+}

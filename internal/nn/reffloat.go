@@ -1,0 +1,169 @@
+package nn
+
+import (
+	"fmt"
+
+	"neuralcache/internal/tensor"
+)
+
+// Float reference executor: runs the same network in float32 using the
+// dequantized weights. It exists to measure the quantization error of the
+// 8-bit pipeline (the paper adopts 8-bit precision citing its adequacy;
+// examples/digits quantifies it for the synthetic models).
+
+// RunFloat executes the network on a float input.
+func RunFloat(n *Network, in *tensor.Float) (*tensor.Float, error) {
+	if in.Shape != n.Input {
+		return nil, fmt.Errorf("nn: input shape %v, network expects %v", in.Shape, n.Input)
+	}
+	return runSeqFloat(n.Layers, in)
+}
+
+func runSeqFloat(layers []Layer, x *tensor.Float) (*tensor.Float, error) {
+	var err error
+	for _, l := range layers {
+		switch t := l.(type) {
+		case *Conv2D:
+			x = convFloat(t, x)
+		case *Pool:
+			x = poolFloat(t, x)
+		case *BatchNorm:
+			x = batchNormFloat(t, x)
+		case *Residual:
+			x, err = residualFloat(t, x)
+		case *Concat:
+			x, err = concatFloat(t, x)
+		default:
+			err = fmt.Errorf("nn: unknown layer type %T", l)
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	return x, nil
+}
+
+func convFloat(c *Conv2D, x *tensor.Float) *tensor.Float {
+	if c.Filter == nil {
+		panic(fmt.Sprintf("nn: %s has no weights; call InitWeights", c.LayerName))
+	}
+	out := tensor.NewFloat(c.OutShape(x.Shape))
+	f := c.Filter
+	for e := 0; e < out.Shape.H; e++ {
+		for fw := 0; fw < out.Shape.W; fw++ {
+			for m := 0; m < c.Cout; m++ {
+				acc := float64(0)
+				if c.Bias != nil {
+					acc = float64(c.Bias[m])
+				}
+				for r := 0; r < c.R; r++ {
+					h := e*c.Stride - c.PadH + r
+					if h < 0 || h >= x.Shape.H {
+						continue
+					}
+					for s := 0; s < c.S; s++ {
+						w := fw*c.Stride - c.PadW + s
+						if w < 0 || w >= x.Shape.W {
+							continue
+						}
+						for ch := 0; ch < c.Cin; ch++ {
+							wReal := f.Scale * (float64(f.At(m, r, s, ch)) - float64(f.Zero))
+							acc += float64(x.At(h, w, ch)) * wReal
+						}
+					}
+				}
+				if c.ReLU && acc < 0 {
+					acc = 0
+				}
+				out.Set(e, fw, m, float32(acc))
+			}
+		}
+	}
+	return out
+}
+
+func poolFloat(p *Pool, x *tensor.Float) *tensor.Float {
+	out := tensor.NewFloat(p.OutShape(x.Shape))
+	count := float32(p.R * p.S)
+	for e := 0; e < out.Shape.H; e++ {
+		for f := 0; f < out.Shape.W; f++ {
+			for ch := 0; ch < out.Shape.C; ch++ {
+				var maxV, sum float32
+				for r := 0; r < p.R; r++ {
+					h := e*p.Stride - p.PadH + r
+					if h < 0 || h >= x.Shape.H {
+						continue
+					}
+					for s := 0; s < p.S; s++ {
+						w := f*p.Stride - p.PadW + s
+						if w < 0 || w >= x.Shape.W {
+							continue
+						}
+						v := x.At(h, w, ch)
+						if v > maxV {
+							maxV = v
+						}
+						sum += v
+					}
+				}
+				if p.Kind == MaxPool {
+					out.Set(e, f, ch, maxV)
+				} else {
+					out.Set(e, f, ch, sum/count)
+				}
+			}
+		}
+	}
+	return out
+}
+
+func batchNormFloat(b *BatchNorm, x *tensor.Float) *tensor.Float {
+	out := tensor.NewFloat(x.Shape)
+	for i, v := range x.Data {
+		y := b.Gamma * v
+		if b.Beta != nil {
+			y += b.Beta[i%x.Shape.C]
+		}
+		if b.ReLU && y < 0 {
+			y = 0
+		}
+		out.Data[i] = y
+	}
+	return out
+}
+
+func residualFloat(r *Residual, x *tensor.Float) (*tensor.Float, error) {
+	body, err := runSeqFloat(r.Body, x)
+	if err != nil {
+		return nil, err
+	}
+	short, err := runSeqFloat(r.Shortcut, x)
+	if err != nil {
+		return nil, err
+	}
+	out := tensor.NewFloat(body.Shape)
+	for i := range out.Data {
+		out.Data[i] = body.Data[i] + short.Data[i]
+	}
+	return out, nil
+}
+
+func concatFloat(c *Concat, x *tensor.Float) (*tensor.Float, error) {
+	out := tensor.NewFloat(c.OutShape(x.Shape))
+	cOff := 0
+	for _, b := range c.Branches {
+		o, err := runSeqFloat(b, x)
+		if err != nil {
+			return nil, err
+		}
+		for e := 0; e < o.Shape.H; e++ {
+			for f := 0; f < o.Shape.W; f++ {
+				for ch := 0; ch < o.Shape.C; ch++ {
+					out.Set(e, f, cOff+ch, o.At(e, f, ch))
+				}
+			}
+		}
+		cOff += o.Shape.C
+	}
+	return out, nil
+}

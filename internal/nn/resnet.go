@@ -1,0 +1,102 @@
+package nn
+
+import (
+	"fmt"
+
+	"neuralcache/internal/tensor"
+)
+
+// ResNet18 builds a quantized ResNet-18 (He et al., CVPR 2016) — the
+// extension model demonstrating the shortcut-add primitive at ImageNet
+// scale: 8 residual blocks over four stages, 7×7 stem (filter splitting
+// exercises six bit-line segments), strided 1×1 projection shortcuts
+// (filter packing), global average pooling (shift divide) and a 1000-way
+// classifier. Shapes follow the TF 'SAME' convention realized with
+// symmetric padding.
+func ResNet18() *Network {
+	b := &resnetBuilder{}
+	n := &Network{
+		Name:  "resnet_18",
+		Input: tensor.Shape{H: 224, W: 224, C: 3},
+	}
+	n.Layers = []Layer{
+		b.conv("Conv1_7x7", 7, 3, 64, 2, 3),
+		&Pool{LayerName: "MaxPool_3x3", LayerGroup: "MaxPool_3x3",
+			Kind: MaxPool, R: 3, S: 3, Stride: 2, PadH: 1, PadW: 1},
+		b.stage("Stage1", 64, 64, 1),
+		b.stage("Stage1b", 64, 64, 1),
+		b.stage("Stage2", 64, 128, 2),
+		b.stage("Stage2b", 128, 128, 1),
+		b.stage("Stage3", 128, 256, 2),
+		b.stage("Stage3b", 256, 256, 1),
+		b.stage("Stage4", 256, 512, 2),
+		b.stage("Stage4b", 512, 512, 1),
+		&Pool{LayerName: "AvgPool_7x7", LayerGroup: "AvgPool_7x7",
+			Kind: AvgPool, R: 7, S: 7, Stride: 1},
+		b.logits("FullyConnected", 512, 1000),
+	}
+	return n
+}
+
+type resnetBuilder struct {
+	seq int
+}
+
+func (b *resnetBuilder) name(group, kind string) string {
+	b.seq++
+	return fmt.Sprintf("%s/%s_%d", group, kind, b.seq)
+}
+
+func (b *resnetBuilder) conv(name string, k, cin, cout, stride, pad int) *Conv2D {
+	return &Conv2D{
+		LayerName: name, LayerGroup: name,
+		R: k, S: k, Cin: cin, Cout: cout, Stride: stride,
+		PadH: pad, PadW: pad, ReLU: true,
+	}
+}
+
+// stage builds one residual block: two 3×3 convolutions in the body and
+// either an identity shortcut or a strided 1×1 projection when the block
+// changes resolution or width.
+func (b *resnetBuilder) stage(group string, cin, cout, stride int) *Residual {
+	body := []Layer{
+		&Conv2D{LayerName: b.name(group, "conv"), LayerGroup: group,
+			R: 3, S: 3, Cin: cin, Cout: cout, Stride: stride, PadH: 1, PadW: 1, ReLU: true},
+		&Conv2D{LayerName: b.name(group, "conv"), LayerGroup: group,
+			R: 3, S: 3, Cin: cout, Cout: cout, Stride: 1, PadH: 1, PadW: 1, ReLU: true},
+	}
+	var shortcut []Layer
+	if cin != cout || stride != 1 {
+		shortcut = []Layer{
+			&Conv2D{LayerName: b.name(group, "proj"), LayerGroup: group,
+				R: 1, S: 1, Cin: cin, Cout: cout, Stride: stride, ReLU: false},
+		}
+	}
+	return &Residual{LayerName: group, LayerGroup: group, Body: body, Shortcut: shortcut}
+}
+
+func (b *resnetBuilder) logits(name string, cin, classes int) *Conv2D {
+	return &Conv2D{
+		LayerName: name, LayerGroup: name,
+		R: 1, S: 1, Cin: cin, Cout: classes, Stride: 1, IsLogits: true,
+	}
+}
+
+// SmallResNet is a residual verification network sized for bit-accurate
+// functional runs: one identity block and one strided projection block.
+func SmallResNet() *Network {
+	b := &resnetBuilder{}
+	return &Network{
+		Name:  "small_resnet",
+		Input: tensor.Shape{H: 12, W: 12, C: 4},
+		Layers: []Layer{
+			&Conv2D{LayerName: "stem", LayerGroup: "stem", R: 3, S: 3, Cin: 4, Cout: 8,
+				Stride: 1, PadH: 1, PadW: 1, ReLU: true},
+			b.stage("Block1", 8, 8, 1),  // identity shortcut
+			b.stage("Block2", 8, 16, 2), // strided projection shortcut
+			&Pool{LayerName: "gap", LayerGroup: "gap", Kind: AvgPool, R: 6, S: 6, Stride: 1},
+			&Conv2D{LayerName: "logits", LayerGroup: "logits", R: 1, S: 1, Cin: 16, Cout: 5,
+				Stride: 1, IsLogits: true},
+		},
+	}
+}

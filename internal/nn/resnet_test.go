@@ -1,0 +1,110 @@
+package nn
+
+import (
+	"math/rand"
+	"testing"
+
+	"neuralcache/internal/tensor"
+)
+
+func TestResNet18Structure(t *testing.T) {
+	n := ResNet18()
+	if err := n.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	out := n.OutputShape()
+	if out.H != 1 || out.W != 1 || out.C != 1000 {
+		t.Errorf("output shape %v, want 1x1x1000", out)
+	}
+	// ResNet-18: 17 convs in stem/blocks + 3 projections + FC = 21 conv
+	// leaves; ≈1.8 G MACs.
+	convs := n.Convs()
+	if len(convs) != 21 {
+		t.Errorf("conv leaves = %d, want 21", len(convs))
+	}
+	if m := n.MACs(); m < 1.6e9 || m > 2.1e9 {
+		t.Errorf("MACs = %d, want ≈1.8e9", m)
+	}
+	// ≈11.2M weight bytes (11.7M params minus BN/FC bias folds).
+	if fb := n.FilterBytes(); fb < 10e6 || fb > 12.5e6 {
+		t.Errorf("filter bytes = %d, want ≈11.2M", fb)
+	}
+	// Stage resolutions.
+	rows := TableI(n)
+	wantE := map[string]int{
+		"Conv1_7x7": 112, "MaxPool_3x3": 56,
+		"Stage1": 56, "Stage2": 28, "Stage3": 14, "Stage4": 7,
+		"AvgPool_7x7": 1, "FullyConnected": 1,
+	}
+	for _, r := range rows {
+		if want, ok := wantE[r.Name]; ok && r.E != want {
+			t.Errorf("%s: E = %d, want %d", r.Name, r.E, want)
+		}
+	}
+}
+
+func TestResidualShapeGuard(t *testing.T) {
+	r := &Residual{
+		LayerName: "bad",
+		Body:      []Layer{&Conv2D{LayerName: "c", R: 3, S: 3, Cin: 4, Cout: 8, Stride: 2, PadH: 1, PadW: 1}},
+		// Identity shortcut keeps 12x12x4, body halves it: mismatch.
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("mismatched residual accepted")
+		}
+	}()
+	r.OutShape(tensor.Shape{H: 12, W: 12, C: 4})
+}
+
+func TestSmallResNetReference(t *testing.T) {
+	n := SmallResNet()
+	if err := n.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	n.InitWeights(3)
+	q := tensor.NewQuant(n.Input, 1.0/255)
+	r := rand.New(rand.NewSource(4))
+	for i := range q.Data {
+		q.Data[i] = uint8(r.Intn(256))
+	}
+	out, tr, err := RunQuant(n, q, QuantOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Shape.C != 5 {
+		t.Errorf("output %v", out.Shape)
+	}
+	// Both residual combines must record decisions.
+	if tr.Decision("Block1") == nil || tr.Decision("Block2") == nil {
+		t.Error("residual combine decisions missing")
+	}
+	if len(tr.Logits) != 5 {
+		t.Errorf("logits = %d", len(tr.Logits))
+	}
+	// Float executor handles residuals too.
+	if _, err := RunFloat(n, q.Dequantize()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestResidualCombineHandComputed(t *testing.T) {
+	a := tensor.NewQuant(tensor.Shape{H: 1, W: 1, C: 2}, 1.0)
+	b := tensor.NewQuant(tensor.Shape{H: 1, W: 1, C: 2}, 0.5)
+	a.Data[0], a.Data[1] = 100, 0
+	b.Data[0], b.Data[1] = 100, 200
+	// Common scale 1.0: b realigns to halves: 50, 100.
+	qa, qb := ResidualOperands(a, b)
+	if qa[0] != 100 || qa[1] != 0 || qb[0] != 50 || qb[1] != 100 {
+		t.Fatalf("operands %v %v", qa, qb)
+	}
+	var tr Trace
+	out := ResidualCombine("res", a, b, nil, &tr)
+	// Sums 150, 100; max 150 maps to 255.
+	if out.Data[0] != 255 {
+		t.Errorf("max sum requantized to %d, want 255", out.Data[0])
+	}
+	if out.Data[1] != 170 { // 100/150×255 = 170
+		t.Errorf("second element = %d, want 170", out.Data[1])
+	}
+}

@@ -1,0 +1,67 @@
+package nn
+
+import "neuralcache/internal/tensor"
+
+// Small deterministic networks for functional verification and the
+// examples. They exercise every layer type and quantization path of the
+// big model at sizes where bit-level in-cache simulation is fast.
+
+// SmallCNN is a LeNet-scale sequential network on 16×16×4 inputs: three
+// convolutions, max and average pooling, and a 10-class 1×1 classifier.
+func SmallCNN() *Network {
+	return &Network{
+		Name:  "small_cnn",
+		Input: tensor.Shape{H: 16, W: 16, C: 4},
+		Layers: []Layer{
+			&Conv2D{LayerName: "conv1", LayerGroup: "conv1", R: 3, S: 3, Cin: 4, Cout: 8,
+				Stride: 1, PadH: 1, PadW: 1, ReLU: true},
+			&Pool{LayerName: "pool1", LayerGroup: "pool1", Kind: MaxPool, R: 2, S: 2, Stride: 2},
+			&Conv2D{LayerName: "conv2", LayerGroup: "conv2", R: 3, S: 3, Cin: 8, Cout: 16,
+				Stride: 1, PadH: 1, PadW: 1, ReLU: true},
+			&Pool{LayerName: "pool2", LayerGroup: "pool2", Kind: AvgPool, R: 2, S: 2, Stride: 2},
+			&Conv2D{LayerName: "conv3", LayerGroup: "conv3", R: 3, S: 3, Cin: 16, Cout: 16,
+				Stride: 1, ReLU: true},
+			&Pool{LayerName: "pool3", LayerGroup: "pool3", Kind: AvgPool, R: 2, S: 2, Stride: 2},
+			&Conv2D{LayerName: "logits", LayerGroup: "logits", R: 1, S: 1, Cin: 16, Cout: 10,
+				Stride: 1, IsLogits: true},
+		},
+	}
+}
+
+// BranchyCNN is a miniature Inception-style network: a stem convolution,
+// one mixed module with four branches (1×1, 3×3, double-3×3, pooled
+// projection), global average pooling and a classifier. It exercises the
+// concat-rescale path.
+func BranchyCNN() *Network {
+	mixed := &Concat{
+		LayerName: "mixed", LayerGroup: "mixed",
+		Branches: [][]Layer{
+			{&Conv2D{LayerName: "mixed/b0", LayerGroup: "mixed", R: 1, S: 1, Cin: 8, Cout: 8, Stride: 1, ReLU: true}},
+			{
+				&Conv2D{LayerName: "mixed/b1a", LayerGroup: "mixed", R: 1, S: 1, Cin: 8, Cout: 4, Stride: 1, ReLU: true},
+				&Conv2D{LayerName: "mixed/b1b", LayerGroup: "mixed", R: 3, S: 3, Cin: 4, Cout: 8, Stride: 1, PadH: 1, PadW: 1, ReLU: true},
+			},
+			{
+				&Conv2D{LayerName: "mixed/b2a", LayerGroup: "mixed", R: 1, S: 1, Cin: 8, Cout: 4, Stride: 1, ReLU: true},
+				&Conv2D{LayerName: "mixed/b2b", LayerGroup: "mixed", R: 3, S: 3, Cin: 4, Cout: 4, Stride: 1, PadH: 1, PadW: 1, ReLU: true},
+				&Conv2D{LayerName: "mixed/b2c", LayerGroup: "mixed", R: 3, S: 3, Cin: 4, Cout: 8, Stride: 1, PadH: 1, PadW: 1, ReLU: true},
+			},
+			{
+				&Pool{LayerName: "mixed/pool", LayerGroup: "mixed", Kind: AvgPool, R: 3, S: 3, Stride: 1, PadH: 1, PadW: 1},
+				&Conv2D{LayerName: "mixed/b3", LayerGroup: "mixed", R: 1, S: 1, Cin: 8, Cout: 8, Stride: 1, ReLU: true},
+			},
+		},
+	}
+	return &Network{
+		Name:  "branchy_cnn",
+		Input: tensor.Shape{H: 12, W: 12, C: 3},
+		Layers: []Layer{
+			&Conv2D{LayerName: "stem", LayerGroup: "stem", R: 3, S: 3, Cin: 3, Cout: 8,
+				Stride: 1, PadH: 1, PadW: 1, ReLU: true},
+			mixed,
+			&Pool{LayerName: "gap", LayerGroup: "gap", Kind: AvgPool, R: 12, S: 12, Stride: 1},
+			&Conv2D{LayerName: "logits", LayerGroup: "logits", R: 1, S: 1, Cin: 32, Cout: 6,
+				Stride: 1, IsLogits: true},
+		},
+	}
+}

@@ -1,0 +1,139 @@
+package nn
+
+import "neuralcache/internal/tensor"
+
+// TableIRow is one row of the paper's Table I ("Parameters of the Layers
+// of Inception V3"): per top-level layer, the input height H, the kernel
+// R×S product range across the module's convolutions and pools, the
+// output dimension E, the channel ranges, the number of convolutions
+// (E·F·M summed over the module's convolutions), and the filter and input
+// footprints. For a module, the input footprint counts the module input
+// once per branch reading it, which is how the paper's numbers decompose.
+type TableIRow struct {
+	Name         string
+	H, E         int
+	RSMin, RSMax int
+	CMin, CMax   int
+	MMin, MMax   int
+	Convs        int
+	FilterBytes  int
+	InputBytes   int
+}
+
+// TableI derives the table from a network's shapes.
+func TableI(n *Network) []TableIRow {
+	rows := make([]TableIRow, 0, len(n.Layers))
+	in := n.Input
+	for _, l := range n.Layers {
+		out := l.OutShape(in)
+		var row TableIRow
+		switch t := l.(type) {
+		case *Concat:
+			row = concatRow(t, in, out)
+		case *Residual:
+			row = residualRow(t, in)
+		default:
+			var agg rangeAgg
+			agg.addLeaf(l, in, out)
+			row = agg.row()
+			row.InputBytes = in.Elems()
+		}
+		row.Name, row.H, row.E = l.Name(), in.H, out.H
+		rows = append(rows, row)
+		in = out
+	}
+	return rows
+}
+
+func concatRow(c *Concat, in, out tensor.Shape) TableIRow {
+	var agg rangeAgg
+	var walk func(layers []Layer, s tensor.Shape)
+	walk = func(layers []Layer, s tensor.Shape) {
+		for _, l := range layers {
+			if nested, ok := l.(*Concat); ok {
+				for _, b := range nested.Branches {
+					walk(b, s)
+				}
+			} else {
+				agg.addLeaf(l, s, l.OutShape(s))
+			}
+			s = l.OutShape(s)
+		}
+	}
+	for _, b := range c.Branches {
+		walk(b, in)
+	}
+	row := agg.row()
+	// Module input is read once per top-level branch.
+	row.InputBytes = in.Elems() * len(c.Branches)
+	return row
+}
+
+func residualRow(r *Residual, in tensor.Shape) TableIRow {
+	var agg rangeAgg
+	walk := func(layers []Layer) {
+		s := in
+		for _, l := range layers {
+			agg.addLeaf(l, s, l.OutShape(s))
+			s = l.OutShape(s)
+		}
+	}
+	walk(r.Body)
+	walk(r.Shortcut)
+	row := agg.row()
+	paths := 1
+	if len(r.Shortcut) > 0 {
+		paths = 2
+	}
+	row.InputBytes = in.Elems() * paths
+	return row
+}
+
+// rangeAgg accumulates the per-module ranges Table I reports. The paper's
+// module rows include pooling windows in the R×S range and pooling output
+// channels in the M range, but only convolutions contribute to the C
+// (filter channel) range and the conv/filter counts.
+type rangeAgg struct {
+	rs, c, m    intRange
+	convs       int
+	filterBytes int
+}
+
+func (a *rangeAgg) addLeaf(l Layer, in, out tensor.Shape) {
+	switch t := l.(type) {
+	case *Conv2D:
+		a.rs.add(t.R * t.S)
+		a.c.add(t.Cin)
+		a.m.add(t.Cout)
+		a.convs += out.H * out.W * t.Cout
+		a.filterBytes += t.FilterBytes()
+	case *Pool:
+		a.rs.add(t.R * t.S)
+		a.m.add(out.C)
+	}
+}
+
+func (a *rangeAgg) row() TableIRow {
+	return TableIRow{
+		RSMin: a.rs.lo, RSMax: a.rs.hi,
+		CMin: a.c.lo, CMax: a.c.hi,
+		MMin: a.m.lo, MMax: a.m.hi,
+		Convs:       a.convs,
+		FilterBytes: a.filterBytes,
+	}
+}
+
+type intRange struct {
+	set    bool
+	lo, hi int
+}
+
+func (r *intRange) add(v int) {
+	if !r.set || v < r.lo {
+		r.lo = v
+	}
+	if !r.set || v > r.hi {
+		r.hi = v
+	}
+	r.set = true
+}

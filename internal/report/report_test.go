@@ -1,0 +1,106 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("Demo", "Layer", "ms")
+	tb.Add("conv1", "1.5")
+	tb.AddValues("conv2", 2)
+	s := tb.String()
+	if !strings.Contains(s, "## Demo") {
+		t.Error("missing title")
+	}
+	for _, frag := range []string{"| Layer |", "| conv1 |", "| conv2 |", "|-------|"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("rendered table missing %q:\n%s", frag, s)
+		}
+	}
+	if tb.Rows() != 2 {
+		t.Errorf("Rows = %d", tb.Rows())
+	}
+}
+
+func TestTableAlignsWideCells(t *testing.T) {
+	tb := NewTable("", "A", "B")
+	tb.Add("averyverywidecell", "x")
+	lines := strings.Split(strings.TrimSpace(tb.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("want 3 lines, got %d", len(lines))
+	}
+	if len(lines[0]) != len(lines[2]) {
+		t.Errorf("header and row widths differ:\n%s", tb.String())
+	}
+}
+
+func TestAddPanicsOnWrongArity(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("wrong arity accepted")
+		}
+	}()
+	NewTable("", "A", "B").Add("only-one")
+}
+
+func TestFormatHelpers(t *testing.T) {
+	if got := MB(1382976); got != "1.319" {
+		t.Errorf("MB = %q, want 1.319", got)
+	}
+	if got := MS(0.00472); got != "4.720" {
+		t.Errorf("MS = %q", got)
+	}
+	if got := Pct(0.463); got != "46.3%" {
+		t.Errorf("Pct = %q", got)
+	}
+	if got := Range(1, 25); got != "1-25" {
+		t.Errorf("Range = %q", got)
+	}
+	if got := Range(9, 9); got != "9" {
+		t.Errorf("collapsed Range = %q", got)
+	}
+}
+
+func TestBars(t *testing.T) {
+	s := Bars("Latency", []string{"cpu", "gpu", "nc"}, []float64{86.6, 36.2, 4.72}, 40)
+	lines := strings.Split(strings.TrimSpace(s), "\n")
+	if len(lines) != 4 { // title + blank collapses? title, blank, 3 rows -> check content
+		// title line + empty + 3 bars
+	}
+	if !strings.Contains(s, "cpu") || !strings.Contains(s, "####") {
+		t.Errorf("bars missing content:\n%s", s)
+	}
+	// The largest value gets the longest bar.
+	var cpuBar, ncBar int
+	for _, l := range lines {
+		n := strings.Count(l, "#")
+		if strings.HasPrefix(l, "cpu") {
+			cpuBar = n
+		}
+		if strings.HasPrefix(l, "nc") {
+			ncBar = n
+		}
+	}
+	if cpuBar <= ncBar {
+		t.Errorf("cpu bar (%d) not longer than nc bar (%d)", cpuBar, ncBar)
+	}
+}
+
+func TestCSV(t *testing.T) {
+	tb := NewTable("x", "A", "B")
+	tb.Add("1", "2")
+	csv := tb.CSV()
+	if csv != "A,B\n1,2\n" {
+		t.Errorf("CSV = %q", csv)
+	}
+}
+
+func TestBarsPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("mismatched bars accepted")
+		}
+	}()
+	Bars("", []string{"a"}, []float64{1, 2}, 10)
+}

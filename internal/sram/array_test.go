@@ -1,0 +1,146 @@
+package sram
+
+import (
+	"testing"
+
+	"neuralcache/internal/bitvec"
+)
+
+func TestReadWriteRowChargesAccessCycles(t *testing.T) {
+	var a Array
+	v := bitvec.Zero().SetBit(3, 1).SetBit(200, 1)
+	a.WriteRow(10, v)
+	if got := a.ReadRow(10); got != v {
+		t.Fatalf("row round trip: %v != %v", got, v)
+	}
+	if a.Stats().AccessCycles != 2 {
+		t.Errorf("access cycles = %d, want 2", a.Stats().AccessCycles)
+	}
+	if a.Stats().ComputeCycles != 0 {
+		t.Errorf("compute cycles = %d, want 0", a.Stats().ComputeCycles)
+	}
+	if a.Stats().Total() != 2 {
+		t.Errorf("Total = %d", a.Stats().Total())
+	}
+}
+
+func TestResetClearsEverything(t *testing.T) {
+	var a Array
+	a.WriteElement(5, 0, 8, 0xAB)
+	a.Add(0, 8, 16, 8)
+	a.InjectStuckAt(0, 0, 1)
+	a.Reset()
+	if a.Stats().Total() != 0 {
+		t.Error("Reset kept cycle counters")
+	}
+	if a.PeekElement(5, 0, 8) != 0 {
+		t.Error("Reset kept data")
+	}
+	if a.FaultCount() != 0 {
+		t.Error("Reset kept faults")
+	}
+}
+
+func TestStatsAddAccumulates(t *testing.T) {
+	s := Stats{ComputeCycles: 3, AccessCycles: 4}
+	s.Add(Stats{ComputeCycles: 10, AccessCycles: 20})
+	if s.ComputeCycles != 13 || s.AccessCycles != 24 {
+		t.Errorf("Stats.Add gave %+v", s)
+	}
+}
+
+func TestTagAndCarryAccessors(t *testing.T) {
+	var a Array
+	mask := make([]uint64, BitLines)
+	for i := 0; i < BitLines; i += 2 {
+		mask[i] = 1
+	}
+	a.WriteElements(0, 1, mask)
+	a.LoadTag(0)
+	tag := a.Tag()
+	for i := 0; i < BitLines; i++ {
+		if tag.Bit(i) != uint(mask[i]) {
+			t.Fatalf("tag bit %d = %d", i, tag.Bit(i))
+		}
+	}
+	a.LoadTagInv(0)
+	inv := a.Tag()
+	for i := 0; i < BitLines; i++ {
+		if inv.Bit(i) == tag.Bit(i) {
+			t.Fatalf("LoadTagInv did not invert bit %d", i)
+		}
+	}
+	a.StoreTag(5)
+	if got := a.PeekRow(5); got != inv {
+		t.Error("StoreTag mismatch")
+	}
+	a.SetCarryOnes()
+	if got := a.Carry(); got != bitvec.Ones() {
+		t.Error("SetCarryOnes mismatch")
+	}
+}
+
+func TestNotCopyInPlacePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("in-place NotCopy accepted")
+		}
+	}()
+	var a Array
+	a.NotCopy(0, 0, 8, false)
+}
+
+func TestRowRangePanics(t *testing.T) {
+	var a Array
+	cases := []func(){
+		func() { a.ReadRow(-1) },
+		func() { a.WriteRow(256, bitvec.Zero()) },
+		func() { a.Add(250, 0, 8, 8) },
+		func() { a.WriteElement(300, 0, 8, 1) },
+		func() { a.ReadElements(0, 8, 257) },
+		func() { a.WriteElements(0, 8, make([]uint64, 257)) },
+		func() { a.ReduceStep(0, 32, 32, 0) },
+		func() { a.Reduce(0, 32, 32, 3) },
+	}
+	for i, fn := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d did not panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestWriteImmRow(t *testing.T) {
+	var a Array
+	v := bitvec.Mask(100)
+	a.WriteImmRow(7, v, false)
+	if a.PeekRow(7) != v {
+		t.Error("WriteImmRow mismatch")
+	}
+	if a.Stats().ComputeCycles != 1 {
+		t.Errorf("WriteImmRow cost %d, want 1 compute cycle", a.Stats().ComputeCycles)
+	}
+}
+
+func TestShiftVecAgainstBitByBit(t *testing.T) {
+	v := bitvec.Zero()
+	for i := 0; i < 256; i += 5 {
+		v = v.SetBit(i, 1)
+	}
+	for _, shift := range []int{0, 1, 7, 63, 64, 65, 128, 255, 256, -1, -64, -200, -256} {
+		got := shiftVec(v, shift)
+		for i := 0; i < 256; i++ {
+			want := uint(0)
+			if src := i + shift; src >= 0 && src < 256 {
+				want = v.Bit(src)
+			}
+			if got.Bit(i) != want {
+				t.Fatalf("shift %d bit %d: got %d want %d", shift, i, got.Bit(i), want)
+			}
+		}
+	}
+}

@@ -1,0 +1,119 @@
+package sram
+
+import (
+	"fmt"
+
+	"neuralcache/internal/bitvec"
+)
+
+// Fault injection. The paper's §II-B argues robustness from 20 fabricated
+// test chips and >6σ Monte-Carlo margins; a production simulator needs the
+// complementary tool — injecting the failures margin analysis guards
+// against and observing the architectural effect. Faults model bit cells
+// stuck at 0/1 and whole bit lines disabled (a lane whose sense amp or
+// bit-line driver failed). Stuck cells re-assert their value after every
+// write-back, exactly like silicon.
+
+// FaultKind classifies an injected defect.
+type FaultKind int
+
+// Supported defects.
+const (
+	StuckAt0 FaultKind = iota // cell reads 0 regardless of writes
+	StuckAt1                  // cell reads 1 regardless of writes
+	DeadLane                  // bit line's peripheral never writes back
+)
+
+// String names the defect.
+func (k FaultKind) String() string {
+	switch k {
+	case StuckAt0:
+		return "stuck-at-0"
+	case StuckAt1:
+		return "stuck-at-1"
+	case DeadLane:
+		return "dead-lane"
+	default:
+		return fmt.Sprintf("fault(%d)", int(k))
+	}
+}
+
+// faultState tracks an array's injected defects.
+type faultState struct {
+	stuck0   map[[2]int]bool // (row, lane)
+	stuck1   map[[2]int]bool
+	deadLane map[int]bool
+}
+
+func (a *Array) faultStateInit() *faultState {
+	if a.faults == nil {
+		a.faults = &faultState{
+			stuck0:   map[[2]int]bool{},
+			stuck1:   map[[2]int]bool{},
+			deadLane: map[int]bool{},
+		}
+	}
+	return a.faults
+}
+
+// InjectStuckAt pins bit cell (row, lane) to value v. Subsequent reads
+// and compute-sense operations observe v; writes are absorbed.
+func (a *Array) InjectStuckAt(row, lane int, v uint) {
+	checkRows("InjectStuckAt", row, 1)
+	checkLane(lane)
+	f := a.faultStateInit()
+	key := [2]int{row, lane}
+	if v == 0 {
+		f.stuck0[key] = true
+		delete(f.stuck1, key)
+	} else {
+		f.stuck1[key] = true
+		delete(f.stuck0, key)
+	}
+	a.rows[row] = a.rows[row].SetBit(lane, v&1)
+}
+
+// InjectDeadLane disables bit line `lane`: its column peripheral stops
+// driving write-backs, freezing the lane's stored bits at their current
+// values.
+func (a *Array) InjectDeadLane(lane int) {
+	checkLane(lane)
+	a.faultStateInit().deadLane[lane] = true
+}
+
+// ClearFaults removes all injected defects; cells keep their last asserted
+// values until overwritten.
+func (a *Array) ClearFaults() { a.faults = nil }
+
+// FaultCount returns the number of injected defects.
+func (a *Array) FaultCount() int {
+	if a.faults == nil {
+		return 0
+	}
+	return len(a.faults.stuck0) + len(a.faults.stuck1) + len(a.faults.deadLane)
+}
+
+// setRow is the single write-back point for row state: it applies dead
+// lanes (write suppressed, previous bit retained) and stuck cells (value
+// re-asserted) before committing.
+func (a *Array) setRow(r int, v bitvec.Vec256) {
+	if a.faults == nil {
+		a.rows[r] = v
+		return
+	}
+	prev := a.rows[r]
+	for lane := range a.faults.deadLane {
+		v = v.SetBit(lane, prev.Bit(lane))
+	}
+	for key := range a.faults.stuck0 {
+		if key[0] == r {
+			v = v.SetBit(key[1], 0)
+		}
+	}
+	for key := range a.faults.stuck1 {
+		if key[0] == r {
+			v = v.SetBit(key[1], 1)
+		}
+	}
+	a.rows[r] = v
+}

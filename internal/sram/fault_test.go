@@ -1,0 +1,157 @@
+package sram
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestStuckAtAbsorbsWrites(t *testing.T) {
+	var a Array
+	a.InjectStuckAt(3, 10, 1)
+	a.InjectStuckAt(4, 10, 0)
+	a.WriteElement(10, 0, 8, 0x00)
+	if got := a.PeekElement(10, 0, 8); got != 1<<3 {
+		t.Errorf("stuck-at-1 cell not asserted: %08b", got)
+	}
+	a.WriteElement(10, 0, 8, 0xff)
+	if got := a.PeekElement(10, 0, 8); got != 0xff&^(1<<4) {
+		t.Errorf("stuck-at-0 cell not asserted: %08b", got)
+	}
+	if a.FaultCount() != 2 {
+		t.Errorf("FaultCount = %d", a.FaultCount())
+	}
+	if StuckAt0.String() != "stuck-at-0" || DeadLane.String() != "dead-lane" {
+		t.Error("fault kind names wrong")
+	}
+}
+
+func TestStuckAtCorruptsArithmeticOnlyOnItsLane(t *testing.T) {
+	// A single stuck bit in the operand region must corrupt exactly the
+	// lanes it touches; every healthy lane still adds correctly. This is
+	// the architectural blast-radius question fault campaigns ask.
+	const n = 8
+	var healthy, faulty Array
+	r := rand.New(rand.NewSource(3))
+	vals := make([]uint64, BitLines)
+	for i := range vals {
+		vals[i] = r.Uint64() & 0x7f // bit 7 clear so stuck-at-1 changes it
+	}
+	healthy.WriteElements(0, n, vals)
+	healthy.WriteElements(n, n, vals)
+	faulty.InjectStuckAt(7, 42, 1) // MSB of operand A, lane 42
+	faulty.WriteElements(0, n, vals)
+	faulty.WriteElements(n, n, vals)
+
+	healthy.Add(0, n, 2*n, n)
+	faulty.Add(0, n, 2*n, n)
+	for lane := 0; lane < BitLines; lane++ {
+		h := healthy.PeekElement(lane, 2*n, n+1)
+		f := faulty.PeekElement(lane, 2*n, n+1)
+		if lane == 42 {
+			if f == h {
+				t.Error("stuck MSB did not corrupt its lane's sum")
+			}
+			if want := (vals[lane] | 0x80) + vals[lane]; f != want {
+				t.Errorf("faulty lane sum = %d, want %d", f, want)
+			}
+		} else if f != h {
+			t.Errorf("healthy lane %d corrupted: %d vs %d", lane, f, h)
+		}
+	}
+}
+
+func TestDeadLaneFreezesWriteback(t *testing.T) {
+	var a Array
+	vals := make([]uint64, BitLines)
+	for i := range vals {
+		vals[i] = uint64(i)
+	}
+	a.WriteElements(0, 8, vals)
+	a.InjectDeadLane(5)
+	// Bulk zero: every lane clears except the dead one.
+	a.Zero(0, 8, false)
+	for lane := 0; lane < BitLines; lane++ {
+		want := uint64(0)
+		if lane == 5 {
+			want = 5
+		}
+		if got := a.PeekElement(lane, 0, 8); got != want {
+			t.Fatalf("lane %d after zero = %d, want %d", lane, got, want)
+		}
+	}
+	a.ClearFaults()
+	if a.FaultCount() != 0 {
+		t.Error("ClearFaults did not clear")
+	}
+	a.Zero(0, 8, false)
+	if got := a.PeekElement(5, 0, 8); got != 0 {
+		t.Errorf("lane 5 still frozen after ClearFaults: %d", got)
+	}
+}
+
+func TestMultiplySkipMatchesMultiply(t *testing.T) {
+	const n = 8
+	r := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 10; trial++ {
+		av := make([]uint64, BitLines)
+		bv := make([]uint64, BitLines)
+		for i := range av {
+			av[i] = r.Uint64() & 0xff
+			// Sparse multipliers: most lanes zero, survivors small.
+			if r.Intn(10) == 0 {
+				bv[i] = r.Uint64() & 0x0f
+			}
+		}
+		var plain, skip Array
+		plain.WriteElements(0, n, av)
+		plain.WriteElements(n, n, bv)
+		skip.WriteElements(0, n, av)
+		skip.WriteElements(n, n, bv)
+		plain.ResetStats()
+		skip.ResetStats()
+		plain.Multiply(0, n, 2*n, n)
+		skip.MultiplySkip(0, n, 2*n, n)
+		for lane := 0; lane < BitLines; lane++ {
+			p := plain.PeekElement(lane, 2*n, 2*n)
+			s := skip.PeekElement(lane, 2*n, 2*n)
+			if p != s || p != av[lane]*bv[lane] {
+				t.Fatalf("lane %d: skip %d, plain %d, want %d", lane, s, p, av[lane]*bv[lane])
+			}
+		}
+		// With the top 4 multiplier bit-slices all zero, at least 4 adds
+		// must have been skipped.
+		if plain.Stats().ComputeCycles-skip.Stats().ComputeCycles < 4*(n+1) {
+			t.Errorf("trial %d: skip saved only %d cycles",
+				trial, plain.Stats().ComputeCycles-skip.Stats().ComputeCycles)
+		}
+	}
+}
+
+func TestMultiplySkipAllZeroCost(t *testing.T) {
+	const n = 8
+	var a Array
+	a.WriteElements(0, n, make([]uint64, BitLines))
+	a.WriteElements(n, n, make([]uint64, BitLines))
+	a.ResetStats()
+	a.MultiplySkip(0, n, 2*n, n)
+	if got, want := a.Stats().ComputeCycles, uint64(3*n); got != want {
+		t.Errorf("all-zero MultiplySkip cost %d, want 3n = %d", got, want)
+	}
+}
+
+func TestSkippableSlices(t *testing.T) {
+	var a Array
+	vals := make([]uint64, BitLines)
+	for i := range vals {
+		vals[i] = 0b0101 // bits 1 and 3 zero everywhere
+	}
+	a.WriteElements(0, 4, vals)
+	if got := a.SkippableSlices(0, 4); got != 2 {
+		t.Errorf("SkippableSlices = %d, want 2", got)
+	}
+	// Dense data: one lane with a bit set defeats the slice skip.
+	a.WriteElement(17, 1, 1, 1)
+	if got := a.SkippableSlices(0, 4); got != 1 {
+		t.Errorf("SkippableSlices after single set bit = %d, want 1", got)
+	}
+}

@@ -1,0 +1,389 @@
+package sram
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// fill writes count n-bit values into lanes [0,count) at rows
+// [base,base+n) without charging cycles.
+func fill(a *Array, base, n int, vals []uint64) {
+	for lane, v := range vals {
+		for i := 0; i < n; i++ {
+			a.PokeRow(base+i, a.PeekRow(base+i).SetBit(lane, uint(v>>uint(i))&1))
+		}
+	}
+}
+
+func randVals(r *rand.Rand, count, bits int) []uint64 {
+	vals := make([]uint64, count)
+	for i := range vals {
+		vals[i] = r.Uint64() & ((1 << uint(bits)) - 1)
+	}
+	return vals
+}
+
+func TestAddAllLanes(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	for _, n := range []int{1, 2, 4, 8, 12, 16, 24, 32} {
+		var a Array
+		av := randVals(r, BitLines, n)
+		bv := randVals(r, BitLines, n)
+		fill(&a, 0, n, av)
+		fill(&a, n, n, bv)
+		a.ResetStats()
+		a.Add(0, n, 2*n, n)
+		if got, want := a.Stats().ComputeCycles, uint64(n+1); got != want {
+			t.Errorf("n=%d: Add cost %d cycles, want n+1 = %d", n, got, want)
+		}
+		for lane := 0; lane < BitLines; lane++ {
+			want := av[lane] + bv[lane] // fits in n+1 bits
+			if got := a.PeekElement(lane, 2*n, n+1); got != want {
+				t.Fatalf("n=%d lane %d: %d + %d = %d, got %d", n, lane, av[lane], bv[lane], want, got)
+			}
+		}
+	}
+}
+
+func TestAddInPlaceAccumulate(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	const n = 16
+	var a Array
+	acc := randVals(r, BitLines, n-1) // headroom so no overflow past n bits
+	add := randVals(r, BitLines, n-1)
+	fill(&a, 0, n, acc)
+	fill(&a, n, n, add)
+	a.ResetStats()
+	a.AddTrunc(0, n, 0, n)
+	if got := a.Stats().ComputeCycles; got != n {
+		t.Errorf("AddTrunc cost %d, want %d", got, n)
+	}
+	for lane := 0; lane < BitLines; lane++ {
+		want := acc[lane] + add[lane]
+		if got := a.PeekElement(lane, 0, n); got != want {
+			t.Fatalf("lane %d: in-place %d + %d = %d, got %d", lane, acc[lane], add[lane], want, got)
+		}
+	}
+}
+
+func TestAddPartialOverlapPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("partially overlapping Add did not panic")
+		}
+	}()
+	var a Array
+	a.Add(0, 8, 4, 8) // dst [4,13) overlaps a [0,8) partially
+}
+
+func TestSub(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	for _, n := range []int{4, 8, 16} {
+		var a Array
+		av := randVals(r, BitLines, n)
+		bv := randVals(r, BitLines, n)
+		fill(&a, 0, n, av)
+		fill(&a, n, n, bv)
+		a.ResetStats()
+		a.Sub(0, n, 2*n, 3*n, n)
+		if got, want := a.Stats().ComputeCycles, uint64(2*n+1); got != want {
+			t.Errorf("n=%d: Sub cost %d, want 2n+1 = %d", n, got, want)
+		}
+		mask := uint64(1)<<uint(n) - 1
+		for lane := 0; lane < BitLines; lane++ {
+			want := (av[lane] - bv[lane]) & mask
+			if got := a.PeekElement(lane, 2*n, n); got != want {
+				t.Fatalf("n=%d lane %d: %d - %d mod 2^n = %d, got %d", n, lane, av[lane], bv[lane], want, got)
+			}
+		}
+	}
+}
+
+func TestMultiplyCyclesAndValues(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	for _, n := range []int{2, 3, 4, 6, 8, 10, 12, 16} {
+		var a Array
+		av := randVals(r, BitLines, n)
+		bv := randVals(r, BitLines, n)
+		fill(&a, 0, n, av)
+		fill(&a, n, n, bv)
+		a.ResetStats()
+		a.Multiply(0, n, 2*n, n)
+		got := a.Stats().ComputeCycles
+		want := uint64(n*n + 4*n)
+		if got != want {
+			t.Errorf("n=%d: Multiply microcode cost %d, want n²+4n = %d", n, got, want)
+		}
+		// The paper's closed form coincides with our microcode at its n=2
+		// worked example.
+		if n == 2 {
+			paper := uint64(n*n + 5*n - 2)
+			if got != paper {
+				t.Errorf("n=2: microcode %d != paper closed form %d", got, paper)
+			}
+		}
+		for lane := 0; lane < BitLines; lane++ {
+			wantP := av[lane] * bv[lane]
+			if gotP := a.PeekElement(lane, 2*n, 2*n); gotP != wantP {
+				t.Fatalf("n=%d lane %d: %d * %d = %d, got %d", n, lane, av[lane], bv[lane], wantP, gotP)
+			}
+		}
+	}
+}
+
+func TestMulAcc(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	const n, accW = 8, 24
+	var a Array
+	// Layout mirroring §IV-A: filter at 0, input at n, partial sum at 2n,
+	// scratch product (2n rows + pad to accW) above it.
+	const (
+		fBase    = 0
+		inBase   = n
+		accBase  = 2 * n
+		prodBase = accBase + accW
+	)
+	acc := make([]uint64, BitLines)
+	for mac := 0; mac < 9; mac++ {
+		av := randVals(r, BitLines, n)
+		bv := randVals(r, BitLines, n)
+		fill(&a, fBase, n, av)
+		fill(&a, inBase, n, bv)
+		a.MulAcc(fBase, inBase, prodBase, accBase, n, accW)
+		for lane := 0; lane < BitLines; lane++ {
+			acc[lane] += av[lane] * bv[lane]
+		}
+	}
+	for lane := 0; lane < BitLines; lane++ {
+		if got := a.PeekElement(lane, accBase, accW); got != acc[lane] {
+			t.Fatalf("lane %d: 9-MAC accumulator = %d, want %d", lane, got, acc[lane])
+		}
+	}
+}
+
+func TestDivide(t *testing.T) {
+	r := rand.New(rand.NewSource(13))
+	for _, n := range []int{4, 8} {
+		var a Array
+		av := randVals(r, BitLines, n)
+		bv := randVals(r, BitLines, n)
+		for i := range bv {
+			if bv[i] == 0 {
+				bv[i] = 1 // zero divisors are a documented saturation case
+			}
+		}
+		const base = 0
+		quot := 2 * n
+		rem := 3 * n
+		scratch := rem + n + 1
+		fill(&a, base, n, av)
+		fill(&a, n, n, bv)
+		a.ResetStats()
+		a.Divide(base, n, quot, rem, scratch, n)
+		if got, want := a.Stats().ComputeCycles, uint64(3*n*n+10*n+1); got != want {
+			t.Errorf("n=%d: Divide microcode cost %d, want 3n²+10n+1 = %d", n, got, want)
+		}
+		for lane := 0; lane < BitLines; lane++ {
+			wantQ, wantR := av[lane]/bv[lane], av[lane]%bv[lane]
+			if gotQ := a.PeekElement(lane, quot, n); gotQ != wantQ {
+				t.Fatalf("n=%d lane %d: %d / %d = %d, got %d", n, lane, av[lane], bv[lane], wantQ, gotQ)
+			}
+			if gotR := a.PeekElement(lane, rem, n); gotR != wantR {
+				t.Fatalf("n=%d lane %d: %d %% %d = %d, got %d", n, lane, av[lane], bv[lane], wantR, gotR)
+			}
+		}
+	}
+}
+
+func TestCompareAndMax(t *testing.T) {
+	r := rand.New(rand.NewSource(17))
+	const n = 8
+	var a Array
+	av := randVals(r, BitLines, n)
+	bv := randVals(r, BitLines, n)
+	fill(&a, 0, n, av)
+	fill(&a, n, n, bv)
+
+	a.ResetStats()
+	a.CompareGE(0, n, 2*n, n)
+	if got, want := a.Stats().ComputeCycles, uint64(2*n+3); got != want {
+		t.Errorf("CompareGE cost %d, want 2n+3 = %d", got, want)
+	}
+	tag := a.Tag()
+	for lane := 0; lane < BitLines; lane++ {
+		want := uint(0)
+		if av[lane] >= bv[lane] {
+			want = 1
+		}
+		if tag.Bit(lane) != want {
+			t.Fatalf("lane %d: CompareGE(%d,%d) tag = %d, want %d", lane, av[lane], bv[lane], tag.Bit(lane), want)
+		}
+	}
+
+	// Max into a fresh region; operands must be reloaded since CompareGE
+	// scribbled on scratch only.
+	a.Max(0, n, 4*n, 2*n, n)
+	for lane := 0; lane < BitLines; lane++ {
+		want := av[lane]
+		if bv[lane] > want {
+			want = bv[lane]
+		}
+		if got := a.PeekElement(lane, 4*n, n); got != want {
+			t.Fatalf("lane %d: max(%d,%d) = %d, got %d", lane, av[lane], bv[lane], want, got)
+		}
+	}
+
+	a.Min(0, n, 5*n, 2*n, n)
+	for lane := 0; lane < BitLines; lane++ {
+		want := av[lane]
+		if bv[lane] < want {
+			want = bv[lane]
+		}
+		if got := a.PeekElement(lane, 5*n, n); got != want {
+			t.Fatalf("lane %d: min(%d,%d) = %d, got %d", lane, av[lane], bv[lane], want, got)
+		}
+	}
+}
+
+func TestReLU(t *testing.T) {
+	const n = 16
+	var a Array
+	vals := make([]uint64, BitLines)
+	r := rand.New(rand.NewSource(23))
+	for i := range vals {
+		vals[i] = r.Uint64() & (1<<n - 1)
+	}
+	fill(&a, 0, n, vals)
+	a.ResetStats()
+	a.ReLU(0, n)
+	if got, want := a.Stats().ComputeCycles, uint64(n+1); got != want {
+		t.Errorf("ReLU cost %d, want n+1 = %d", got, want)
+	}
+	for lane := 0; lane < BitLines; lane++ {
+		want := vals[lane]
+		if want>>(n-1)&1 == 1 { // negative in two's complement
+			want = 0
+		}
+		if got := a.PeekElement(lane, 0, n); got != want {
+			t.Fatalf("lane %d: ReLU(%d) = %d, got %d", lane, vals[lane], got, want)
+		}
+	}
+}
+
+func TestEqual(t *testing.T) {
+	const n = 8
+	var a Array
+	av := make([]uint64, BitLines)
+	bv := make([]uint64, BitLines)
+	r := rand.New(rand.NewSource(29))
+	for i := range av {
+		av[i] = r.Uint64() & 0xff
+		if i%3 == 0 {
+			bv[i] = av[i]
+		} else {
+			bv[i] = r.Uint64() & 0xff
+		}
+	}
+	fill(&a, 0, n, av)
+	fill(&a, n, n, bv)
+	a.ResetStats()
+	a.Equal(0, n, n)
+	if got, want := a.Stats().ComputeCycles, uint64(n+1); got != want {
+		t.Errorf("Equal cost %d, want n+1 = %d", got, want)
+	}
+	tag := a.Tag()
+	for lane := 0; lane < BitLines; lane++ {
+		want := uint(0)
+		if av[lane] == bv[lane] {
+			want = 1
+		}
+		if tag.Bit(lane) != want {
+			t.Fatalf("lane %d: Equal(%d,%d) = %d, want %d", lane, av[lane], bv[lane], tag.Bit(lane), want)
+		}
+	}
+}
+
+func TestLogicOps(t *testing.T) {
+	var a Array
+	r := rand.New(rand.NewSource(31))
+	ra, rb := randVals(r, BitLines, 1), randVals(r, BitLines, 1)
+	fill(&a, 0, 1, ra)
+	fill(&a, 1, 1, rb)
+	a.And(0, 1, 2)
+	a.Or(0, 1, 3)
+	a.Xor(0, 1, 4)
+	a.Nor(0, 1, 5)
+	for lane := 0; lane < BitLines; lane++ {
+		x, y := ra[lane], rb[lane]
+		checks := []struct {
+			row  int
+			want uint64
+			name string
+		}{
+			{2, x & y, "and"}, {3, x | y, "or"}, {4, x ^ y, "xor"}, {5, (x | y) ^ 1, "nor"},
+		}
+		for _, c := range checks {
+			if got := uint64(a.PeekRow(c.row).Bit(lane)); got != c.want {
+				t.Fatalf("lane %d: %s = %d, want %d", lane, c.name, got, c.want)
+			}
+		}
+	}
+	if got := a.Stats().ComputeCycles; got != 4 {
+		t.Errorf("four logic ops cost %d cycles, want 4", got)
+	}
+}
+
+func TestCopyAndZeroPredicated(t *testing.T) {
+	const n = 8
+	var a Array
+	r := rand.New(rand.NewSource(37))
+	src := randVals(r, BitLines, n)
+	old := randVals(r, BitLines, n)
+	fill(&a, 0, n, src)
+	fill(&a, n, n, old)
+	// Tag on even lanes only.
+	var mask [BitLines]uint64
+	for i := 0; i < BitLines; i += 2 {
+		mask[i] = 1
+	}
+	fill(&a, 2*n, 1, mask[:])
+	a.LoadTag(2 * n)
+	a.Copy(0, n, n, true)
+	for lane := 0; lane < BitLines; lane++ {
+		want := old[lane]
+		if lane%2 == 0 {
+			want = src[lane]
+		}
+		if got := a.PeekElement(lane, n, n); got != want {
+			t.Fatalf("lane %d: predicated copy = %d, want %d", lane, got, want)
+		}
+	}
+	a.Zero(n, n, true)
+	for lane := 0; lane < BitLines; lane++ {
+		want := old[lane]
+		if lane%2 == 0 {
+			want = 0
+		}
+		if got := a.PeekElement(lane, n, n); got != want {
+			t.Fatalf("lane %d: predicated zero = %d, want %d", lane, got, want)
+		}
+	}
+}
+
+func TestWriteReadElements(t *testing.T) {
+	var a Array
+	vals := make([]uint64, BitLines)
+	for i := range vals {
+		vals[i] = uint64(i * 3)
+	}
+	a.WriteElements(10, 12, vals)
+	got := a.ReadElements(10, 12, BitLines)
+	for i := range vals {
+		if got[i] != vals[i]&0xfff {
+			t.Fatalf("lane %d: round trip %d, got %d", i, vals[i], got[i])
+		}
+	}
+	if a.Stats().AccessCycles != 24 {
+		t.Errorf("access cycles = %d, want 24 (12 write + 12 read rows)", a.Stats().AccessCycles)
+	}
+}

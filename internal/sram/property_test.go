@@ -1,0 +1,206 @@
+package sram
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// laneCase is a randomized operand set for property tests: full 256-lane
+// vectors of bounded-width values.
+type laneCase struct {
+	A, B [BitLines]uint64
+}
+
+func (laneCase) Generate(r *rand.Rand, _ int) reflect.Value {
+	var c laneCase
+	for i := range c.A {
+		c.A[i] = r.Uint64()
+		c.B[i] = r.Uint64()
+	}
+	return reflect.ValueOf(c)
+}
+
+func quickCfg() *quick.Config {
+	return &quick.Config{MaxCount: 40}
+}
+
+func TestPropertyAddMatchesIntegerAdd(t *testing.T) {
+	const n = 20
+	mask := uint64(1<<n - 1)
+	f := func(c laneCase) bool {
+		var a Array
+		for lane := 0; lane < BitLines; lane++ {
+			a.WriteElement(lane, 0, n, c.A[lane]&mask)
+			a.WriteElement(lane, n, n, c.B[lane]&mask)
+		}
+		a.Add(0, n, 2*n, n)
+		for lane := 0; lane < BitLines; lane++ {
+			if a.PeekElement(lane, 2*n, n+1) != (c.A[lane]&mask)+(c.B[lane]&mask) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyMultiplyMatchesIntegerMul(t *testing.T) {
+	const n = 8
+	mask := uint64(1<<n - 1)
+	f := func(c laneCase) bool {
+		var a Array
+		for lane := 0; lane < BitLines; lane++ {
+			a.WriteElement(lane, 0, n, c.A[lane]&mask)
+			a.WriteElement(lane, n, n, c.B[lane]&mask)
+		}
+		a.Multiply(0, n, 2*n, n)
+		for lane := 0; lane < BitLines; lane++ {
+			if a.PeekElement(lane, 2*n, 2*n) != (c.A[lane]&mask)*(c.B[lane]&mask) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyDivMulRoundTrip(t *testing.T) {
+	// a == (a/b)*b + a%b for every lane, using only in-array ops.
+	const n = 6
+	mask := uint64(1<<n - 1)
+	f := func(c laneCase) bool {
+		var a Array
+		vals := make([]uint64, BitLines)
+		divs := make([]uint64, BitLines)
+		for lane := 0; lane < BitLines; lane++ {
+			vals[lane] = c.A[lane] & mask
+			divs[lane] = c.B[lane] & mask
+			if divs[lane] == 0 {
+				divs[lane] = 1
+			}
+			a.WriteElement(lane, 0, n, vals[lane])
+			a.WriteElement(lane, n, n, divs[lane])
+		}
+		quot, rem, scratch := 2*n, 3*n, 4*n+1
+		a.Divide(0, n, quot, rem, scratch, n)
+		// q*b + r back through the array: multiply then add.
+		prod := scratch + n + 2
+		a.Multiply(quot, n, prod, n)
+		a.Add(prod, rem, prod, n) // rem < b ≤ 2ⁿ−1 so n-bit add suffices
+		for lane := 0; lane < BitLines; lane++ {
+			if a.PeekElement(lane, prod, n+1) != vals[lane] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertySubAddInverse(t *testing.T) {
+	const n = 16
+	mask := uint64(1<<n - 1)
+	f := func(c laneCase) bool {
+		var a Array
+		for lane := 0; lane < BitLines; lane++ {
+			a.WriteElement(lane, 0, n, c.A[lane]&mask)
+			a.WriteElement(lane, n, n, c.B[lane]&mask)
+		}
+		a.Sub(0, n, 2*n, 3*n, n)   // d = a - b
+		a.AddTrunc(2*n, n, 2*n, n) // d + b should equal a (mod 2^n)
+		for lane := 0; lane < BitLines; lane++ {
+			if a.PeekElement(lane, 2*n, n) != c.A[lane]&mask {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyMaxMinPartition(t *testing.T) {
+	// max(a,b) + min(a,b) == a + b lane-wise.
+	const n = 8
+	mask := uint64(1<<n - 1)
+	f := func(c laneCase) bool {
+		var a Array
+		for lane := 0; lane < BitLines; lane++ {
+			a.WriteElement(lane, 0, n, c.A[lane]&mask)
+			a.WriteElement(lane, n, n, c.B[lane]&mask)
+		}
+		a.Max(0, n, 4*n, 2*n, n)
+		a.Min(0, n, 5*n, 2*n, n)
+		a.Add(4*n, 5*n, 6*n, n)
+		for lane := 0; lane < BitLines; lane++ {
+			want := (c.A[lane] & mask) + (c.B[lane] & mask)
+			if a.PeekElement(lane, 6*n, n+1) != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyReduceMatchesSum(t *testing.T) {
+	const w = 32
+	const count = 16
+	f := func(c laneCase) bool {
+		var a Array
+		want := make([]uint64, BitLines/count)
+		for lane := 0; lane < BitLines; lane++ {
+			v := c.A[lane] & 0xffffff // sums of 16 fit in 28 bits
+			a.WriteElement(lane, 0, w, v)
+			want[lane/count] += v
+		}
+		a.Reduce(0, w, w, count)
+		for g := range want {
+			if a.PeekElement(g*count, 0, w) != want[g] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyShiftRoundTrip(t *testing.T) {
+	const w = 8
+	f := func(c laneCase) bool {
+		var a Array
+		for lane := 0; lane < BitLines; lane++ {
+			a.WriteElement(lane, 0, w, c.A[lane]&0xff)
+		}
+		a.ShiftLanes(0, w, w, 32, false)
+		a.ShiftLanes(w, 2*w, w, -32, false)
+		// Lanes [32, 256) must round-trip; [0, 32) become zero.
+		for lane := 32; lane < BitLines; lane++ {
+			if a.PeekElement(lane, 2*w, w) != c.A[lane]&0xff {
+				return false
+			}
+		}
+		for lane := 0; lane < 32; lane++ {
+			if a.PeekElement(lane, 2*w, w) != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,89 @@
+package sram
+
+import "fmt"
+
+// Reduction (§III-D, Figure 5): partial sums living on different bit lines
+// of the same array are summed by moving half of them onto the other
+// half's bit lines at a different word-line range and adding, log₂(count)
+// times. The inter-bit-line move uses the column mux and sense-amp cycling
+// at one cycle per row.
+
+// ReduceStep performs one reduction step for every lane group of the
+// array: the w-bit elements at rows [src,src+w) are shift-copied by
+// `stride` lanes toward lane 0 into rows [op,op+w), then added back into
+// [src,src+w) (truncated to w bits; the mapping sizes w so group sums
+// cannot overflow). After the step, lane l holds element(l) +
+// element(l+stride) for every l with a partner. Emergent cost: 2w cycles
+// (w move + w add; the carry-latch reset is part of op issue).
+func (a *Array) ReduceStep(src, op, w, stride int) {
+	checkRows("ReduceStep src", src, w)
+	checkRows("ReduceStep op", op, w)
+	checkOverlap(op, src, w)
+	if stride <= 0 || stride >= BitLines {
+		panic(fmt.Sprintf("sram: ReduceStep stride %d outside (0,%d)", stride, BitLines))
+	}
+	for i := 0; i < w; i++ {
+		a.cycleShiftCopyRow(src+i, op+i, stride, false)
+	}
+	a.AddTrunc(src, op, src, w)
+}
+
+// Reduce sums groups of `count` w-bit elements laid out on consecutive
+// bit lines. count must be a power of two; after the call, the first lane
+// of each group (lanes 0, count, 2·count, …) holds its group's sum. op
+// provides w scratch rows for the moved operand. Emergent cost:
+// log₂(count) · 2w cycles.
+func (a *Array) Reduce(src, op, w, count int) {
+	if count <= 0 || count&(count-1) != 0 {
+		panic(fmt.Sprintf("sram: Reduce count %d is not a power of two", count))
+	}
+	for stride := count / 2; stride >= 1; stride /= 2 {
+		a.ReduceStep(src, op, w, stride)
+	}
+}
+
+// ShiftLanes copies the w-bit elements at rows [src,src+w) to rows
+// [dst,dst+w) moved by `shift` lanes (positive toward lane 0), one cycle
+// per row. It is the raw inter-bit-line move used by quantization's
+// min/max trees and by cross-array staging.
+func (a *Array) ShiftLanes(src, dst, w, shift int, pred bool) {
+	checkRows("ShiftLanes src", src, w)
+	checkRows("ShiftLanes dst", dst, w)
+	if shift != 0 {
+		checkOverlap(dst, src, w)
+	}
+	for i := 0; i < w; i++ {
+		a.cycleShiftCopyRow(src+i, dst+i, shift, pred)
+	}
+}
+
+// ReduceMax performs a max-tree over groups of `count` w-bit unsigned
+// elements on consecutive bit lines, leaving each group's maximum on its
+// first lane. scratch needs w+1 rows beyond the op region. Emergent cost:
+// log₂(count) · (4w+4) cycles.
+func (a *Array) ReduceMax(src, op, scratch, w, count int) {
+	a.reduceCmp(src, op, scratch, w, count, true)
+}
+
+// ReduceMin is ReduceMax's dual, leaving each group's minimum on its
+// first lane.
+func (a *Array) ReduceMin(src, op, scratch, w, count int) {
+	a.reduceCmp(src, op, scratch, w, count, false)
+}
+
+func (a *Array) reduceCmp(src, op, scratch, w, count int, wantMax bool) {
+	if count <= 0 || count&(count-1) != 0 {
+		panic(fmt.Sprintf("sram: reduce count %d is not a power of two", count))
+	}
+	checkRows("reduceCmp scratch", scratch, w+1)
+	for stride := count / 2; stride >= 1; stride /= 2 {
+		for i := 0; i < w; i++ {
+			a.cycleShiftCopyRow(src+i, op+i, stride, false)
+		}
+		if wantMax {
+			a.Max(src, op, src, scratch, w)
+		} else {
+			a.Min(src, op, src, scratch, w)
+		}
+	}
+}

@@ -1,0 +1,127 @@
+package sram
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestReduceStep(t *testing.T) {
+	const w = 32
+	var a Array
+	vals := make([]uint64, BitLines)
+	r := rand.New(rand.NewSource(41))
+	for i := range vals {
+		vals[i] = uint64(r.Uint32() >> 4) // headroom for sums
+	}
+	fill(&a, 0, w, vals)
+	a.ResetStats()
+	a.ReduceStep(0, w, w, 4)
+	if got, want := a.Stats().ComputeCycles, uint64(2*w); got != want {
+		t.Errorf("ReduceStep cost %d, want 2w = %d", got, want)
+	}
+	for lane := 0; lane+4 < BitLines; lane++ {
+		want := vals[lane] + vals[lane+4]
+		if got := a.PeekElement(lane, 0, w); got != want {
+			t.Fatalf("lane %d: step sum = %d, want %d", lane, got, want)
+		}
+	}
+}
+
+func TestReduceGroups(t *testing.T) {
+	const w = 32
+	for _, count := range []int{2, 4, 8, 16, 32, 64, 128, 256} {
+		var a Array
+		vals := make([]uint64, BitLines)
+		r := rand.New(rand.NewSource(int64(count)))
+		for i := range vals {
+			vals[i] = uint64(r.Uint32() >> 12) // sums of 256 fit in 28 bits
+		}
+		fill(&a, 0, w, vals)
+		a.ResetStats()
+		a.Reduce(0, w, w, count)
+		steps := 0
+		for c := count; c > 1; c /= 2 {
+			steps++
+		}
+		if got, want := a.Stats().ComputeCycles, uint64(steps*2*w); got != want {
+			t.Errorf("count=%d: Reduce cost %d, want %d", count, got, want)
+		}
+		for g := 0; g+count <= BitLines; g += count {
+			var want uint64
+			for i := 0; i < count; i++ {
+				want += vals[g+i]
+			}
+			if got := a.PeekElement(g, 0, w); got != want {
+				t.Fatalf("count=%d group %d: sum = %d, want %d", count, g, got, want)
+			}
+		}
+	}
+}
+
+func TestReduceMaxMin(t *testing.T) {
+	const w = 8
+	const count = 16
+	var a Array
+	vals := make([]uint64, BitLines)
+	r := rand.New(rand.NewSource(43))
+	for i := range vals {
+		vals[i] = r.Uint64() & 0xff
+	}
+	fill(&a, 0, w, vals)
+	a.ReduceMax(0, w, 2*w, w, count)
+	for g := 0; g+count <= BitLines; g += count {
+		var want uint64
+		for i := 0; i < count; i++ {
+			if vals[g+i] > want {
+				want = vals[g+i]
+			}
+		}
+		if got := a.PeekElement(g, 0, w); got != want {
+			t.Fatalf("group %d: max = %d, want %d", g, got, want)
+		}
+	}
+
+	var b Array
+	fill(&b, 0, w, vals)
+	b.ReduceMin(0, w, 2*w, w, count)
+	for g := 0; g+count <= BitLines; g += count {
+		want := uint64(1<<64 - 1)
+		for i := 0; i < count; i++ {
+			if vals[g+i] < want {
+				want = vals[g+i]
+			}
+		}
+		if got := b.PeekElement(g, 0, w); got != want {
+			t.Fatalf("group %d: min = %d, want %d", g, got, want)
+		}
+	}
+}
+
+func TestShiftLanes(t *testing.T) {
+	const w = 8
+	var a Array
+	vals := make([]uint64, BitLines)
+	for i := range vals {
+		vals[i] = uint64(i)
+	}
+	fill(&a, 0, w, vals)
+	a.ShiftLanes(0, w, w, 16, false)
+	for lane := 0; lane+16 < BitLines; lane++ {
+		if got := a.PeekElement(lane, w, w); got != vals[lane+16] {
+			t.Fatalf("lane %d: shifted value %d, want %d", lane, got, vals[lane+16])
+		}
+	}
+	// Negative shift moves away from lane 0.
+	a.ShiftLanes(0, 2*w, w, -16, false)
+	for lane := 16; lane < BitLines; lane++ {
+		if got := a.PeekElement(lane, 2*w, w); got != vals[lane-16] {
+			t.Fatalf("lane %d: negative shift value %d, want %d", lane, got, vals[lane-16])
+		}
+	}
+	// Lanes below the shift amount receive zeros.
+	for lane := 0; lane < 16; lane++ {
+		if got := a.PeekElement(lane, 2*w, w); got != 0 {
+			t.Fatalf("lane %d: expected zero fill, got %d", lane, got)
+		}
+	}
+}

@@ -1,0 +1,57 @@
+package sram
+
+import "neuralcache/internal/bitvec"
+
+// Sparsity extension (§VII of the paper lists exploiting DNN sparsity as
+// future work). Bit-serial multiplication offers a natural zero-skipping
+// hook: each multiplier bit is loaded into the tag latch before its
+// predicated add, and a wired-OR "any tag set" flag in the column
+// peripherals can tell the bank FSM that the entire bit-slice is zero, in
+// which case the n+1-cycle predicated add is skipped. The flag costs one
+// OR tree per array and no extra data movement.
+//
+// The catch — and the honest finding the AblationSparsity bench
+// quantifies — is that all 256 lanes share the instruction stream: a
+// slice is skippable only when *every* lane's multiplier bit is zero, so
+// the win shrinks as more independent values share an array.
+
+// MultiplySkip is Multiply with multiplier bit-slice skipping. Results
+// are identical to Multiply; the emergent cycle count is data-dependent:
+//
+//	2n + Σ over multiplier bits (1 + (n+1)·[slice has any 1])
+//
+// An all-zero multiplier vector costs 3n cycles instead of n²+4n.
+func (a *Array) MultiplySkip(aBase, bBase, prod, n int) {
+	checkRows("MultiplySkip a", aBase, n)
+	checkRows("MultiplySkip b", bBase, n)
+	checkRows("MultiplySkip prod", prod, 2*n)
+	checkOverlap(prod, aBase, n)
+	checkOverlap(prod, bBase, n)
+	a.Zero(prod, 2*n, false)
+	for i := 0; i < n; i++ {
+		a.cycleLoadTag(bBase + i)
+		if a.tag.IsZero() {
+			continue // wired-OR flag: no lane needs this partial product
+		}
+		a.carry = bitvec.Zero()
+		for j := 0; j < n; j++ {
+			a.cycleAddBit(aBase+j, prod+i+j, prod+i+j, true)
+		}
+		a.cycleStoreCarry(prod+i+n, true)
+	}
+}
+
+// SkippableSlices counts, for the n-bit elements at bBase, how many of
+// the n bit-slices are all-zero across every lane — the slices
+// MultiplySkip would elide. Diagnostic helper for sparsity studies; it
+// charges no cycles.
+func (a *Array) SkippableSlices(bBase, n int) int {
+	checkRows("SkippableSlices", bBase, n)
+	count := 0
+	for i := 0; i < n; i++ {
+		if a.rows[bBase+i].IsZero() {
+			count++
+		}
+	}
+	return count
+}

@@ -1,0 +1,100 @@
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// Requantization: after a layer's 32-bit accumulators are produced, the
+// engine computes their maximum in-cache, ships min/max to the CPU, and
+// the CPU returns two unsigned integers — a fixed-point multiplier and a
+// shift — that the arrays apply to every output element with an in-cache
+// multiply, add (rounding) and shift (§IV-D). This file is that scalar
+// CPU arithmetic, shared verbatim by the reference executor and the
+// engine so results stay bit-exact.
+
+// MultiplierBits is the width of the fixed-point requantization
+// multiplier. 16 bits keeps the in-cache multiply within the scratchpad
+// budget while losing no precision that survives the 8-bit output.
+const MultiplierBits = 16
+
+// Requant holds the two scalars the CPU returns for a layer.
+type Requant struct {
+	Mult  uint32 // fixed-point multiplier, < 2^MultiplierBits
+	Shift uint   // right shift applied after the multiply
+}
+
+// maxShift bounds the post-multiply shift so the staged product stays
+// within the 48-bit scratch budget of the in-cache requantize microcode.
+const maxShift = 40
+
+// ChooseRequant returns the multiplier/shift pair best representing the
+// real ratio m = accScale/outScale. Ratios above 1 occur for layers whose
+// max accumulator is below 255 (small test networks); ratios at or above
+// 2^MultiplierBits are unrepresentable and panic.
+func ChooseRequant(m float64) Requant {
+	if m <= 0 || math.IsNaN(m) || math.IsInf(m, 0) {
+		panic(fmt.Sprintf("tensor: requant ratio %g not positive finite", m))
+	}
+	_, exp := math.Frexp(m) // m = frac × 2^exp, frac ∈ [0.5, 1)
+	shift := MultiplierBits - exp
+	if shift < 0 {
+		panic(fmt.Sprintf("tensor: requant ratio %g too large for a %d-bit multiplier", m, MultiplierBits))
+	}
+	if shift > maxShift { // tiny ratio: cap the shift, accept rounding
+		shift = maxShift
+	}
+	mult := uint32(math.Round(m * math.Ldexp(1, shift)))
+	if mult >= 1<<MultiplierBits {
+		mult >>= 1
+		shift--
+	}
+	if mult == 0 {
+		mult = 1
+	}
+	return Requant{Mult: mult, Shift: uint(shift)}
+}
+
+// Apply requantizes one non-negative accumulator with round-half-up:
+// q = (acc·Mult + 2^(Shift−1)) >> Shift, saturated to 8 bits.
+func (r Requant) Apply(acc int64) uint8 {
+	if acc < 0 {
+		return 0 // ReLU precedes requantization in this pipeline
+	}
+	p := uint64(acc) * uint64(r.Mult)
+	if r.Shift > 0 {
+		p += 1 << (r.Shift - 1)
+	}
+	return SaturateU8(int64(p >> r.Shift))
+}
+
+// Apply32 performs the fixed-point multiply/round/shift without the 8-bit
+// saturation: the 32-bit intermediate of the §IV-D batch-norm sequence
+// ("quantizing to 32 bit unsigned ... multiplying by a scalar and
+// performing a shift"). The input must be non-negative.
+func (r Requant) Apply32(v int64) int64 {
+	if v < 0 {
+		panic(fmt.Sprintf("tensor: Apply32 on negative value %d", v))
+	}
+	p := uint64(v) * uint64(r.Mult)
+	if r.Shift > 0 {
+		p += 1 << (r.Shift - 1)
+	}
+	return int64(p >> r.Shift)
+}
+
+// OutScaleFromMax returns the layer output scale implied by its maximum
+// real accumulator value: max maps to 255.
+func OutScaleFromMax(accScale float64, maxAcc int64) float64 {
+	if maxAcc <= 0 {
+		return accScale // degenerate all-zero layer keeps the acc scale
+	}
+	return accScale * float64(maxAcc) / 255
+}
+
+// RequantForLayer combines the two: given the accumulator scale and the
+// in-cache-computed max accumulator, produce the CPU's reply.
+func RequantForLayer(accScale float64, maxAcc int64) (Requant, float64) {
+	outScale := OutScaleFromMax(accScale, maxAcc)
+	return ChooseRequant(accScale / outScale), outScale
+}

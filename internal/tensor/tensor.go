@@ -1,0 +1,183 @@
+// Package tensor provides the float and 8-bit quantized tensor types
+// Neural Cache computes on, and the quantization arithmetic shared —
+// bit for bit — between the integer reference executor and the in-cache
+// engine (§IV-D of the paper).
+//
+// Quantization scheme: activations are unsigned 8-bit with zero point 0
+// (real = scale·q; valid because every activation in the evaluated network
+// is an image pixel or a post-ReLU value, hence non-negative). Weights are
+// unsigned 8-bit with a per-layer zero point (real = scale·(q − zero)).
+// The convolution accumulator algebra then needs a single correction term
+// Σq_a per window, which the engine computes in-cache with the same
+// reduction hardware as the channel sums:
+//
+//	acc = Σ q_a·q_w − zero_w·Σ q_a  (+ bias)
+//
+// Requantization multiplies the accumulator by an unsigned fixed-point
+// multiplier and shifts right with round-half-up, exactly the multiply /
+// add / shift sequence §IV-D performs on all output elements after the CPU
+// returns the two scalar integers.
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// Shape is the height × width × channels geometry of an activation tensor
+// (NHWC with the batch dimension handled by the caller).
+type Shape struct {
+	H, W, C int
+}
+
+// Elems returns the element count.
+func (s Shape) Elems() int { return s.H * s.W * s.C }
+
+// Bytes returns the 8-bit-quantized byte size.
+func (s Shape) Bytes() int { return s.Elems() }
+
+// String formats like 35x35x288.
+func (s Shape) String() string { return fmt.Sprintf("%dx%dx%d", s.H, s.W, s.C) }
+
+// Float is a float32 activation tensor in NHWC order.
+type Float struct {
+	Shape Shape
+	Data  []float32
+}
+
+// NewFloat allocates a zero float tensor.
+func NewFloat(s Shape) *Float {
+	return &Float{Shape: s, Data: make([]float32, s.Elems())}
+}
+
+// At returns element (h, w, c).
+func (t *Float) At(h, w, c int) float32 {
+	return t.Data[(h*t.Shape.W+w)*t.Shape.C+c]
+}
+
+// Set stores element (h, w, c).
+func (t *Float) Set(h, w, c int, v float32) {
+	t.Data[(h*t.Shape.W+w)*t.Shape.C+c] = v
+}
+
+// Quant is an 8-bit quantized activation tensor with zero point 0:
+// real value = Scale · q.
+type Quant struct {
+	Shape Shape
+	Scale float64
+	Data  []uint8
+}
+
+// NewQuant allocates a zero quantized tensor.
+func NewQuant(s Shape, scale float64) *Quant {
+	return &Quant{Shape: s, Scale: scale, Data: make([]uint8, s.Elems())}
+}
+
+// At returns element (h, w, c).
+func (t *Quant) At(h, w, c int) uint8 {
+	return t.Data[(h*t.Shape.W+w)*t.Shape.C+c]
+}
+
+// Set stores element (h, w, c).
+func (t *Quant) Set(h, w, c int, v uint8) {
+	t.Data[(h*t.Shape.W+w)*t.Shape.C+c] = v
+}
+
+// Dequantize converts back to float.
+func (t *Quant) Dequantize() *Float {
+	f := NewFloat(t.Shape)
+	for i, q := range t.Data {
+		f.Data[i] = float32(t.Scale * float64(q))
+	}
+	return f
+}
+
+// QuantizeActivations converts a non-negative float tensor to the unsigned
+// zero-point-0 representation, choosing scale = max/255. A tensor of all
+// zeros gets scale 1 so dequantization stays exact.
+func QuantizeActivations(f *Float) *Quant {
+	maxV := float64(0)
+	for _, v := range f.Data {
+		if v < 0 {
+			panic(fmt.Sprintf("tensor: negative activation %f under zero-point-0 quantization", v))
+		}
+		if float64(v) > maxV {
+			maxV = float64(v)
+		}
+	}
+	scale := maxV / 255
+	if scale == 0 {
+		scale = 1
+	}
+	q := NewQuant(f.Shape, scale)
+	for i, v := range f.Data {
+		q.Data[i] = SaturateU8(int64(math.Round(float64(v) / scale)))
+	}
+	return q
+}
+
+// SaturateU8 clamps to [0, 255].
+func SaturateU8(v int64) uint8 {
+	if v < 0 {
+		return 0
+	}
+	if v > 255 {
+		return 255
+	}
+	return uint8(v)
+}
+
+// Filter is an 8-bit quantized convolution filter bank: M filters of
+// R×S×C weights, real value = Scale · (q − Zero). Layout is [M][R][S][C].
+type Filter struct {
+	R, S, C, M int
+	Scale      float64
+	Zero       uint8
+	Data       []uint8
+}
+
+// NewFilter allocates a zero filter bank.
+func NewFilter(r, s, c, m int) *Filter {
+	return &Filter{R: r, S: s, C: c, M: m, Data: make([]uint8, r*s*c*m)}
+}
+
+// At returns weight (m, r, s, c).
+func (f *Filter) At(m, r, s, c int) uint8 {
+	return f.Data[((m*f.R+r)*f.S+s)*f.C+c]
+}
+
+// Set stores weight (m, r, s, c).
+func (f *Filter) Set(m, r, s, c int, v uint8) {
+	f.Data[((m*f.R+r)*f.S+s)*f.C+c] = v
+}
+
+// Bytes returns the filter bank size in bytes (Table I's "Filter Size").
+func (f *Filter) Bytes() int { return len(f.Data) }
+
+// QuantizeFilter converts float weights [M][R][S][C] to the asymmetric
+// unsigned representation covering [min, max].
+func QuantizeFilter(r, s, c, m int, w []float32) *Filter {
+	if len(w) != r*s*c*m {
+		panic(fmt.Sprintf("tensor: %d weights for %dx%dx%dx%d filter", len(w), m, r, s, c))
+	}
+	minV, maxV := float64(0), float64(0) // range must include 0 (gemmlowp)
+	for _, v := range w {
+		if float64(v) < minV {
+			minV = float64(v)
+		}
+		if float64(v) > maxV {
+			maxV = float64(v)
+		}
+	}
+	scale := (maxV - minV) / 255
+	if scale == 0 {
+		scale = 1
+	}
+	zero := uint8(math.Round(-minV / scale))
+	f := NewFilter(r, s, c, m)
+	f.Scale, f.Zero = scale, zero
+	for i, v := range w {
+		f.Data[i] = SaturateU8(int64(math.Round(float64(v)/scale)) + int64(zero))
+	}
+	return f
+}

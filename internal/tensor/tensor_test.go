@@ -1,0 +1,174 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestShape(t *testing.T) {
+	s := Shape{35, 35, 288}
+	if s.Elems() != 35*35*288 || s.Bytes() != s.Elems() {
+		t.Errorf("Elems/Bytes wrong for %v", s)
+	}
+	if s.String() != "35x35x288" {
+		t.Errorf("String = %q", s.String())
+	}
+}
+
+func TestFloatQuantRoundTrip(t *testing.T) {
+	f := NewFloat(Shape{4, 5, 3})
+	r := rand.New(rand.NewSource(1))
+	for h := 0; h < 4; h++ {
+		for w := 0; w < 5; w++ {
+			for c := 0; c < 3; c++ {
+				f.Set(h, w, c, r.Float32()*10)
+			}
+		}
+	}
+	q := QuantizeActivations(f)
+	d := q.Dequantize()
+	for i := range f.Data {
+		if diff := math.Abs(float64(f.Data[i] - d.Data[i])); diff > q.Scale/2+1e-6 {
+			t.Fatalf("element %d: %f -> %f, error %f > half step %f",
+				i, f.Data[i], d.Data[i], diff, q.Scale/2)
+		}
+	}
+}
+
+func TestQuantizeActivationsPanicsOnNegative(t *testing.T) {
+	f := NewFloat(Shape{1, 1, 1})
+	f.Data[0] = -1
+	defer func() {
+		if recover() == nil {
+			t.Error("negative activation did not panic")
+		}
+	}()
+	QuantizeActivations(f)
+}
+
+func TestQuantizeActivationsAllZero(t *testing.T) {
+	f := NewFloat(Shape{2, 2, 2})
+	q := QuantizeActivations(f)
+	if q.Scale != 1 {
+		t.Errorf("all-zero scale = %f, want 1", q.Scale)
+	}
+	for _, v := range q.Data {
+		if v != 0 {
+			t.Fatal("all-zero tensor quantized to non-zero")
+		}
+	}
+}
+
+func TestFilterQuantization(t *testing.T) {
+	const r, s, c, m = 3, 3, 8, 4
+	w := make([]float32, r*s*c*m)
+	rng := rand.New(rand.NewSource(2))
+	for i := range w {
+		w[i] = float32(rng.NormFloat64())
+	}
+	f := QuantizeFilter(r, s, c, m, w)
+	for i, orig := range w {
+		back := f.Scale * (float64(f.Data[i]) - float64(f.Zero))
+		if math.Abs(back-float64(orig)) > f.Scale/2+1e-9 {
+			t.Fatalf("weight %d: %f -> %f (scale %f)", i, orig, back, f.Scale)
+		}
+	}
+	if f.Bytes() != r*s*c*m {
+		t.Errorf("Bytes = %d", f.Bytes())
+	}
+	// Indexing identity.
+	f.Set(2, 1, 2, 5, 77)
+	if f.At(2, 1, 2, 5) != 77 {
+		t.Error("Set/At mismatch")
+	}
+}
+
+func TestSaturateU8(t *testing.T) {
+	cases := []struct {
+		in   int64
+		want uint8
+	}{{-1, 0}, {0, 0}, {128, 128}, {255, 255}, {256, 255}, {1 << 40, 255}}
+	for _, c := range cases {
+		if got := SaturateU8(c.in); got != c.want {
+			t.Errorf("SaturateU8(%d) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+func TestChooseRequantAccuracy(t *testing.T) {
+	for _, m := range []float64{1, 0.5, 0.1, 0.01, 1e-4, 2.5, 100, 1.0 / 3} {
+		r := ChooseRequant(m)
+		if r.Mult == 0 || r.Mult >= 1<<MultiplierBits {
+			t.Fatalf("m=%g: multiplier %d out of range", m, r.Mult)
+		}
+		got := float64(r.Mult) / math.Ldexp(1, int(r.Shift))
+		if rel := math.Abs(got-m) / m; rel > 1.0/(1<<(MultiplierBits-1)) {
+			t.Errorf("m=%g: representation %g, relative error %g", m, got, rel)
+		}
+	}
+}
+
+func TestChooseRequantPanics(t *testing.T) {
+	for _, m := range []float64{0, -1, math.NaN(), math.Inf(1), 1 << 20} {
+		func() {
+			defer func() { recover() }()
+			r := ChooseRequant(m)
+			// Values that don't panic must still be sane.
+			if r.Mult == 0 {
+				t.Errorf("m=%g: zero multiplier", m)
+			}
+		}()
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("ChooseRequant(0) did not panic")
+		}
+	}()
+	ChooseRequant(0)
+}
+
+func TestRequantApplyRounding(t *testing.T) {
+	r := Requant{Mult: 1 << 15, Shift: 16} // exactly 0.5
+	if got := r.Apply(3); got != 2 {       // 1.5 rounds half up to 2
+		t.Errorf("0.5×3 = %d, want 2", got)
+	}
+	if got := r.Apply(4); got != 2 {
+		t.Errorf("0.5×4 = %d, want 2", got)
+	}
+	if got := r.Apply(-5); got != 0 {
+		t.Errorf("negative acc = %d, want 0 (post-ReLU)", got)
+	}
+	if got := r.Apply(1 << 20); got != 255 {
+		t.Errorf("huge acc = %d, want saturation", got)
+	}
+}
+
+func TestRequantForLayerMapsMaxTo255(t *testing.T) {
+	f := func(maxAcc uint32) bool {
+		if maxAcc == 0 {
+			return true
+		}
+		acc := int64(maxAcc%(1<<28)) + 255 // keep ≥255 so ratio ≤ 1
+		rq, outScale := RequantForLayer(0.001, acc)
+		q := rq.Apply(acc)
+		// Max accumulator must land on 254..255 after rounding.
+		if q < 254 {
+			return false
+		}
+		// Scale consistency: outScale·255 ≈ accScale·maxAcc.
+		want := 0.001 * float64(acc)
+		got := outScale * 255
+		return math.Abs(got-want)/want < 0.01
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOutScaleDegenerate(t *testing.T) {
+	if got := OutScaleFromMax(0.5, 0); got != 0.5 {
+		t.Errorf("all-zero layer outScale = %f, want accScale", got)
+	}
+}

@@ -1,0 +1,139 @@
+// Package transpose implements the Transpose Memory Unit (TMU) of §III-F:
+// an 8T SRAM array with sense amplifiers in both directions that converts
+// between the bit-parallel (regular) layout the host uses and the
+// transposed layout bit-serial computation requires. A few TMUs sit in
+// each slice's C-BOX and act as the gateway for dynamic data; filter
+// weights can instead be transposed once in software (x86 shuffle/pack),
+// which this package also models for the ablation.
+package transpose
+
+import (
+	"fmt"
+
+	"neuralcache/internal/bitvec"
+)
+
+// Unit is a functional TMU: a square bit matrix writable in rows and
+// readable in columns (and vice versa). The paper's unit is an 8T array of
+// 0.019 mm²; functionally any element width up to 64 bits can stream
+// through in element-sized tiles.
+type Unit struct {
+	bits [64]uint64 // row-major: bits[r] bit c = cell (r, c)
+	// Cycles counts TMU port cycles: one per row written plus one per
+	// column read (both directions are single-cycle accesses in the 8T
+	// design).
+	Cycles uint64
+}
+
+// Reset clears the cells and the cycle counter.
+func (u *Unit) Reset() { *u = Unit{} }
+
+// WriteRegular stores up to 64 n-bit elements (n ≤ 64) in bit-parallel
+// layout: element i occupies row i.
+func (u *Unit) WriteRegular(vals []uint64, n int) {
+	if len(vals) > 64 || n <= 0 || n > 64 {
+		panic(fmt.Sprintf("transpose: %d values × %d bits exceed the 64×64 unit", len(vals), n))
+	}
+	for i, v := range vals {
+		u.bits[i] = v
+		u.Cycles++
+	}
+	for i := len(vals); i < 64; i++ {
+		u.bits[i] = 0
+	}
+}
+
+// ReadTransposed reads bit-slice s of all 64 stored elements: bit i of the
+// result is bit s of element i. One column-direction access cycle.
+func (u *Unit) ReadTransposed(s int) uint64 {
+	if s < 0 || s >= 64 {
+		panic(fmt.Sprintf("transpose: bit-slice %d outside [0,64)", s))
+	}
+	var col uint64
+	for i := 0; i < 64; i++ {
+		col |= (u.bits[i] >> uint(s) & 1) << uint(i)
+	}
+	u.Cycles++
+	return col
+}
+
+// WriteTransposed stores bit-slice s for all 64 elements (the reverse
+// gateway direction, used when reading outputs back to the host).
+func (u *Unit) WriteTransposed(s int, col uint64) {
+	if s < 0 || s >= 64 {
+		panic(fmt.Sprintf("transpose: bit-slice %d outside [0,64)", s))
+	}
+	for i := 0; i < 64; i++ {
+		u.bits[i] &^= 1 << uint(s)
+		u.bits[i] |= (col >> uint(i) & 1) << uint(s)
+	}
+	u.Cycles++
+}
+
+// ReadRegular reads back element i.
+func (u *Unit) ReadRegular(i int) uint64 {
+	if i < 0 || i >= 64 {
+		panic(fmt.Sprintf("transpose: element %d outside [0,64)", i))
+	}
+	u.Cycles++
+	return u.bits[i]
+}
+
+// Bytes converts a block of up to 256 byte elements into the 8 transposed
+// rows an 8 KB array stores them as: row s holds bit s of every element,
+// element i on bit line i. It streams through a Unit in 64-element tiles,
+// so the returned rows are exactly what the TMU gateway would deposit.
+func Bytes(u *Unit, vals []byte) [8]bitvec.Vec256 {
+	if len(vals) > bitvec.Bits {
+		panic(fmt.Sprintf("transpose: %d elements exceed %d bit lines", len(vals), bitvec.Bits))
+	}
+	var rows [8]bitvec.Vec256
+	tile := make([]uint64, 0, 64)
+	for base := 0; base < len(vals); base += 64 {
+		tile = tile[:0]
+		for i := base; i < len(vals) && i < base+64; i++ {
+			tile = append(tile, uint64(vals[i]))
+		}
+		u.WriteRegular(tile, 8)
+		for s := 0; s < 8; s++ {
+			col := u.ReadTransposed(s)
+			rows[s][base/64] = col
+		}
+	}
+	return rows
+}
+
+// UnBytes is the inverse gateway direction: it reconstructs count byte
+// elements from 8 transposed rows.
+func UnBytes(u *Unit, rows [8]bitvec.Vec256, count int) []byte {
+	if count > bitvec.Bits {
+		panic(fmt.Sprintf("transpose: %d elements exceed %d bit lines", count, bitvec.Bits))
+	}
+	vals := make([]byte, count)
+	for base := 0; base < count; base += 64 {
+		for s := 0; s < 8; s++ {
+			u.WriteTransposed(s, rows[s][base/64])
+		}
+		for i := base; i < count && i < base+64; i++ {
+			vals[i] = byte(u.ReadRegular(i - base))
+		}
+	}
+	return vals
+}
+
+// GatewayCycles returns the TMU port cycles to move `bytes` of 8-bit
+// elements through the gateway in one direction: each 64-element tile
+// costs 64 row accesses + 8 column accesses.
+func GatewayCycles(bytes int) uint64 {
+	tiles := (bytes + 63) / 64
+	return uint64(tiles) * (64 + 8)
+}
+
+// SoftwareTransposeCyclesPerKB estimates the per-KB cost of transposing
+// 8-bit data on a host core with SIMD shuffle/pack sequences (the Parabix
+// transform the paper cites): roughly 2.2 CPU cycles per byte on AVX2.
+// Used only by the TMU-vs-software ablation.
+const SoftwareTransposeCyclesPerKB = 2250
+
+// AreaMM2 is the TMU area reported in Figure 8 of the paper.
+const AreaMM2 = 0.019

@@ -1,0 +1,121 @@
+package transpose
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"neuralcache/internal/sram"
+)
+
+func TestUnitRowColumnDual(t *testing.T) {
+	var u Unit
+	vals := make([]uint64, 64)
+	r := rand.New(rand.NewSource(1))
+	for i := range vals {
+		vals[i] = uint64(r.Uint32()) & 0xff
+	}
+	u.WriteRegular(vals, 8)
+	for s := 0; s < 8; s++ {
+		col := u.ReadTransposed(s)
+		for i := 0; i < 64; i++ {
+			want := vals[i] >> uint(s) & 1
+			if got := col >> uint(i) & 1; got != want {
+				t.Fatalf("slice %d element %d: bit %d, want %d", s, i, got, want)
+			}
+		}
+	}
+}
+
+func TestUnitReverseDirection(t *testing.T) {
+	var u Unit
+	cols := make([]uint64, 8)
+	r := rand.New(rand.NewSource(2))
+	for s := range cols {
+		cols[s] = r.Uint64()
+		u.WriteTransposed(s, cols[s])
+	}
+	for i := 0; i < 64; i++ {
+		var want uint64
+		for s := 0; s < 8; s++ {
+			want |= (cols[s] >> uint(i) & 1) << uint(s)
+		}
+		if got := u.ReadRegular(i); got != want {
+			t.Fatalf("element %d = %d, want %d", i, got, want)
+		}
+	}
+}
+
+func TestBytesRoundTripProperty(t *testing.T) {
+	f := func(data []byte) bool {
+		if len(data) > 256 {
+			data = data[:256]
+		}
+		var u Unit
+		rows := Bytes(&u, data)
+		back := UnBytes(&u, rows, len(data))
+		return bytes.Equal(data, back)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBytesMatchArrayTransposedLayout(t *testing.T) {
+	// The rows the TMU produces must be exactly what WriteElement would
+	// store: element i on bit line i, LSB on the lowest row.
+	data := make([]byte, 256)
+	r := rand.New(rand.NewSource(3))
+	r.Read(data)
+	var u Unit
+	rows := Bytes(&u, data)
+
+	var viaTMU, viaHost sram.Array
+	for s, row := range rows {
+		viaTMU.PokeRow(s, row)
+	}
+	for i, b := range data {
+		viaHost.WriteElement(i, 0, 8, uint64(b))
+	}
+	for lane := range data {
+		tmuVal := viaTMU.PeekElement(lane, 0, 8)
+		hostVal := viaHost.PeekElement(lane, 0, 8)
+		if tmuVal != hostVal || tmuVal != uint64(data[lane]) {
+			t.Fatalf("lane %d: TMU %d, host %d, want %d", lane, tmuVal, hostVal, data[lane])
+		}
+	}
+}
+
+func TestGatewayCycles(t *testing.T) {
+	if got := GatewayCycles(64); got != 72 {
+		t.Errorf("64 bytes = %d cycles, want 72", got)
+	}
+	if got := GatewayCycles(65); got != 144 {
+		t.Errorf("65 bytes = %d cycles, want 144 (two tiles)", got)
+	}
+	if got := GatewayCycles(0); got != 0 {
+		t.Errorf("0 bytes = %d cycles", got)
+	}
+}
+
+func TestUnitPanicsOutOfRange(t *testing.T) {
+	var u Unit
+	for _, fn := range []func(){
+		func() { u.WriteRegular(make([]uint64, 65), 8) },
+		func() { u.WriteRegular(nil, 0) },
+		func() { u.ReadTransposed(64) },
+		func() { u.WriteTransposed(-1, 0) },
+		func() { u.ReadRegular(64) },
+		func() { Bytes(&u, make([]byte, 257)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}

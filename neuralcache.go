@@ -1,0 +1,103 @@
+// Package neuralcache is a from-scratch reproduction of Neural Cache
+// (Eckert et al., ISCA 2018): bit-serial in-SRAM acceleration of deep
+// neural networks inside a server-class last-level cache.
+//
+// The package is a facade over the full simulator in internal/: a
+// bit-accurate compute-SRAM array model, the Xeon-E5-class cache geometry
+// and interconnect, the transpose gateway, the data-layout engine, a
+// quantized Inception v3, analytical CPU/GPU baselines, and the analytic
+// cycle/energy ledger that regenerates every table and figure of the
+// paper's evaluation.
+//
+// Three entry points:
+//
+//   - System.Estimate prices an inference (or batch) on the modeled cache:
+//     latency, phase breakdown, energy, power, throughput.
+//   - System.Run executes a (small) network bit-accurately on simulated
+//     SRAM arrays and returns the quantized output, verified elsewhere to
+//     match the integer reference executor bit for bit.
+//   - System.VectorAdd / VectorMul / VectorSub expose the underlying
+//     in-cache bit-serial SIMD directly, Compute-Cache style.
+package neuralcache
+
+import (
+	"fmt"
+
+	"neuralcache/internal/core"
+	"neuralcache/internal/geometry"
+)
+
+// Config selects the modeled system. The zero value is not valid; start
+// from DefaultConfig.
+type Config struct {
+	// Slices sizes the LLC: 14 slices = 35 MB (the paper's default),
+	// 18 = 45 MB, 24 = 60 MB (Table IV).
+	Slices int
+	// Sockets is the number of host CPUs; throughput scales linearly.
+	Sockets int
+	// BankLatch enables the 64-bit per-bank input latch (§IV-C); disable
+	// for the ablation.
+	BankLatch bool
+	// FilterPacking enables 1×1-filter channel packing (§IV-A); disable
+	// for the ablation.
+	FilterPacking bool
+	// IncludeDRAMEnergy folds DRAM transfer energy into reported package
+	// energy (the paper's Table III excludes it).
+	IncludeDRAMEnergy bool
+}
+
+// DefaultConfig returns the paper's evaluated configuration: a dual-socket
+// Xeon E5-2697 v3 with a 35 MB LLC.
+func DefaultConfig() Config {
+	return Config{Slices: 14, Sockets: 2, BankLatch: true, FilterPacking: true}
+}
+
+// System is a configured Neural Cache.
+type System struct {
+	cfg  Config
+	core *core.System
+}
+
+// New builds a system.
+func New(cfg Config) (*System, error) {
+	if cfg.Slices <= 0 {
+		return nil, fmt.Errorf("neuralcache: %d slices", cfg.Slices)
+	}
+	if cfg.Sockets <= 0 {
+		return nil, fmt.Errorf("neuralcache: %d sockets", cfg.Sockets)
+	}
+	cc := core.DefaultConfig().WithSlices(cfg.Slices)
+	cc.Sockets = cfg.Sockets
+	cc.Fabric.BankLatch = cfg.BankLatch
+	cc.Mapping.PackingEnabled = cfg.FilterPacking
+	cc.IncludeDRAMEnergy = cfg.IncludeDRAMEnergy
+	sys, err := core.New(cc)
+	if err != nil {
+		return nil, err
+	}
+	return &System{cfg: cfg, core: sys}, nil
+}
+
+// Config returns the facade configuration.
+func (s *System) Config() Config { return s.cfg }
+
+// Lanes returns the bit-serial ALU slots of the modeled cache
+// (1,146,880 for the 35 MB default).
+func (s *System) Lanes() int { return s.geometry().Lanes() }
+
+// Arrays returns the number of 8 KB compute SRAM arrays (4480 default).
+func (s *System) Arrays() int { return s.geometry().TotalArrays() }
+
+// CapacityBytes returns the modeled cache capacity.
+func (s *System) CapacityBytes() int { return s.geometry().CapacityBytes() }
+
+func (s *System) geometry() geometry.Config { return s.core.Config().Geometry }
+
+// PeakTOPS returns the peak 8-bit tera-operations per second of the
+// compute lanes (2 ops per MAC at the paper's 236-cycle 8-bit MAC),
+// the §VII "28 TOP/s at 22 nm" headline.
+func (s *System) PeakTOPS() float64 {
+	cost := s.core.Config().Cost
+	macRate := cost.FreqGHz * 1e9 / float64(cost.MACCycles())
+	return float64(s.Lanes()) * macRate * 2 / 1e12
+}

@@ -1,0 +1,275 @@
+package neuralcache
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestDefaultSystemFacts(t *testing.T) {
+	s, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Lanes(); got != 1146880 {
+		t.Errorf("Lanes = %d, want 1,146,880", got)
+	}
+	if got := s.Arrays(); got != 4480 {
+		t.Errorf("Arrays = %d, want 4480", got)
+	}
+	if got := s.CapacityBytes(); got != 35<<20 {
+		t.Errorf("Capacity = %d, want 35 MB", got)
+	}
+	// §VII claims 28 TOP/s at 22 nm; the 236-cycle MAC model gives ≈24.
+	if tops := s.PeakTOPS(); tops < 20 || tops > 32 {
+		t.Errorf("PeakTOPS = %.1f, want ≈28 (paper §VII)", tops)
+	}
+}
+
+func TestNewRejectsBadConfig(t *testing.T) {
+	for _, cfg := range []Config{{}, {Slices: 14}, {Slices: -1, Sockets: 2}} {
+		if _, err := New(cfg); err == nil {
+			t.Errorf("config %+v accepted", cfg)
+		}
+	}
+}
+
+func TestEstimateInceptionHeadline(t *testing.T) {
+	s, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := s.Estimate(InceptionV3(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms := est.LatencySeconds * 1e3
+	if ms < 4.25 || ms > 5.2 {
+		t.Errorf("latency %.2f ms, paper reports 4.72", ms)
+	}
+	cpu, gpu := CPUBaseline(), GPUBaseline()
+	if r := cpu.LatencySeconds() / est.LatencySeconds; r < 15 || r > 21 {
+		t.Errorf("CPU speedup %.1f×, paper reports 18.3×", r)
+	}
+	if r := gpu.LatencySeconds() / est.LatencySeconds; r < 6.5 || r > 9 {
+		t.Errorf("GPU speedup %.1f×, paper reports 7.7×", r)
+	}
+	if est.Phase("filter-load") <= est.Phase("mac") {
+		t.Error("filter loading should dominate MACs (Figure 14)")
+	}
+	if len(est.Layers) != 20 {
+		t.Errorf("%d layer timings, want 20", len(est.Layers))
+	}
+	// Energy ratios (Table III: 37.1× CPU, 16.6× GPU).
+	if r := cpu.EnergyJ() / est.EnergyJ; r < 25 || r > 50 {
+		t.Errorf("CPU energy ratio %.1f×, paper reports 37.1×", r)
+	}
+	if r := gpu.EnergyJ() / est.EnergyJ; r < 11 || r > 23 {
+		t.Errorf("GPU energy ratio %.1f×, paper reports 16.6×", r)
+	}
+}
+
+func TestLayerTableMatchesPaperRow(t *testing.T) {
+	rows := InceptionV3().LayerTable()
+	if len(rows) != 20 {
+		t.Fatalf("%d rows, want 20", len(rows))
+	}
+	r := rows[2] // Conv2D_2b_3x3
+	if r.Name != "Conv2D_2b_3x3" || r.Convolutions != 1382976 || r.FilterBytes != 18432 {
+		t.Errorf("row 2 = %+v", r)
+	}
+}
+
+func TestRunSmallCNNEndToEnd(t *testing.T) {
+	s, err := New(Config{Slices: 1, Sockets: 1, BankLatch: true, FilterPacking: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := SmallCNN()
+	m.InitWeights(42)
+	h, w, c := m.InputShape()
+	in := NewTensor(h, w, c, 1.0/255)
+	rng := rand.New(rand.NewSource(9))
+	for i := range in.Data {
+		in.Data[i] = uint8(rng.Intn(256))
+	}
+	res, err := s.Run(m, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Logits) != 10 {
+		t.Fatalf("logits = %d, want 10", len(res.Logits))
+	}
+	if got := res.Argmax(); got < 0 || got > 9 {
+		t.Errorf("Argmax = %d", got)
+	}
+	if res.ComputeCycles == 0 || res.ArraysUsed == 0 {
+		t.Errorf("no in-array work recorded: %+v", res)
+	}
+	// Wrong input shape must be rejected.
+	if _, err := s.Run(m, NewTensor(2, 2, 1, 1)); err == nil {
+		t.Error("wrong shape accepted")
+	}
+}
+
+func TestVectorOps(t *testing.T) {
+	s, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 1000
+	a := make([]uint64, n)
+	b := make([]uint64, n)
+	rng := rand.New(rand.NewSource(5))
+	for i := range a {
+		a[i] = uint64(rng.Intn(256))
+		b[i] = uint64(rng.Intn(256))
+	}
+	sum, st, err := s.VectorAdd(a, b, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.ChargedCycles != 9 {
+		t.Errorf("add charged %d cycles, want n+1 = 9", st.ChargedCycles)
+	}
+	if st.Arrays != 4 { // 1000 elements over 256-lane arrays
+		t.Errorf("arrays = %d, want 4", st.Arrays)
+	}
+	prod, stm, err := s.VectorMul(a, b, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stm.ChargedCycles != 102 {
+		t.Errorf("mul charged %d cycles, want 102", stm.ChargedCycles)
+	}
+	diff, _, err := s.VectorSub(a, b, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxv, _, err := s.VectorMax(a, b, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if sum[i] != a[i]+b[i] {
+			t.Fatalf("add[%d] = %d, want %d", i, sum[i], a[i]+b[i])
+		}
+		if prod[i] != a[i]*b[i] {
+			t.Fatalf("mul[%d] = %d, want %d", i, prod[i], a[i]*b[i])
+		}
+		if diff[i] != (a[i]-b[i])&0xff {
+			t.Fatalf("sub[%d] = %d, want %d", i, diff[i], (a[i]-b[i])&0xff)
+		}
+		want := a[i]
+		if b[i] > want {
+			want = b[i]
+		}
+		if maxv[i] != want {
+			t.Fatalf("max[%d] = %d, want %d", i, maxv[i], want)
+		}
+	}
+	// The bit-serial win: time is flat in element count.
+	if st.Seconds > 10e-9 {
+		t.Errorf("1000-element add took %.2f ns of charged time, want < 10 ns", st.Seconds*1e9)
+	}
+}
+
+func TestVectorOpsValidation(t *testing.T) {
+	s, _ := New(DefaultConfig())
+	if _, _, err := s.VectorAdd([]uint64{1}, []uint64{1, 2}, 8); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, _, err := s.VectorAdd([]uint64{1}, []uint64{1}, 0); err == nil {
+		t.Error("zero width accepted")
+	}
+	if _, _, err := s.VectorAdd([]uint64{1}, []uint64{1}, 20); err == nil {
+		t.Error("width 20 accepted")
+	}
+	huge := make([]uint64, s.Lanes()+1)
+	if _, _, err := s.VectorAdd(huge, huge, 8); err == nil {
+		t.Error("over-capacity vector accepted")
+	}
+}
+
+func TestCapacitySweepFacade(t *testing.T) {
+	var prev float64 = math.Inf(1)
+	for _, slices := range []int{14, 18, 24} {
+		cfg := DefaultConfig()
+		cfg.Slices = slices
+		s, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		est, err := s.Estimate(InceptionV3(), 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if est.LatencySeconds >= prev {
+			t.Errorf("slices=%d latency %.3f ms did not improve", slices, est.LatencySeconds*1e3)
+		}
+		prev = est.LatencySeconds
+	}
+}
+
+func TestResNet18FacadeEstimate(t *testing.T) {
+	s, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := ResNet18()
+	if m.Name() != "resnet_18" {
+		t.Errorf("name = %q", m.Name())
+	}
+	if h, w, c := m.InputShape(); h != 224 || w != 224 || c != 3 {
+		t.Errorf("input %dx%dx%d", h, w, c)
+	}
+	est, err := s.Estimate(m, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.LatencySeconds <= 0 || est.LatencySeconds > 5e-3 {
+		t.Errorf("ResNet-18 latency %.3f ms", est.LatencySeconds*1e3)
+	}
+	// Half the weights of Inception → visibly lower filter-load time.
+	inc, err := s.Estimate(InceptionV3(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Phase("filter-load") >= inc.Phase("filter-load") {
+		t.Error("ResNet-18 filter loading should be cheaper than Inception v3's")
+	}
+}
+
+func TestSmallResNetRunMatchesReference(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Slices = 1
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := SmallResNet()
+	m.InitWeights(8)
+	h, w, c := m.InputShape()
+	in := NewTensor(h, w, c, 1.0/255)
+	for i := range in.Data {
+		in.Data[i] = uint8(i * 31)
+	}
+	got, err := s.Run(m, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := m.RunReference(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ref.Output.Data {
+		if got.Output.Data[i] != ref.Output.Data[i] {
+			t.Fatalf("byte %d differs", i)
+		}
+	}
+	for i := range ref.Logits {
+		if got.Logits[i] != ref.Logits[i] {
+			t.Fatalf("logit %d differs", i)
+		}
+	}
+}

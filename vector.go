@@ -1,0 +1,93 @@
+package neuralcache
+
+import (
+	"fmt"
+
+	"neuralcache/internal/isa"
+	"neuralcache/internal/sram"
+)
+
+// Compute-Cache-style vector API: element-wise bit-serial arithmetic on
+// the cache's lanes. Operands are spread 256 elements per simulated 8 KB
+// array; every array executes the same broadcast instruction in lockstep
+// (§IV-F), so the charged wall-clock cost of an operation is independent
+// of the element count until the cache's lanes are exhausted.
+
+// VectorStats describes one vector operation's execution.
+type VectorStats struct {
+	Lanes         int     // elements processed in parallel
+	Arrays        int     // simulated arrays used
+	ChargedCycles uint64  // paper-closed-form cycles (lockstep wall clock)
+	Seconds       float64 // ChargedCycles at the compute clock
+	ComputeCycles uint64  // emergent stepped-microcode cycles per array
+}
+
+func (s *System) vectorOp(op isa.Op, a, b []uint64, bits, outBits int) ([]uint64, *VectorStats, error) {
+	if len(a) != len(b) {
+		return nil, nil, fmt.Errorf("neuralcache: operand lengths %d and %d differ", len(a), len(b))
+	}
+	if bits <= 0 || bits > 16 {
+		return nil, nil, fmt.Errorf("neuralcache: operand width %d outside 1..16", bits)
+	}
+	if len(a) > s.Lanes() {
+		return nil, nil, fmt.Errorf("neuralcache: %d elements exceed the cache's %d lanes", len(a), s.Lanes())
+	}
+	mask := uint64(1)<<uint(bits) - 1
+	out := make([]uint64, len(a))
+	// Row map: a at 0, b at bits, result at 2·bits (up to 2·bits rows),
+	// scratch above the result.
+	inst := isa.Instruction{
+		Op: op, A: 0, B: bits, Dst: 2 * bits,
+		Scratch: 2*bits + outBits, Width: bits,
+	}
+
+	var stats VectorStats
+	for base := 0; base < len(a); base += sram.BitLines {
+		n := len(a) - base
+		if n > sram.BitLines {
+			n = sram.BitLines
+		}
+		var arr sram.Array
+		av := make([]uint64, n)
+		bv := make([]uint64, n)
+		for i := 0; i < n; i++ {
+			av[i] = a[base+i] & mask
+			bv[i] = b[base+i] & mask
+		}
+		arr.WriteElements(0, bits, av)
+		arr.WriteElements(bits, bits, bv)
+		before := arr.Stats().ComputeCycles
+		isa.Execute(&arr, inst)
+		stats.ComputeCycles = arr.Stats().ComputeCycles - before
+		for i, v := range arr.ReadElements(inst.Dst, outBits, n) {
+			out[base+i] = v
+		}
+		stats.Arrays++
+	}
+	stats.Lanes = len(a)
+	stats.ChargedCycles = uint64(isa.ChargedCycles(inst))
+	stats.Seconds = float64(stats.ChargedCycles) / (s.core.Config().Cost.FreqGHz * 1e9)
+	return out, &stats, nil
+}
+
+// VectorAdd returns a+b element-wise at the given operand width
+// (results are bits+1 wide; cost n+1 cycles regardless of length).
+func (s *System) VectorAdd(a, b []uint64, bits int) ([]uint64, *VectorStats, error) {
+	return s.vectorOp(isa.OpAdd, a, b, bits, bits+1)
+}
+
+// VectorMul returns a·b element-wise (results 2·bits wide; cost n²+5n−2
+// charged cycles).
+func (s *System) VectorMul(a, b []uint64, bits int) ([]uint64, *VectorStats, error) {
+	return s.vectorOp(isa.OpMultiply, a, b, bits, 2*bits)
+}
+
+// VectorSub returns a−b element-wise modulo 2^bits.
+func (s *System) VectorSub(a, b []uint64, bits int) ([]uint64, *VectorStats, error) {
+	return s.vectorOp(isa.OpSub, a, b, bits, bits)
+}
+
+// VectorMax returns max(a, b) element-wise.
+func (s *System) VectorMax(a, b []uint64, bits int) ([]uint64, *VectorStats, error) {
+	return s.vectorOp(isa.OpMax, a, b, bits, bits)
+}

@@ -7,6 +7,7 @@
 package neuralcache_test
 
 import (
+	"fmt"
 	"testing"
 
 	"neuralcache"
@@ -231,6 +232,71 @@ func BenchmarkFunctionalSmallCNN(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(res.ComputeCycles), "array_cycles")
+}
+
+// BenchmarkRunFunctional measures a full bit-accurate in-cache inference
+// at different worker-pool sizes. The outputs, traces and cycle stats are
+// bit-identical across all of them (locked in by
+// core.TestParallelGoldenEquivalence); only wall-clock time changes. On a
+// multi-core host, workers=4 should run ≥ 2× faster than workers=1; on a
+// single-core CI runner the sub-benchmarks merely document the knob.
+func BenchmarkRunFunctional(b *testing.B) {
+	m := neuralcache.SmallCNN()
+	m.InitWeights(1)
+	h, w, c := m.InputShape()
+	in := neuralcache.NewTensor(h, w, c, 1.0/255)
+	for i := range in.Data {
+		in.Data[i] = uint8(i * 7)
+	}
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers%d", workers), func(b *testing.B) {
+			cfg := neuralcache.DefaultConfig()
+			cfg.Slices = 1
+			cfg.Workers = workers
+			sys, err := neuralcache.New(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			var res *neuralcache.InferenceResult
+			for i := 0; i < b.N; i++ {
+				res, err = sys.Run(m, in)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(res.ComputeCycles), "array_cycles")
+		})
+	}
+}
+
+// BenchmarkRunFunctionalParallel measures the multi-array path at the
+// default worker count (GOMAXPROCS): WideCNN's 512-lane convolution
+// spills across array pairs with interconnect-routed partial-sum reduce.
+func BenchmarkRunFunctionalParallel(b *testing.B) {
+	cfg := neuralcache.DefaultConfig()
+	cfg.Slices = 1
+	sys, err := neuralcache.New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := neuralcache.WideCNN()
+	m.InitWeights(11)
+	h, w, c := m.InputShape()
+	in := neuralcache.NewTensor(h, w, c, 1.0/255)
+	for i := range in.Data {
+		in.Data[i] = uint8(i * 3)
+	}
+	b.ResetTimer()
+	var res *neuralcache.InferenceResult
+	for i := 0; i < b.N; i++ {
+		res, err = sys.Run(m, in)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(res.ComputeCycles), "array_cycles")
+	b.ReportMetric(float64(res.FabricBusCycles), "fabric_cycles")
 }
 
 // BenchmarkResNet18Estimate prices the extension model: ResNet-18 with

@@ -27,18 +27,20 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("ncsim: ")
 	var (
-		model   = flag.String("model", "inception", "model: inception, resnet, small, smallresnet, branchy, bn")
+		model   = flag.String("model", "inception", "model: inception, resnet, small, smallresnet, branchy, wide, bn")
 		batch   = flag.Int("batch", 1, "batch size (analytic mode)")
 		slices  = flag.Int("slices", 14, "LLC slices (14=35MB, 18=45MB, 24=60MB)")
 		sockets = flag.Int("sockets", 2, "host sockets (throughput scaling)")
 		mode    = flag.String("mode", "analytic", "mode: analytic or functional")
 		seed    = flag.Int64("seed", 42, "weight/input seed (functional mode)")
+		workers = flag.Int("workers", 0, "functional-engine worker goroutines (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 
 	cfg := neuralcache.DefaultConfig()
 	cfg.Slices = *slices
 	cfg.Sockets = *sockets
+	cfg.Workers = *workers
 	sys, err := neuralcache.New(cfg)
 	if err != nil {
 		log.Fatal(err)
@@ -56,6 +58,8 @@ func main() {
 		m = neuralcache.SmallResNet()
 	case "branchy":
 		m = neuralcache.BranchyCNN()
+	case "wide":
+		m = neuralcache.WideCNN()
 	case "bn":
 		m = neuralcache.BNNet()
 	default:
@@ -120,4 +124,7 @@ func runFunctional(sys *neuralcache.System, m *neuralcache.Model, seed int64) {
 	fmt.Printf("  arrays used:     %d\n", res.ArraysUsed)
 	fmt.Printf("  compute cycles:  %d (stepped bit-serial microcode)\n", res.ComputeCycles)
 	fmt.Printf("  access cycles:   %d (host/TMU reads and writes)\n", res.AccessCycles)
+	if res.FabricBusCycles > 0 {
+		fmt.Printf("  fabric cycles:   %d (cross-array partial-sum reduce)\n", res.FabricBusCycles)
+	}
 }

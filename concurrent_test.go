@@ -1,0 +1,107 @@
+package neuralcache
+
+import (
+	"sync"
+	"testing"
+)
+
+// A System is immutable after New: Run and Estimate build all mutable
+// state (the simulated cache, the report) per call. These tests pin that
+// contract down by hammering one System from several goroutines; run them
+// under `go test -race` to turn any regression into a hard failure.
+
+func TestConcurrentRunSameSystem(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Slices = 1
+	sys, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := SmallCNN()
+	m.InitWeights(7)
+	h, w, c := m.InputShape()
+	in := NewTensor(h, w, c, 1.0/255)
+	for i := range in.Data {
+		in.Data[i] = uint8(i * 11)
+	}
+	want, err := sys.Run(m, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const goroutines = 4
+	results := make([]*InferenceResult, goroutines)
+	errs := make([]error, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			results[g], errs[g] = sys.Run(m, in)
+		}(g)
+	}
+	wg.Wait()
+	for g := 0; g < goroutines; g++ {
+		if errs[g] != nil {
+			t.Fatalf("goroutine %d: %v", g, errs[g])
+		}
+		r := results[g]
+		for i := range want.Output.Data {
+			if r.Output.Data[i] != want.Output.Data[i] {
+				t.Fatalf("goroutine %d: output byte %d differs", g, i)
+			}
+		}
+		if r.ComputeCycles != want.ComputeCycles || r.AccessCycles != want.AccessCycles ||
+			r.ArraysUsed != want.ArraysUsed {
+			t.Fatalf("goroutine %d: counters differ: %+v vs %+v", g, r, want)
+		}
+	}
+}
+
+func TestConcurrentRunAndEstimateSameSystem(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Slices = 1
+	sys, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := SmallCNN()
+	m.InitWeights(3)
+	h, w, c := m.InputShape()
+	in := NewTensor(h, w, c, 1.0/255)
+	for i := range in.Data {
+		in.Data[i] = uint8(i * 5)
+	}
+	wantEst, err := sys.Estimate(m, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	errCh := make(chan error, 4)
+	for g := 0; g < 2; g++ {
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			if _, err := sys.Run(m, in); err != nil {
+				errCh <- err
+			}
+		}()
+		go func() {
+			defer wg.Done()
+			est, err := sys.Estimate(m, 1)
+			if err != nil {
+				errCh <- err
+				return
+			}
+			if est.LatencySeconds != wantEst.LatencySeconds {
+				t.Errorf("concurrent estimate latency %g, want %g", est.LatencySeconds, wantEst.LatencySeconds)
+			}
+		}()
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,3 @@
+module neuralcache
+
+go 1.22

@@ -18,13 +18,22 @@ type InferenceResult struct {
 	ComputeCycles uint64
 	AccessCycles  uint64
 	ArraysUsed    int
+	// FabricBusCycles is the intra-slice bus time charged for cross-array
+	// partial-sum reduction; nonzero only when a convolution's lanes
+	// spill across an array pair (for example Model WideCNN).
+	FabricBusCycles uint64
 }
 
 // Run executes the model bit-accurately on simulated compute arrays. The
 // model must have weights (InitWeights) and the input must match its
-// shape. Functional execution supports convolutions whose effective
-// channels fit one array (≤256 lanes); every bundled verification model
-// qualifies, while Inception v3 is meant for Estimate.
+// shape. A layer's independent work groups run in parallel on
+// Config.Workers goroutines; convolutions whose effective channels exceed
+// 256 lanes spill across an array pair with the partial-sum reduction
+// routed over the modeled interconnect, so every bundled verification
+// model runs bit-accurately (Inception v3 remains Estimate-scale).
+//
+// Run is safe for concurrent use: each call simulates its own cache, and
+// the System itself is immutable.
 func (s *System) Run(m *Model, in *Tensor) (*InferenceResult, error) {
 	h, w, c := m.InputShape()
 	if in.H != h || in.W != w || in.C != c {
@@ -36,10 +45,11 @@ func (s *System) Run(m *Model, in *Tensor) (*InferenceResult, error) {
 		return nil, err
 	}
 	out := &InferenceResult{
-		Output:        fromInternal(res.Output),
-		ComputeCycles: res.Stats.ComputeCycles,
-		AccessCycles:  res.Stats.AccessCycles,
-		ArraysUsed:    res.ArraysUsed,
+		Output:          fromInternal(res.Output),
+		ComputeCycles:   res.Stats.ComputeCycles,
+		AccessCycles:    res.Stats.AccessCycles,
+		ArraysUsed:      res.ArraysUsed,
+		FabricBusCycles: res.FabricCycles,
 	}
 	if res.Trace.Logits != nil {
 		out.Logits = append([]int32(nil), res.Trace.Logits...)
@@ -96,10 +106,11 @@ func (s *System) RunWithFaults(m *Model, in *Tensor, faults []Fault) (*Inference
 		return nil, err
 	}
 	out := &InferenceResult{
-		Output:        fromInternal(res.Output),
-		ComputeCycles: res.Stats.ComputeCycles,
-		AccessCycles:  res.Stats.AccessCycles,
-		ArraysUsed:    res.ArraysUsed,
+		Output:          fromInternal(res.Output),
+		ComputeCycles:   res.Stats.ComputeCycles,
+		AccessCycles:    res.Stats.AccessCycles,
+		ArraysUsed:      res.ArraysUsed,
+		FabricBusCycles: res.FabricCycles,
 	}
 	if res.Trace.Logits != nil {
 		out.Logits = append([]int32(nil), res.Trace.Logits...)

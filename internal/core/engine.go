@@ -23,6 +23,13 @@ type Config struct {
 	// node; latency is per-socket).
 	Sockets int
 
+	// Workers bounds the goroutines the functional engine uses to execute
+	// a layer's independent convolution/pooling groups in parallel. 0 (the
+	// default) means GOMAXPROCS; 1 forces fully sequential execution. The
+	// result — output bytes, trace, cycle stats, arrays used — is
+	// bit-identical for every worker count; only wall-clock time changes.
+	Workers int
+
 	// InputMulticastFactor is the average fan-out one intra-slice bus
 	// transfer achieves when depositing replicated input windows beyond
 	// the bank latch (partial multicast of M-replicated windows across
@@ -77,6 +84,9 @@ func (c Config) Validate() error {
 	}
 	if c.Sockets <= 0 {
 		return fmt.Errorf("core: %d sockets", c.Sockets)
+	}
+	if c.Workers < 0 {
+		return fmt.Errorf("core: negative worker count %d", c.Workers)
 	}
 	if c.InputMulticastFactor < 1 || c.OutputPathOverhead < 1 {
 		return fmt.Errorf("core: calibration factors below 1: %+v", c)

@@ -2,8 +2,11 @@ package core
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
 
 	"neuralcache/internal/geometry"
+	"neuralcache/internal/interconnect"
 	"neuralcache/internal/mapping"
 	"neuralcache/internal/nn"
 	"neuralcache/internal/sram"
@@ -19,9 +22,27 @@ import (
 // (nn.FinishConv, nn.MergeConcat), so a bit-exact match with the reference
 // validates the in-array compute path end to end.
 //
-// Functional mode exists for verification; it restricts convolutions to
-// LanesPerConv ≤ 256 (one array per convolution), which every
-// verification network satisfies. Timing comes from the analytic mode.
+// The engine mirrors the hardware's parallelism in software: a layer's
+// independent work groups (each group owning the array, or array pair, its
+// lanes live on) are partitioned across a worker pool bounded by
+// Config.Workers (default GOMAXPROCS). No array is ever shared between
+// goroutines — groups that reuse an array via cursor wrap-around are
+// pinned to the same worker in ascending group order, so every array sees
+// exactly the op stream a single-worker run would issue. Layers form
+// barriers: the host-side scalar steps (requantization decisions, trace
+// entries) run on the calling goroutine between layers, and cycle stats
+// are summed over arrays in fixed index order after all workers quiesce.
+// Output bytes, trace, stats and ArraysUsed are therefore bit-identical
+// for every worker count.
+//
+// Convolutions are no longer limited to one array: a convolution whose
+// effective channels exceed 256 lanes spills onto the sense-amp-sharing
+// partner array (LanesPerConv = 512). Each array reduces its own 256-lane
+// segment in-array; the segment partial sums (and Σq_a in the resident-
+// input layouts) are then shipped to the group's lead array over the
+// intra-slice bus — the §IV-D inter-array reduce — and the final add runs
+// in-array on the lead. The bus traffic and cycles of those transfers are
+// reported in FunctionalResult.Fabric / FabricCycles.
 
 // FunctionalResult is the outcome of a bit-accurate run.
 type FunctionalResult struct {
@@ -31,11 +52,20 @@ type FunctionalResult struct {
 	Stats sram.Stats
 	// ArraysUsed counts distinct compute arrays touched.
 	ArraysUsed int
+	// Fabric is the interconnect traffic of cross-array partial-sum
+	// reduction — nonzero only when a convolution's lanes spill across an
+	// array pair (LanesPerConv > 256).
+	Fabric interconnect.Traffic
+	// FabricCycles is the intra-slice bus time charged for those
+	// inter-array reduce transfers.
+	FabricCycles uint64
 }
 
 // FaultInjector mutates a compute array the first time the functional
 // engine touches it (fault-campaign hook); ordinal is the round-robin
-// compute-array index.
+// compute-array index. With Workers > 1 the injector may be invoked from
+// multiple goroutines concurrently, but never for the same ordinal twice
+// and never while any other goroutine holds that array.
 type FaultInjector func(ordinal int, a *sram.Array)
 
 // RunFunctional executes the network bit-accurately on instantiated
@@ -53,65 +83,155 @@ func (s *System) RunFunctionalFaulty(net *nn.Network, in *tensor.Quant, inject F
 	if err := net.Validate(); err != nil {
 		return nil, err
 	}
+	workers := s.cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	cache := geometry.New(s.cfg.Geometry)
 	f := &funcExec{
-		sys:    s,
-		cache:  geometry.New(s.cfg.Geometry),
-		tr:     &nn.Trace{},
-		inject: inject,
-		seen:   map[int]bool{},
+		sys:     s,
+		cache:   cache,
+		tr:      &nn.Trace{},
+		inject:  inject,
+		touched: make([]bool, s.cfg.Geometry.ComputeArrays()),
+		workers: workers,
 	}
 	out, err := f.seq(net.Layers, in)
 	if err != nil {
 		return nil, err
 	}
+	used := 0
+	for _, t := range f.touched {
+		if t {
+			used++
+		}
+	}
 	return &FunctionalResult{
-		Output:     out,
-		Trace:      f.tr,
-		Stats:      f.cache.Stats(),
-		ArraysUsed: f.used,
+		Output:       out,
+		Trace:        f.tr,
+		Stats:        f.cache.Stats(),
+		ArraysUsed:   used,
+		Fabric:       f.fabric,
+		FabricCycles: f.fabricCycles,
 	}, nil
 }
 
 type funcExec struct {
-	sys    *System
-	cache  *geometry.Cache
-	tr     *nn.Trace
-	next   int // round-robin compute array cursor
-	used   int
-	inject FaultInjector
-	seen   map[int]bool
+	sys     *System
+	cache   *geometry.Cache
+	tr      *nn.Trace
+	next    int    // round-robin compute array cursor (ordinal)
+	touched []bool // per-ordinal first-use marker (injection + ArraysUsed)
+	inject  FaultInjector
+	workers int
+
+	// Inter-array reduce accounting, merged from per-group shares in
+	// ascending group order after each parallel section.
+	fabric       interconnect.Traffic
+	fabricCycles uint64
 }
 
-// nextArray returns the next compute array in round-robin order. Arrays
-// are not cleared between uses: every group fully overwrites the regions
-// it computes in, exactly as the stationary-filter schedule does.
-func (f *funcExec) nextArray() *sram.Array {
-	cfg := f.cache.Config()
-	n := cfg.ComputeArrays()
-	idx := f.next % n
-	f.next++
-	if f.used < n {
-		f.used++
-	}
-	// Map the compute-array ordinal to a structured address (skipping
-	// reserved ways).
-	perSlice := cfg.ComputeArraysPerSlice()
-	slice := idx / perSlice
-	rem := idx % perSlice
-	perWay := cfg.ArraysPerWay()
-	way := rem / perWay
-	rem %= perWay
-	perBank := cfg.ArraysPerBank()
-	bank := rem / perBank
-	rem %= perBank
-	sub := rem / cfg.ArraysPerSubArray
-	ai := rem % cfg.ArraysPerSubArray
-	arr := f.cache.Array(geometry.ArrayAddr{Slice: slice, Way: way, Bank: bank, SubArray: sub, Index: ai})
-	if f.inject != nil && !f.seen[idx] {
-		f.seen[idx] = true
-		f.inject(idx, arr)
+// fabricShare is one group's interconnect contribution. Each group writes
+// only its own share; runGroups folds the shares into the engine totals in
+// ascending group order after the barrier, so the ledger is identical for
+// any worker count.
+type fabricShare struct {
+	traffic interconnect.Traffic
+	cycles  uint64
+}
+
+// arrayFor hands out the compute array with the given ordinal. Arrays are
+// not cleared between uses: every group fully overwrites the regions it
+// computes in, exactly as the stationary-filter schedule does. The caller
+// must own the ordinal (runGroups pins each ordinal to one worker per
+// section), which makes the first-touch bookkeeping race-free.
+func (f *funcExec) arrayFor(ordinal int) *sram.Array {
+	arr := f.cache.ComputeArray(ordinal)
+	if !f.touched[ordinal] {
+		f.touched[ordinal] = true
+		if f.inject != nil {
+			f.inject(ordinal, arr)
+		}
 	}
 	return arr
+}
+
+// runGroups executes nGroups independent work groups, each owning
+// arraysPerGroup consecutive compute arrays from the round-robin cursor,
+// across the worker pool. Scheduling is deterministic: group g gets the
+// ordinals a single-worker run would hand it, and groups whose ordinals
+// collide through cursor wrap-around (g ≡ g' mod computeArrays/K) belong
+// to the same collision class and are pinned to one worker, which
+// processes them in ascending order. Every array therefore receives
+// exactly the sequential op stream, for any worker count.
+func (f *funcExec) runGroups(nGroups, arraysPerGroup int, fn func(g int, arrs []*sram.Array, acct *fabricShare) error) error {
+	if nGroups <= 0 {
+		return nil
+	}
+	n := len(f.touched)
+	if arraysPerGroup > n {
+		return fmt.Errorf("core: a work group needs %d arrays, cache has only %d compute arrays",
+			arraysPerGroup, n)
+	}
+	// Align multi-array groups to an array-pair boundary so spill lanes
+	// land on the sense-amp partner of the lead array.
+	if rem := f.next % arraysPerGroup; rem != 0 {
+		f.next += arraysPerGroup - rem
+	}
+	start := f.next
+	f.next += nGroups * arraysPerGroup
+
+	w := f.workers
+	if w > nGroups {
+		w = nGroups
+	}
+	if n%arraysPerGroup != 0 {
+		// Wrap-around would not preserve collision classes; irregular
+		// geometries fall back to in-order execution.
+		w = 1
+	}
+	cycle := n / arraysPerGroup
+
+	shares := make([]fabricShare, nGroups)
+	errs := make([]error, nGroups)
+	run := func(worker int) {
+		arrs := make([]*sram.Array, arraysPerGroup)
+		for g := 0; g < nGroups; g++ {
+			if w > 1 && (g%cycle)%w != worker {
+				continue
+			}
+			for j := range arrs {
+				arrs[j] = f.arrayFor((start + g*arraysPerGroup + j) % n)
+			}
+			if err := fn(g, arrs, &shares[g]); err != nil {
+				errs[g] = err
+				return
+			}
+		}
+	}
+	if w <= 1 {
+		run(0)
+	} else {
+		var wg sync.WaitGroup
+		for worker := 0; worker < w; worker++ {
+			wg.Add(1)
+			go func(worker int) {
+				defer wg.Done()
+				run(worker)
+			}(worker)
+		}
+		wg.Wait()
+	}
+	for g := range shares {
+		f.fabric.Add(shares[g].traffic)
+		f.fabricCycles += shares[g].cycles
+	}
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 func (f *funcExec) seq(layers []nn.Layer, x *tensor.Quant) (*tensor.Quant, error) {
@@ -151,10 +271,6 @@ func (f *funcExec) conv(c *nn.Conv2D, x *tensor.Quant) (*tensor.Quant, error) {
 	if err != nil {
 		return nil, err
 	}
-	if plan.LanesPerConv > sram.BitLines {
-		return nil, fmt.Errorf("core: functional mode supports up to %d lanes per convolution; %s needs %d",
-			sram.BitLines, c.LayerName, plan.LanesPerConv)
-	}
 	accScale := x.Scale * c.Filter.Scale
 	bias := nn.QuantizeBias(c.Bias, accScale)
 	accs, err := f.convAccs(plan, c, x, bias)
@@ -165,75 +281,96 @@ func (f *funcExec) conv(c *nn.Conv2D, x *tensor.Quant) (*tensor.Quant, error) {
 }
 
 // convAccs produces the raw accumulators by running the mapped microcode
-// on real arrays: per group, load filters and inputs transposed, run R'·S'
-// MulAccs, an in-array Σq_a pass, and the log₂(L) reduction trees, then
-// read back ACC and Σq_a and apply the correction zero_w·Σq_a and bias.
+// on real arrays. Work is split into independent groups: one array per
+// group when the convolution fits 256 lanes (256/L convolutions per
+// group), or an array pair per group when it spills (one convolution per
+// group, 256 lanes per array). Per group: load filters and inputs
+// transposed, run R'·S' MulAccs, an in-array Σq_a pass, and the log₂
+// reduction trees; a spilled convolution then ships each partner array's
+// segment sums to the lead array over the intra-slice bus and finishes
+// the add in-array. Finally the group reads back ACC and Σq_a and applies
+// the correction zero_w·Σq_a and bias.
 func (f *funcExec) convAccs(plan *mapping.ConvPlan, c *nn.Conv2D, x *tensor.Quant, bias []int32) ([]int64, error) {
 	L := plan.LanesPerConv
 	lay := plan.Layout
-	groups := sram.BitLines / L
 	out := c.OutShape(x.Shape)
 	total := out.H * out.W * c.Cout
 	accs := make([]int64, total)
 	zw := int64(c.Filter.Zero)
 
-	filterCol := make([]uint64, sram.BitLines)
-	inputCol := make([]uint64, sram.BitLines)
-	saHost := make([]int64, groups)
+	arraysPer := plan.ArraysPerConv
+	slotsPer := 1
+	if arraysPer == 1 {
+		slotsPer = sram.BitLines / L
+	}
+	lanesPerArray := min(L, sram.BitLines)
+	nGroups := (total + slotsPer - 1) / slotsPer
+	fabric := f.sys.cfg.Fabric
 
-	for base := 0; base < total; base += groups {
-		arr := f.nextArray()
-		slots := groups
-		if base+slots > total {
-			slots = total - base
+	return accs, f.runGroups(nGroups, arraysPer, func(g int, arrs []*sram.Array, acct *fabricShare) error {
+		base := g * slotsPer
+		slots := min(slotsPer, total-base)
+		filterCol := make([][]uint64, arraysPer)
+		inputCol := make([][]uint64, arraysPer)
+		for p := range filterCol {
+			filterCol[p] = make([]uint64, sram.BitLines)
+			inputCol[p] = make([]uint64, sram.BitLines)
 		}
-		// Assemble the transposed filter and input planes for this array,
-		// byte position by byte position.
-		for j := 0; j < plan.EffFilter; j++ {
-			for i := range filterCol {
-				filterCol[i], inputCol[i] = 0, 0
+		saHost := make([]int64, slots)
+
+		// fill assembles the transposed filter and input planes for MAC
+		// step j across the group's arrays, lane by lane.
+		fill := func(j int) {
+			for p := range filterCol {
+				for i := range filterCol[p] {
+					filterCol[p][i], inputCol[p][i] = 0, 0
+				}
 			}
 			for slot := 0; slot < slots; slot++ {
 				e, fw, m := decodeConv(base+slot, out)
 				for lane := 0; lane < L; lane++ {
 					fv, iv := operandBytes(plan, c, x, e, fw, m, lane, j)
-					filterCol[slot*L+lane] = uint64(fv)
-					inputCol[slot*L+lane] = uint64(iv)
+					gl := slot*L + lane
+					filterCol[gl/sram.BitLines][gl%sram.BitLines] = uint64(fv)
+					inputCol[gl/sram.BitLines][gl%sram.BitLines] = uint64(iv)
 				}
 			}
-			arr.WriteElements(lay.FilterRow()+8*j, 8, filterCol)
-			if !plan.InputStreamed {
-				arr.WriteElements(lay.InputRow()+8*j, 8, inputCol)
+		}
+
+		for j := 0; j < plan.EffFilter; j++ {
+			fill(j)
+			for p, arr := range arrs {
+				arr.WriteElements(lay.FilterRow()+8*j, 8, filterCol[p])
+				if !plan.InputStreamed {
+					arr.WriteElements(lay.InputRow()+8*j, 8, inputCol[p])
+				}
 			}
 		}
 
 		// MAC phase.
-		arr.Zero(lay.PartialRow(), 32, false)
-		arr.Zero(lay.ScratchRow(), 24, false)
+		for _, arr := range arrs {
+			arr.Zero(lay.PartialRow(), 32, false)
+			arr.Zero(lay.ScratchRow(), 24, false)
+		}
 		for j := 0; j < plan.EffFilter; j++ {
 			inRow := lay.InputRow() + 8*j
 			if plan.InputStreamed {
 				// Stream this MAC step's input byte for every lane.
-				for i := range inputCol {
-					inputCol[i] = 0
-				}
-				for slot := 0; slot < slots; slot++ {
-					e, fw, m := decodeConv(base+slot, out)
-					for lane := 0; lane < L; lane++ {
-						_, iv := operandBytes(plan, c, x, e, fw, m, lane, j)
-						inputCol[slot*L+lane] = uint64(iv)
-					}
-				}
+				fill(j)
 				inRow = lay.InputRow()
-				arr.WriteElements(inRow, 8, inputCol)
+				for p, arr := range arrs {
+					arr.WriteElements(inRow, 8, inputCol[p])
+				}
 				for slot := 0; slot < slots; slot++ {
 					for lane := 0; lane < L; lane++ {
-						idx := slot*L + lane
-						saHost[slot] += int64(inputCol[idx])
+						gl := slot*L + lane
+						saHost[slot] += int64(inputCol[gl/sram.BitLines][gl%sram.BitLines])
 					}
 				}
 			}
-			arr.MulAcc(lay.FilterRow()+8*j, inRow, lay.ScratchRow(), lay.PartialRow(), 8, 24)
+			for _, arr := range arrs {
+				arr.MulAcc(lay.FilterRow()+8*j, inRow, lay.ScratchRow(), lay.PartialRow(), 8, 24)
+			}
 		}
 
 		// Σq_a pass (in-array for resident inputs): accumulate the window
@@ -241,32 +378,57 @@ func (f *funcExec) convAccs(plan *mapping.ConvPlan, c *nn.Conv2D, x *tensor.Quan
 		// for the cross-lane reduction), staging zero-extended bytes in
 		// the reduction operand area.
 		if !plan.InputStreamed {
-			arr.Zero(lay.ScratchRow(), 24, false)
-			for j := 0; j < plan.EffFilter; j++ {
-				arr.Zero(lay.ReduceRow(), 24, false)
-				arr.Copy(lay.InputRow()+8*j, lay.ReduceRow(), 8, false)
-				arr.AddTrunc(lay.ScratchRow(), lay.ReduceRow(), lay.ScratchRow(), 24)
+			for _, arr := range arrs {
+				arr.Zero(lay.ScratchRow(), 24, false)
+				for j := 0; j < plan.EffFilter; j++ {
+					arr.Zero(lay.ReduceRow(), 24, false)
+					arr.Copy(lay.InputRow()+8*j, lay.ReduceRow(), 8, false)
+					arr.AddTrunc(lay.ScratchRow(), lay.ReduceRow(), lay.ScratchRow(), 24)
+				}
 			}
 		}
 
-		// Channel reduction trees.
-		if L > 1 {
-			arr.Reduce(lay.PartialRow(), lay.ReduceRow(), 32, L)
-			if !plan.InputStreamed {
-				arr.Reduce(lay.ScratchRow(), lay.ReduceRow(), 24, L)
+		// Channel reduction trees over each array's lane segment.
+		if lanesPerArray > 1 {
+			for _, arr := range arrs {
+				arr.Reduce(lay.PartialRow(), lay.ReduceRow(), 32, lanesPerArray)
+				if !plan.InputStreamed {
+					arr.Reduce(lay.ScratchRow(), lay.ReduceRow(), 24, lanesPerArray)
+				}
 			}
 		}
 
-		// Read back and apply the correction and bias.
+		// Inter-array reduce (§IV-D) for spilled convolutions: ship each
+		// partner array's segment sums to the lead array over the
+		// intra-slice bus and finish the adds in-array on the lead.
+		if len(arrs) > 1 {
+			lead := arrs[0]
+			for _, partner := range arrs[1:] {
+				part := partner.ReadElement(0, lay.PartialRow(), 32)
+				acct.cycles += fabric.BusCycles(&acct.traffic, 4, false)
+				lead.Zero(lay.ReduceRow(), 32, false)
+				lead.WriteElement(0, lay.ReduceRow(), 32, part)
+				lead.AddTrunc(lay.PartialRow(), lay.ReduceRow(), lay.PartialRow(), 32)
+				if !plan.InputStreamed {
+					sa := partner.ReadElement(0, lay.ScratchRow(), 24)
+					acct.cycles += fabric.BusCycles(&acct.traffic, 3, false)
+					lead.Zero(lay.ReduceRow(), 24, false)
+					lead.WriteElement(0, lay.ReduceRow(), 24, sa)
+					lead.AddTrunc(lay.ScratchRow(), lay.ReduceRow(), lay.ScratchRow(), 24)
+				}
+			}
+		}
+
+		// Read back and apply the correction and bias. A spilled
+		// convolution's result lives on lane 0 of the lead array.
 		for slot := 0; slot < slots; slot++ {
 			_, _, m := decodeConv(base+slot, out)
-			acc := int64(arr.ReadElement(slot*L, lay.PartialRow(), 32))
+			acc := int64(arrs[0].ReadElement(slot*L%sram.BitLines, lay.PartialRow(), 32))
 			var sa int64
 			if plan.InputStreamed {
 				sa = saHost[slot]
-				saHost[slot] = 0
 			} else {
-				sa = int64(arr.ReadElement(slot*L, lay.ScratchRow(), 24))
+				sa = int64(arrs[0].ReadElement(slot*L%sram.BitLines, lay.ScratchRow(), 24))
 			}
 			acc -= zw * sa
 			if bias != nil {
@@ -274,8 +436,8 @@ func (f *funcExec) convAccs(plan *mapping.ConvPlan, c *nn.Conv2D, x *tensor.Quan
 			}
 			accs[base+slot] = acc
 		}
-	}
-	return accs, nil
+		return nil
+	})
 }
 
 // decodeConv converts a flat convolution index to (e, f, m), matching the
@@ -293,7 +455,8 @@ func decodeConv(idx int, out tensor.Shape) (e, fw, m int) {
 // maximum via subtract + MSB-masked selective copy (the sram.Max
 // microcode), average pooling keeps a running 16-bit sum and finishes
 // with an in-array divide (or a row-offset copy when the window is a
-// power of two).
+// power of two). Each 256-output group runs on its own array, in
+// parallel across the worker pool.
 func (f *funcExec) pool(p *nn.Pool, x *tensor.Quant) (*tensor.Quant, error) {
 	placed := nn.Placed{Layer: p, In: x.Shape, Out: p.OutShape(x.Shape)}
 	plan, err := mapping.PlanPool(f.sys.cfg.Mapping, placed)
@@ -302,7 +465,6 @@ func (f *funcExec) pool(p *nn.Pool, x *tensor.Quant) (*tensor.Quant, error) {
 	}
 	out := tensor.NewQuant(placed.Out, x.Scale)
 	total := placed.Out.Elems()
-	col := make([]uint64, sram.BitLines)
 
 	// Row map: input slot, accumulator, then divide operands/scratch.
 	const (
@@ -314,12 +476,12 @@ func (f *funcExec) pool(p *nn.Pool, x *tensor.Quant) (*tensor.Quant, error) {
 		scrRow  = 80 // n+2 rows for divide; 9 rows suffice for max
 	)
 
-	for base := 0; base < total; base += sram.BitLines {
-		arr := f.nextArray()
-		slots := sram.BitLines
-		if base+slots > total {
-			slots = total - base
-		}
+	nGroups := (total + sram.BitLines - 1) / sram.BitLines
+	return out, f.runGroups(nGroups, 1, func(g int, arrs []*sram.Array, _ *fabricShare) error {
+		arr := arrs[0]
+		base := g * sram.BitLines
+		slots := min(sram.BitLines, total-base)
+		col := make([]uint64, sram.BitLines)
 		width := 8
 		if p.Kind == nn.AvgPool {
 			width = 16
@@ -365,14 +527,14 @@ func (f *funcExec) pool(p *nn.Pool, x *tensor.Quant) (*tensor.Quant, error) {
 		for slot := 0; slot < slots; slot++ {
 			out.Data[base+slot] = uint8(arr.ReadElement(slot, resultRow, 8))
 		}
-	}
-	return out, nil
+		return nil
+	})
 }
 
 // residual executes a ResNet shortcut block: both paths run through the
 // normal conv pipeline, the host realigns their scales (the same shared
 // integers the reference uses), and the element-wise add itself runs
-// in-array — 256 lanes of 8-bit adds per array, producing 9-bit sums.
+// in-array — 256 lanes of 8-bit adds per array, parallel across groups.
 func (f *funcExec) residual(r *nn.Residual, x *tensor.Quant) (*tensor.Quant, error) {
 	body, err := f.seq(r.Body, x)
 	if err != nil {
@@ -384,16 +546,12 @@ func (f *funcExec) residual(r *nn.Residual, x *tensor.Quant) (*tensor.Quant, err
 	}
 	qa, qb := nn.ResidualOperands(body, short)
 	sums := make([]int64, len(qa))
-	col := make([]uint64, sram.BitLines)
-	for base := 0; base < len(qa); base += sram.BitLines {
-		arr := f.nextArray()
-		slots := sram.BitLines
-		if base+slots > len(qa) {
-			slots = len(qa) - base
-		}
-		for i := range col {
-			col[i] = 0
-		}
+	nGroups := (len(qa) + sram.BitLines - 1) / sram.BitLines
+	err = f.runGroups(nGroups, 1, func(g int, arrs []*sram.Array, _ *fabricShare) error {
+		arr := arrs[0]
+		base := g * sram.BitLines
+		slots := min(sram.BitLines, len(qa)-base)
+		col := make([]uint64, sram.BitLines)
 		for s := 0; s < slots; s++ {
 			col[s] = uint64(qa[base+s])
 		}
@@ -406,6 +564,10 @@ func (f *funcExec) residual(r *nn.Residual, x *tensor.Quant) (*tensor.Quant, err
 		for s := 0; s < slots; s++ {
 			sums[base+s] = int64(arr.ReadElement(s, 16, 9))
 		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return nn.ResidualCombine(r.LayerName, body, short, sums, f.tr), nil
 }
@@ -430,17 +592,13 @@ func (f *funcExec) batchNorm(b *nn.BatchNorm, x *tensor.Quant) (*tensor.Quant, e
 		yRow     = 96
 		betaRow  = 128
 	)
-	col := make([]uint64, sram.BitLines)
 	sh := int(gamma.Shift)
-	for base := 0; base < total; base += sram.BitLines {
-		arr := f.nextArray()
-		slots := sram.BitLines
-		if base+slots > total {
-			slots = total - base
-		}
-		for i := range col {
-			col[i] = 0
-		}
+	nGroups := (total + sram.BitLines - 1) / sram.BitLines
+	err := f.runGroups(nGroups, 1, func(g int, arrs []*sram.Array, _ *fabricShare) error {
+		arr := arrs[0]
+		base := g * sram.BitLines
+		slots := min(sram.BitLines, total-base)
+		col := make([]uint64, sram.BitLines)
 		for s := 0; s < slots; s++ {
 			col[s] = uint64(x.Data[base+s])
 		}
@@ -475,6 +633,10 @@ func (f *funcExec) batchNorm(b *nn.BatchNorm, x *tensor.Quant) (*tensor.Quant, e
 		for s := 0; s < slots; s++ {
 			accs[base+s] = int64(int32(uint32(arr.ReadElement(s, yRow, 32))))
 		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return nn.FinishBatchNorm(b, x.Shape, x.Scale, beta32, accs, f.tr), nil
 }

@@ -178,6 +178,41 @@ func (c *Cache) Addr(i int) ArrayAddr {
 	return a
 }
 
+// ComputeArrayAddr maps a compute-array ordinal (0 ≤ i < ComputeArrays,
+// skipping the reserved CPU and I/O ways) to its structured address. The
+// layout matches the round-robin handout order of the functional engine:
+// consecutive ordinals first walk the two arrays of a sub-array (the
+// sense-amp-sharing pair a multi-array convolution spills across), then
+// sub-arrays, banks, ways, and finally slices.
+func (c Config) ComputeArrayAddr(i int) ArrayAddr {
+	if i < 0 || i >= c.ComputeArrays() {
+		panic(fmt.Sprintf("geometry: compute ordinal %d outside [0,%d)", i, c.ComputeArrays()))
+	}
+	perSlice := c.ComputeArraysPerSlice()
+	slice := i / perSlice
+	rem := i % perSlice
+	perWay := c.ArraysPerWay()
+	way := rem / perWay
+	rem %= perWay
+	perBank := c.ArraysPerBank()
+	bank := rem / perBank
+	rem %= perBank
+	return ArrayAddr{
+		Slice: slice, Way: way, Bank: bank,
+		SubArray: rem / c.ArraysPerSubArray,
+		Index:    rem % c.ArraysPerSubArray,
+	}
+}
+
+// ComputeArray returns the compute array with the given ordinal. The
+// method itself is safe for concurrent use (it only reads the cache
+// structure); distinct ordinals return distinct arrays, so callers that
+// partition ordinals between goroutines — as the parallel functional
+// engine does — never share an *sram.Array.
+func (c *Cache) ComputeArray(ordinal int) *sram.Array {
+	return c.Array(c.cfg.ComputeArrayAddr(ordinal))
+}
+
 // ForEachComputeArray calls fn for every array in the compute ways
 // (excluding the reserved CPU and I/O ways), in address order: ways 0 to
 // ComputeWays-1 of each slice.
@@ -202,7 +237,12 @@ func (c *Cache) ForEachComputeArray(fn func(addr ArrayAddr, a *sram.Array)) {
 // way here).
 func (c *Cache) IOWay() int { return c.cfg.WaysPerSlice - c.cfg.ReservedCPUWays - 1 }
 
-// Stats sums the cycle counters of every array in the cache.
+// Stats sums the cycle counters of every array in the cache, in fixed
+// flat-index order. This is the deterministic merge point of the parallel
+// functional engine: workers never share an array, each array's counters
+// depend only on its own op stream, and the summation order here is
+// independent of how many goroutines produced them. Call it only after
+// all workers have quiesced.
 func (c *Cache) Stats() sram.Stats {
 	var s sram.Stats
 	for i := range c.arrays {

@@ -89,6 +89,12 @@ type ConvPlan struct {
 	EffFilter    int // R'·S': filter bytes per bit line
 	EffChannels  int // C': bit lines per convolution before rounding
 	LanesPerConv int // C' rounded to the next power of two
+	// ArraysPerConv is the number of 8 KB arrays one convolution's lanes
+	// span: 1 when the lanes fit a single array, 2 when they spill onto
+	// the sense-amp-sharing partner (the 512-lane array-pair case). The
+	// functional engine reduces each array's lane segment locally and
+	// routes the cross-array partial-sum merge over the interconnect.
+	ArraysPerConv int
 
 	ConvsPerPair  int // convolutions computed by one array pair (512 lanes)
 	ParallelConvs int // across the whole cache
@@ -150,6 +156,10 @@ func PlanConv(p Params, placed nn.Placed) (*ConvPlan, error) {
 	if plan.LanesPerConv > pairLanes {
 		return nil, fmt.Errorf("mapping: %s needs %d lanes per convolution, exceeding an array pair (%d)",
 			c.LayerName, plan.LanesPerConv, pairLanes)
+	}
+	plan.ArraysPerConv = 1
+	if plan.LanesPerConv > sram.BitLines {
+		plan.ArraysPerConv = plan.LanesPerConv / sram.BitLines
 	}
 	plan.ConvsPerPair = pairLanes / plan.LanesPerConv
 	pairs := p.Geometry.ComputeArrays() / 2

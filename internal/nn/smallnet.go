@@ -28,6 +28,25 @@ func SmallCNN() *Network {
 	}
 }
 
+// WideCNN is a verification network whose first convolution needs more
+// lanes than one array has bit lines: Cin = 300 with a 3×3 filter gives
+// 300 effective channels, rounded to 512 lanes, so the convolution spills
+// across a sense-amp-sharing array pair and exercises the functional
+// engine's cross-array partial-sum reduce. Before the multi-array engine,
+// this network could only be estimated, not run.
+func WideCNN() *Network {
+	return &Network{
+		Name:  "wide_cnn",
+		Input: tensor.Shape{H: 5, W: 5, C: 300},
+		Layers: []Layer{
+			&Conv2D{LayerName: "wide", LayerGroup: "wide", R: 3, S: 3, Cin: 300, Cout: 4,
+				Stride: 1, ReLU: true},
+			&Conv2D{LayerName: "logits", LayerGroup: "logits", R: 1, S: 1, Cin: 4, Cout: 3,
+				Stride: 1, IsLogits: true},
+		},
+	}
+}
+
 // BranchyCNN is a miniature Inception-style network: a stem convolution,
 // one mixed module with four branches (1×1, 3×3, double-3×3, pooled
 // projection), global average pooling and a classifier. It exercises the

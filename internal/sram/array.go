@@ -36,6 +36,12 @@ const (
 // Array is a bit-accurate model of one 8 KB compute SRAM array. The zero
 // value is an array with all bit cells, latches and counters zeroed, ready
 // to use.
+//
+// An Array is not safe for concurrent use — like the hardware, one array
+// executes one op at a time. Distinct Arrays share no state at all, so a
+// caller that gives each goroutine exclusive ownership of a disjoint set
+// of arrays (as the parallel functional engine does) needs no locking,
+// and each array's Stats remain an exact function of its own op stream.
 type Array struct {
 	rows   [WordLines]bitvec.Vec256
 	carry  bitvec.Vec256 // per-bit-line carry latch (C in Fig 7)
@@ -47,7 +53,9 @@ type Array struct {
 // Stats counts the cycles an array has spent, split by the two energy
 // classes of the paper's SPICE model (§V): compute cycles (two-row
 // activation plus write-back, 15.4 pJ at 22 nm) and access cycles (normal
-// single-row SRAM read/write, 8.6 pJ).
+// single-row SRAM read/write, 8.6 pJ). Aggregation via Add is commutative
+// and associative, so per-array counters collected by concurrent workers
+// sum to the same totals in any merge order.
 type Stats struct {
 	ComputeCycles uint64
 	AccessCycles  uint64

@@ -22,6 +22,11 @@ func SmallCNN() *Model { return &Model{net: nn.SmallCNN()} }
 // branches, concatenation rescaling and global pooling.
 func BranchyCNN() *Model { return &Model{net: nn.BranchyCNN()} }
 
+// WideCNN builds a verification network whose first convolution spills
+// across an array pair (512 lanes), exercising the cross-array
+// partial-sum reduce of the functional engine.
+func WideCNN() *Model { return &Model{net: nn.WideCNN()} }
+
 // BNNet builds a verification network with a standalone §IV-D batch-norm
 // layer (scalar multiply + shift + per-channel adds + requantize).
 func BNNet() *Model { return &Model{net: nn.BNNet()} }

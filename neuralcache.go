@@ -18,6 +18,30 @@
 //     match the integer reference executor bit for bit.
 //   - System.VectorAdd / VectorMul / VectorSub expose the underlying
 //     in-cache bit-serial SIMD directly, Compute-Cache style.
+//
+// Bit-accurate runs execute a layer's independent work groups in parallel
+// on a worker pool sized by Config.Workers (default GOMAXPROCS),
+// mirroring the hardware's array-level parallelism in software. Results —
+// output bytes, logits, cycle counters, arrays used — are bit-identical
+// for every worker count. Convolutions whose effective channels exceed
+// one array's 256 bit lines spill across a sense-amp-sharing array pair,
+// with the cross-array partial-sum reduction routed over the modeled
+// intra-slice bus, so wide networks run bit-accurately too.
+//
+// A System is immutable after New: Run, RunWithFaults and Estimate may be
+// called concurrently from multiple goroutines on the same System (each
+// call instantiates its own simulated cache).
+//
+// # Building and testing
+//
+// The repository is the single Go module "neuralcache" (see go.mod; Go ≥
+// 1.22, no external dependencies). From a clean checkout:
+//
+//	go build ./... && go test ./...
+//
+// runs every package's test suite; `go test -race ./...` additionally
+// race-checks the parallel functional engine, and `go test -bench=.`
+// regenerates the paper's tables and figures as benchmark metrics.
 package neuralcache
 
 import (
@@ -35,6 +59,11 @@ type Config struct {
 	Slices int
 	// Sockets is the number of host CPUs; throughput scales linearly.
 	Sockets int
+	// Workers bounds the goroutines bit-accurate runs use to execute a
+	// layer's independent work groups in parallel. 0 means GOMAXPROCS;
+	// 1 forces sequential execution. Results are bit-identical for every
+	// worker count.
+	Workers int
 	// BankLatch enables the 64-bit per-bank input latch (§IV-C); disable
 	// for the ablation.
 	BankLatch bool
@@ -66,8 +95,12 @@ func New(cfg Config) (*System, error) {
 	if cfg.Sockets <= 0 {
 		return nil, fmt.Errorf("neuralcache: %d sockets", cfg.Sockets)
 	}
+	if cfg.Workers < 0 {
+		return nil, fmt.Errorf("neuralcache: negative worker count %d", cfg.Workers)
+	}
 	cc := core.DefaultConfig().WithSlices(cfg.Slices)
 	cc.Sockets = cfg.Sockets
+	cc.Workers = cfg.Workers
 	cc.Fabric.BankLatch = cfg.BankLatch
 	cc.Mapping.PackingEnabled = cfg.FilterPacking
 	cc.IncludeDRAMEnergy = cfg.IncludeDRAMEnergy

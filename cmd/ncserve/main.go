@@ -1,0 +1,162 @@
+// Command ncserve load-tests the Neural Cache serving subsystem.
+//
+// The analytic backend (default) replays an open-loop arrival process
+// through the slice-shard scheduler on a deterministic virtual clock —
+// hundreds of thousands of Inception-scale requests simulate in
+// seconds — and prints a latency histogram and per-slice utilization
+// report. The bitexact backend starts the real asynchronous server and
+// drives it with the same load generator in wall-clock time, executing
+// every request bit-accurately on the simulated SRAM arrays.
+//
+// Usage:
+//
+//	ncserve -model inception -rate 2000 -requests 100000
+//	ncserve -model inception -maxbatch 32 -linger 5ms -json
+//	ncserve -backend bitexact -model small -requests 64 -rate 500
+//	ncserve -model resnet -slices 24 -replicas 12 -duration 2s -rate 1000
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"strings"
+	"time"
+
+	"neuralcache"
+	"neuralcache/serve"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("ncserve: ")
+	var (
+		model    = flag.String("model", "inception", "model: "+strings.Join(neuralcache.ModelNames(), ", "))
+		backend  = flag.String("backend", "analytic", "backend: analytic (virtual clock) or bitexact (real server)")
+		slices   = flag.Int("slices", 14, "LLC slices (14=35MB, 18=45MB, 24=60MB)")
+		sockets  = flag.Int("sockets", 2, "host sockets")
+		workers  = flag.Int("workers", 0, "functional-engine worker goroutines (bitexact; 0 = GOMAXPROCS)")
+		replicas = flag.Int("replicas", 0, "slice replicas to serve on (0 = slices × sockets)")
+		maxBatch = flag.Int("maxbatch", 16, "dynamic micro-batch size cap")
+		linger   = flag.Duration("linger", 2*time.Millisecond, "max wait for a fuller batch (0 = dispatch immediately)")
+		queue    = flag.Int("queue", 1024, "admission queue depth")
+		rate     = flag.Float64("rate", 0, "open-loop arrival rate per second (0 = 2× replica capacity)")
+		requests = flag.Int("requests", 0, "arrivals to generate (0 = 100000 analytic / 64 bitexact)")
+		duration = flag.Duration("duration", 0, "arrival window, alternative to -requests")
+		poisson  = flag.Bool("poisson", true, "Poisson (exponential) interarrivals; false = uniform spacing")
+		seed     = flag.Int64("seed", 42, "arrival / weight / input seed")
+		jsonOut  = flag.Bool("json", false, "emit the load report as JSON")
+	)
+	flag.Parse()
+
+	cfg := neuralcache.DefaultConfig()
+	cfg.Slices = *slices
+	cfg.Sockets = *sockets
+	cfg.Workers = *workers
+	sys, err := neuralcache.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	m, err := neuralcache.ModelByName(*model)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	opts := serve.Options{
+		QueueDepth: *queue,
+		MaxBatch:   *maxBatch,
+		MaxLinger:  *linger,
+		Replicas:   *replicas,
+	}
+	if *linger == 0 {
+		opts.MaxLinger = serve.NoLinger
+	}
+	load := serve.Load{
+		Rate:     *rate,
+		Requests: *requests,
+		Duration: *duration,
+		Seed:     *seed,
+		Poisson:  *poisson,
+	}
+
+	var rep *serve.LoadReport
+	switch *backend {
+	case "analytic":
+		be := serve.NewAnalyticBackend(sys, m)
+		fillLoad(&load, be, opts, 100_000)
+		rep, err = serve.Simulate(be, opts, load)
+	case "bitexact":
+		m.InitWeights(*seed)
+		be := serve.NewBitExactBackend(sys, m)
+		fillLoad(&load, be, opts, 64)
+		var srv *serve.Server
+		srv, err = serve.NewServer(be, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rep, err = serve.LoadTest(srv, load, inputSource(m, *seed))
+		if cerr := srv.Close(); err == nil {
+			err = cerr
+		}
+	default:
+		log.Fatalf("unknown backend %q", *backend)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if *jsonOut {
+		out := struct {
+			Config neuralcache.Config `json:"config"`
+			*serve.LoadReport
+		}{cfg, rep}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	fmt.Println(rep)
+}
+
+// fillLoad defaults the request count and the arrival rate: with no -rate,
+// offer twice the replica capacity so the report shows the scheduler at
+// its §VI-B throughput bound.
+func fillLoad(load *serve.Load, be serve.Backend, opts serve.Options, defaultRequests int) {
+	if load.Requests == 0 && load.Duration == 0 {
+		load.Requests = defaultRequests
+	}
+	if load.Rate == 0 {
+		maxBatch := opts.MaxBatch
+		if maxBatch <= 0 {
+			maxBatch = 1
+		}
+		st, err := be.ServiceTime(maxBatch)
+		if err != nil {
+			log.Fatal(err)
+		}
+		replicas := opts.Replicas
+		if replicas == 0 {
+			replicas = be.System().Replicas()
+		}
+		load.Rate = 2 * float64(replicas*maxBatch) / st.Seconds()
+	}
+}
+
+// inputSource yields a deterministic random input tensor per arrival
+// ordinal, seeded like ncsim's functional mode.
+func inputSource(m *neuralcache.Model, seed int64) func(i int) *neuralcache.Tensor {
+	h, w, c := m.InputShape()
+	return func(i int) *neuralcache.Tensor {
+		in := neuralcache.NewTensor(h, w, c, 1.0/255)
+		r := rand.New(rand.NewSource(seed + 1 + int64(i)))
+		for j := range in.Data {
+			in.Data[j] = uint8(r.Intn(256))
+		}
+		return in
+	}
+}

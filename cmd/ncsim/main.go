@@ -4,20 +4,25 @@
 // and prints the latency breakdown, per-layer timings, energy and
 // throughput. Functional mode executes a small model bit-accurately on
 // simulated SRAM arrays and prints the classification result and the
-// emergent microcode cycle counts.
+// emergent microcode cycle counts. -json replaces the prose with one
+// machine-readable JSON document on stdout, for bench-trajectory tooling
+// that scrapes runs.
 //
 // Usage:
 //
 //	ncsim -model inception -batch 16
 //	ncsim -model small -mode functional -seed 7
-//	ncsim -model inception -slices 24
+//	ncsim -model inception -slices 24 -json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"math/rand"
+	"os"
+	"strings"
 
 	"neuralcache"
 	"neuralcache/internal/report"
@@ -27,13 +32,14 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("ncsim: ")
 	var (
-		model   = flag.String("model", "inception", "model: inception, resnet, small, smallresnet, branchy, wide, bn")
+		model   = flag.String("model", "inception", "model: "+strings.Join(neuralcache.ModelNames(), ", "))
 		batch   = flag.Int("batch", 1, "batch size (analytic mode)")
 		slices  = flag.Int("slices", 14, "LLC slices (14=35MB, 18=45MB, 24=60MB)")
 		sockets = flag.Int("sockets", 2, "host sockets (throughput scaling)")
 		mode    = flag.String("mode", "analytic", "mode: analytic or functional")
 		seed    = flag.Int64("seed", 42, "weight/input seed (functional mode)")
 		workers = flag.Int("workers", 0, "functional-engine worker goroutines (0 = GOMAXPROCS)")
+		jsonOut = flag.Bool("json", false, "emit machine-readable JSON instead of tables")
 	)
 	flag.Parse()
 
@@ -46,40 +52,41 @@ func main() {
 		log.Fatal(err)
 	}
 
-	var m *neuralcache.Model
-	switch *model {
-	case "inception":
-		m = neuralcache.InceptionV3()
-	case "resnet":
-		m = neuralcache.ResNet18()
-	case "small":
-		m = neuralcache.SmallCNN()
-	case "smallresnet":
-		m = neuralcache.SmallResNet()
-	case "branchy":
-		m = neuralcache.BranchyCNN()
-	case "wide":
-		m = neuralcache.WideCNN()
-	case "bn":
-		m = neuralcache.BNNet()
-	default:
-		log.Fatalf("unknown model %q", *model)
+	m, err := neuralcache.ModelByName(*model)
+	if err != nil {
+		log.Fatal(err)
 	}
 
 	switch *mode {
 	case "analytic":
-		runAnalytic(sys, m, *batch)
+		runAnalytic(sys, cfg, m, *batch, *jsonOut)
 	case "functional":
-		runFunctional(sys, m, *seed)
+		runFunctional(sys, cfg, m, *seed, *jsonOut)
 	default:
 		log.Fatalf("unknown mode %q", *mode)
 	}
 }
 
-func runAnalytic(sys *neuralcache.System, m *neuralcache.Model, batch int) {
+func emitJSON(v any) {
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func runAnalytic(sys *neuralcache.System, cfg neuralcache.Config, m *neuralcache.Model, batch int, jsonOut bool) {
 	est, err := sys.Estimate(m, batch)
 	if err != nil {
 		log.Fatal(err)
+	}
+	if jsonOut {
+		emitJSON(struct {
+			Config   neuralcache.Config    `json:"config"`
+			Mode     string                `json:"mode"`
+			Estimate *neuralcache.Estimate `json:"estimate"`
+		}{cfg, "analytic", est})
+		return
 	}
 	fmt.Printf("model %s on %d-slice cache (%d lanes), batch %d\n\n",
 		est.Model, sys.Config().Slices, sys.Lanes(), est.BatchSize)
@@ -102,7 +109,25 @@ func runAnalytic(sys *neuralcache.System, m *neuralcache.Model, batch int) {
 	fmt.Printf("power:      %.1f W average\n", est.AvgPowerW)
 }
 
-func runFunctional(sys *neuralcache.System, m *neuralcache.Model, seed int64) {
+// functionalRun is the machine-readable summary of a bit-accurate run.
+type functionalRun struct {
+	Config          neuralcache.Config `json:"config"`
+	Mode            string             `json:"mode"`
+	Model           string             `json:"model"`
+	Seed            int64              `json:"seed"`
+	OutputH         int                `json:"output_h"`
+	OutputW         int                `json:"output_w"`
+	OutputC         int                `json:"output_c"`
+	OutputScale     float64            `json:"output_scale"`
+	Logits          []int32            `json:"logits,omitempty"`
+	Class           int                `json:"class"`
+	ArraysUsed      int                `json:"arrays_used"`
+	ComputeCycles   uint64             `json:"compute_cycles"`
+	AccessCycles    uint64             `json:"access_cycles"`
+	FabricBusCycles uint64             `json:"fabric_bus_cycles"`
+}
+
+func runFunctional(sys *neuralcache.System, cfg neuralcache.Config, m *neuralcache.Model, seed int64, jsonOut bool) {
 	m.InitWeights(seed)
 	h, w, c := m.InputShape()
 	in := neuralcache.NewTensor(h, w, c, 1.0/255)
@@ -113,6 +138,16 @@ func runFunctional(sys *neuralcache.System, m *neuralcache.Model, seed int64) {
 	res, err := sys.Run(m, in)
 	if err != nil {
 		log.Fatal(err)
+	}
+	if jsonOut {
+		emitJSON(functionalRun{
+			Config: cfg, Mode: "functional", Model: m.Name(), Seed: seed,
+			OutputH: res.Output.H, OutputW: res.Output.W, OutputC: res.Output.C,
+			OutputScale: res.Output.Scale, Logits: res.Logits, Class: res.Argmax(),
+			ArraysUsed: res.ArraysUsed, ComputeCycles: res.ComputeCycles,
+			AccessCycles: res.AccessCycles, FabricBusCycles: res.FabricBusCycles,
+		})
+		return
 	}
 	fmt.Printf("model %s: bit-accurate in-cache inference complete\n", m.Name())
 	fmt.Printf("  output shape: %dx%dx%d (scale %.6f)\n",

@@ -7,29 +7,29 @@ import (
 
 // PhaseTiming is one slice of the latency breakdown (Figure 14).
 type PhaseTiming struct {
-	Phase   string
-	Seconds float64
+	Phase   string  `json:"phase"`
+	Seconds float64 `json:"seconds"`
 }
 
 // LayerTiming is one layer's latency (Figure 13's Neural Cache series).
 type LayerTiming struct {
-	Name        string
-	Seconds     float64
-	SerialIters int
-	Utilization float64
+	Name        string  `json:"name"`
+	Seconds     float64 `json:"seconds"`
+	SerialIters int     `json:"serial_iters"`
+	Utilization float64 `json:"utilization"`
 }
 
 // Estimate is the analytic model's accounting for a batch of inferences.
 type Estimate struct {
-	Model            string
-	BatchSize        int
-	LatencySeconds   float64 // end-to-end for the whole batch
-	ThroughputPerSec float64 // inferences/s across all sockets
-	EnergyJ          float64 // package energy for the batch
-	AvgPowerW        float64
-	DRAMEnergyJ      float64 // reported separately (see Config)
-	Phases           []PhaseTiming
-	Layers           []LayerTiming
+	Model            string        `json:"model"`
+	BatchSize        int           `json:"batch_size"`
+	LatencySeconds   float64       `json:"latency_seconds"`    // end-to-end for the whole batch
+	ThroughputPerSec float64       `json:"throughput_per_sec"` // inferences/s across all sockets
+	EnergyJ          float64       `json:"energy_j"`           // package energy for the batch
+	AvgPowerW        float64       `json:"avg_power_w"`
+	DRAMEnergyJ      float64       `json:"dram_energy_j"` // reported separately (see Config)
+	Phases           []PhaseTiming `json:"phases"`
+	Layers           []LayerTiming `json:"layers"`
 }
 
 // Estimate prices a batch of inferences with the analytic engine.
@@ -38,6 +38,11 @@ func (s *System) Estimate(m *Model, batch int) (*Estimate, error) {
 	if err != nil {
 		return nil, err
 	}
+	return newEstimate(rep), nil
+}
+
+// newEstimate marshals a core report into the facade type.
+func newEstimate(rep *core.Report) *Estimate {
 	out := &Estimate{
 		Model:            rep.Model,
 		BatchSize:        rep.BatchSize,
@@ -56,7 +61,27 @@ func (s *System) Estimate(m *Model, batch int) (*Estimate, error) {
 			SerialIters: l.SerialIters, Utilization: l.Utilization,
 		})
 	}
-	return out, nil
+	return out
+}
+
+// Replicas returns the number of independent slice replicas the system
+// can serve concurrently: Slices × Sockets. The paper's §VI-B throughput
+// model replicates the network across LLC slices with each slice
+// processing one image; package serve schedules requests onto exactly
+// these replicas.
+func (s *System) Replicas() int { return s.cfg.Slices * s.cfg.Sockets }
+
+// EstimateReplica prices a batch of inferences on one slice replica — a
+// single LLC slice of a single socket — with the analytic engine. This is
+// the per-shard service time the serving scheduler (package serve)
+// charges when it dispatches a batch to a free replica: the full-system
+// throughput bound is Replicas()·batch / EstimateReplica latency.
+func (s *System) EstimateReplica(m *Model, batch int) (*Estimate, error) {
+	rep, err := s.replica.Estimate(m.net, batch)
+	if err != nil {
+		return nil, err
+	}
+	return newEstimate(rep), nil
 }
 
 // Phase returns the seconds attributed to a named phase, or 0.

@@ -1,0 +1,116 @@
+package neuralcache
+
+import (
+	"math"
+	"testing"
+)
+
+func scalingSystem(t *testing.T, slices, sockets int) *System {
+	t.Helper()
+	cfg := DefaultConfig()
+	cfg.Slices = slices
+	cfg.Sockets = sockets
+	sys, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+// TestThroughputLinearInSockets guards the law the serve scheduler's
+// socket sharding is built on: latency is per-socket, so Estimate
+// throughput must scale exactly linearly in Sockets (§VI-B).
+func TestThroughputLinearInSockets(t *testing.T) {
+	for _, build := range []func() *Model{InceptionV3, ResNet18} {
+		m := build()
+		base := scalingSystem(t, 14, 1)
+		ref, err := base.Estimate(m, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, sockets := range []int{2, 4, 8} {
+			est, err := scalingSystem(t, 14, sockets).Estimate(m, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if est.LatencySeconds != ref.LatencySeconds {
+				t.Fatalf("%s: latency changed with sockets: %g vs %g",
+					m.Name(), est.LatencySeconds, ref.LatencySeconds)
+			}
+			want := ref.ThroughputPerSec * float64(sockets)
+			if rel := math.Abs(est.ThroughputPerSec-want) / want; rel > 1e-9 {
+				t.Fatalf("%s: %d sockets: throughput %g, want %g (linear)",
+					m.Name(), sockets, est.ThroughputPerSec, want)
+			}
+		}
+	}
+}
+
+// TestThroughputMonotonicInSlices guards the other scheduler
+// assumption: a bigger cache never serves slower. Throughput must rise
+// monotonically through the paper's Table IV capacity points, and
+// strictly from the smallest to the largest.
+func TestThroughputMonotonicInSlices(t *testing.T) {
+	slices := []int{7, 14, 18, 24}
+	for _, build := range []func() *Model{InceptionV3, ResNet18} {
+		m := build()
+		var last float64
+		var first float64
+		for i, n := range slices {
+			est, err := scalingSystem(t, n, 2).Estimate(m, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if i == 0 {
+				first = est.ThroughputPerSec
+			} else if est.ThroughputPerSec < last {
+				t.Fatalf("%s: throughput fell from %g to %g going %d -> %d slices",
+					m.Name(), last, est.ThroughputPerSec, slices[i-1], n)
+			}
+			last = est.ThroughputPerSec
+		}
+		if last <= first {
+			t.Fatalf("%s: throughput flat across %d -> %d slices (%g vs %g)",
+				m.Name(), slices[0], slices[len(slices)-1], first, last)
+		}
+	}
+}
+
+// TestEstimateReplica pins the per-slice service-time hook the serve
+// scheduler prices dispatches with: a replica is one slice of one
+// socket, so it must be slower than the full cache but still finite,
+// and Replicas() must count Slices × Sockets.
+func TestEstimateReplica(t *testing.T) {
+	sys := scalingSystem(t, 14, 2)
+	if got := sys.Replicas(); got != 28 {
+		t.Fatalf("Replicas() = %d, want 28", got)
+	}
+	for _, build := range []func() *Model{InceptionV3, ResNet18} {
+		m := build()
+		full, err := sys.Estimate(m, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := sys.EstimateReplica(m, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.LatencySeconds <= full.LatencySeconds {
+			t.Fatalf("%s: replica latency %g not above full-cache latency %g",
+				m.Name(), rep.LatencySeconds, full.LatencySeconds)
+		}
+		if rep.LatencySeconds <= 0 || math.IsInf(rep.LatencySeconds, 0) || math.IsNaN(rep.LatencySeconds) {
+			t.Fatalf("%s: degenerate replica latency %g", m.Name(), rep.LatencySeconds)
+		}
+		// Batching a replica amortizes per-layer filter loads: pricing a
+		// batch of 8 must beat 8 batch-1 dispatches.
+		b8, err := sys.EstimateReplica(m, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b8.LatencySeconds >= 8*rep.LatencySeconds {
+			t.Fatalf("%s: batch-8 replica latency %g not below 8x batch-1 %g",
+				m.Name(), b8.LatencySeconds, 8*rep.LatencySeconds)
+		}
+	}
+}

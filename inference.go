@@ -35,15 +35,29 @@ type InferenceResult struct {
 // Run is safe for concurrent use: each call simulates its own cache, and
 // the System itself is immutable.
 func (s *System) Run(m *Model, in *Tensor) (*InferenceResult, error) {
-	h, w, c := m.InputShape()
-	if in.H != h || in.W != w || in.C != c {
-		return nil, fmt.Errorf("neuralcache: input %dx%dx%d, model %s expects %dx%dx%d",
-			in.H, in.W, in.C, m.Name(), h, w, c)
+	if err := checkInputShape(m, in); err != nil {
+		return nil, err
 	}
 	res, err := s.core.RunFunctional(m.net, in.internal())
 	if err != nil {
 		return nil, err
 	}
+	return newInferenceResult(res), nil
+}
+
+// checkInputShape rejects inputs that do not match the model.
+func checkInputShape(m *Model, in *Tensor) error {
+	h, w, c := m.InputShape()
+	if in.H != h || in.W != w || in.C != c {
+		return fmt.Errorf("neuralcache: input %dx%dx%d, model %s expects %dx%dx%d",
+			in.H, in.W, in.C, m.Name(), h, w, c)
+	}
+	return nil
+}
+
+// newInferenceResult marshals a functional-engine result into the facade
+// type, copying the output tensor and logits.
+func newInferenceResult(res *core.FunctionalResult) *InferenceResult {
 	out := &InferenceResult{
 		Output:          fromInternal(res.Output),
 		ComputeCycles:   res.Stats.ComputeCycles,
@@ -54,7 +68,7 @@ func (s *System) Run(m *Model, in *Tensor) (*InferenceResult, error) {
 	if res.Trace.Logits != nil {
 		out.Logits = append([]int32(nil), res.Trace.Logits...)
 	}
-	return out, nil
+	return out
 }
 
 // FaultKind selects an injected hardware defect for fault campaigns.
@@ -81,10 +95,8 @@ type Fault struct {
 // injected before any data lands, for blast-radius studies: compare
 // against Run on the same input to see which outputs a defect corrupts.
 func (s *System) RunWithFaults(m *Model, in *Tensor, faults []Fault) (*InferenceResult, error) {
-	h, w, c := m.InputShape()
-	if in.H != h || in.W != w || in.C != c {
-		return nil, fmt.Errorf("neuralcache: input %dx%dx%d, model %s expects %dx%dx%d",
-			in.H, in.W, in.C, m.Name(), h, w, c)
+	if err := checkInputShape(m, in); err != nil {
+		return nil, err
 	}
 	inject := func(ordinal int, a *sram.Array) {
 		for _, f := range faults {
@@ -105,17 +117,7 @@ func (s *System) RunWithFaults(m *Model, in *Tensor, faults []Fault) (*Inference
 	if err != nil {
 		return nil, err
 	}
-	out := &InferenceResult{
-		Output:          fromInternal(res.Output),
-		ComputeCycles:   res.Stats.ComputeCycles,
-		AccessCycles:    res.Stats.AccessCycles,
-		ArraysUsed:      res.ArraysUsed,
-		FabricBusCycles: res.FabricCycles,
-	}
-	if res.Trace.Logits != nil {
-		out.Logits = append([]int32(nil), res.Trace.Logits...)
-	}
-	return out, nil
+	return newInferenceResult(res), nil
 }
 
 // RunReference executes the model on the host integer reference executor

@@ -1,0 +1,80 @@
+package neuralcache
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// TestRunWithNilFaultsEqualsRun: the fault path with no faults must be
+// exactly the plain Run — the dedup contract between the two entry
+// points.
+func TestRunWithNilFaultsEqualsRun(t *testing.T) {
+	sys, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, build := range []func() *Model{SmallCNN, SmallResNet} {
+		m := build()
+		m.InitWeights(3)
+		h, w, c := m.InputShape()
+		in := NewTensor(h, w, c, 1.0/255)
+		r := rand.New(rand.NewSource(4))
+		for i := range in.Data {
+			in.Data[i] = uint8(r.Intn(256))
+		}
+
+		plain, err := sys.Run(m, in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		faulty, err := sys.RunWithFaults(m, in, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(plain.Output.Data, faulty.Output.Data) {
+			t.Fatalf("%s: outputs differ between Run and fault-free RunWithFaults", m.Name())
+		}
+		if !reflect.DeepEqual(plain, faulty) {
+			t.Fatalf("%s: results differ between Run and fault-free RunWithFaults:\n%+v\nvs\n%+v",
+				m.Name(), plain, faulty)
+		}
+	}
+}
+
+// TestRunInputShapeValidation: both entry points reject mis-shaped
+// inputs with the same error text (the shared checkInputShape helper).
+func TestRunInputShapeValidation(t *testing.T) {
+	sys, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := SmallCNN()
+	m.InitWeights(1)
+	bad := NewTensor(1, 1, 1, 1)
+	_, errRun := sys.Run(m, bad)
+	_, errFaulty := sys.RunWithFaults(m, bad, nil)
+	if errRun == nil || errFaulty == nil {
+		t.Fatal("mis-shaped input accepted")
+	}
+	if errRun.Error() != errFaulty.Error() {
+		t.Fatalf("divergent shape errors: %q vs %q", errRun, errFaulty)
+	}
+}
+
+// TestModelByName: every advertised name builds, unknown names fail.
+func TestModelByName(t *testing.T) {
+	for _, name := range ModelNames() {
+		m, err := ModelByName(name)
+		if err != nil {
+			t.Fatalf("ModelByName(%q): %v", name, err)
+		}
+		if m.Name() == "" {
+			t.Fatalf("ModelByName(%q): empty model name", name)
+		}
+	}
+	if _, err := ModelByName("nope"); err == nil {
+		t.Fatal("unknown model accepted")
+	}
+}

@@ -68,6 +68,17 @@ func (c Config) WithSlices(n int) Config {
 	return c
 }
 
+// Replica shrinks the configuration to one LLC slice on one socket — the
+// unit of the paper's §VI-B throughput model, where the network is
+// replicated across slices and each slice processes one image. Pricing a
+// batch on the replica configuration yields the service time a serving
+// scheduler charges per slice-shard dispatch.
+func (c Config) Replica() Config {
+	r := c.WithSlices(1)
+	r.Sockets = 1
+	return r
+}
+
 // Validate checks the assembled system.
 func (c Config) Validate() error {
 	if err := c.Geometry.Validate(); err != nil {

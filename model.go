@@ -1,6 +1,9 @@
 package neuralcache
 
 import (
+	"fmt"
+	"strings"
+
 	"neuralcache/internal/nn"
 	"neuralcache/internal/tensor"
 )
@@ -39,6 +42,33 @@ func ResNet18() *Model { return &Model{net: nn.ResNet18()} }
 // SmallResNet builds a residual verification network sized for
 // bit-accurate functional runs.
 func SmallResNet() *Model { return &Model{net: nn.SmallResNet()} }
+
+// ModelNames lists the bundled models ModelByName accepts.
+func ModelNames() []string {
+	return []string{"inception", "resnet", "small", "smallresnet", "branchy", "wide", "bn"}
+}
+
+// ModelByName builds a bundled model from its CLI name.
+func ModelByName(name string) (*Model, error) {
+	switch name {
+	case "inception":
+		return InceptionV3(), nil
+	case "resnet":
+		return ResNet18(), nil
+	case "small":
+		return SmallCNN(), nil
+	case "smallresnet":
+		return SmallResNet(), nil
+	case "branchy":
+		return BranchyCNN(), nil
+	case "wide":
+		return WideCNN(), nil
+	case "bn":
+		return BNNet(), nil
+	}
+	return nil, fmt.Errorf("neuralcache: unknown model %q (have %s)",
+		name, strings.Join(ModelNames(), ", "))
+}
 
 // Name returns the model name.
 func (m *Model) Name() string { return m.net.Name }

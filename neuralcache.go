@@ -19,6 +19,17 @@
 //   - System.VectorAdd / VectorMul / VectorSub expose the underlying
 //     in-cache bit-serial SIMD directly, Compute-Cache style.
 //
+// For serving traffic rather than pricing single inferences, package
+// neuralcache/serve turns a System into a long-running inference
+// service: serve.NewServer is an asynchronous server with a bounded
+// admission queue, dynamic micro-batching and a slice-shard scheduler
+// modeling the paper's one-image-per-slice replication (§VI-B), and
+// serve.Simulate load-tests the same scheduling policy on a
+// deterministic virtual clock. System.Replicas and
+// System.EstimateReplica expose the per-slice service-time model the
+// scheduler prices dispatches with; cmd/ncserve is the load-testing
+// CLI.
+//
 // Bit-accurate runs execute a layer's independent work groups in parallel
 // on a worker pool sized by Config.Workers (default GOMAXPROCS),
 // mirroring the hardware's array-level parallelism in software. Results —
@@ -56,23 +67,23 @@ import (
 type Config struct {
 	// Slices sizes the LLC: 14 slices = 35 MB (the paper's default),
 	// 18 = 45 MB, 24 = 60 MB (Table IV).
-	Slices int
+	Slices int `json:"slices"`
 	// Sockets is the number of host CPUs; throughput scales linearly.
-	Sockets int
+	Sockets int `json:"sockets"`
 	// Workers bounds the goroutines bit-accurate runs use to execute a
 	// layer's independent work groups in parallel. 0 means GOMAXPROCS;
 	// 1 forces sequential execution. Results are bit-identical for every
 	// worker count.
-	Workers int
+	Workers int `json:"workers"`
 	// BankLatch enables the 64-bit per-bank input latch (§IV-C); disable
 	// for the ablation.
-	BankLatch bool
+	BankLatch bool `json:"bank_latch"`
 	// FilterPacking enables 1×1-filter channel packing (§IV-A); disable
 	// for the ablation.
-	FilterPacking bool
+	FilterPacking bool `json:"filter_packing"`
 	// IncludeDRAMEnergy folds DRAM transfer energy into reported package
 	// energy (the paper's Table III excludes it).
-	IncludeDRAMEnergy bool
+	IncludeDRAMEnergy bool `json:"include_dram_energy"`
 }
 
 // DefaultConfig returns the paper's evaluated configuration: a dual-socket
@@ -83,8 +94,9 @@ func DefaultConfig() Config {
 
 // System is a configured Neural Cache.
 type System struct {
-	cfg  Config
-	core *core.System
+	cfg     Config
+	core    *core.System
+	replica *core.System // one slice of one socket: the §VI-B throughput unit
 }
 
 // New builds a system.
@@ -108,7 +120,11 @@ func New(cfg Config) (*System, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &System{cfg: cfg, core: sys}, nil
+	rep, err := core.New(cc.Replica())
+	if err != nil {
+		return nil, err
+	}
+	return &System{cfg: cfg, core: sys, replica: rep}, nil
 }
 
 // Config returns the facade configuration.

@@ -1,0 +1,157 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"neuralcache"
+)
+
+// Backend is one way of servicing a batch of inference requests on a
+// slice replica. Implementations must be safe for concurrent use: the
+// server invokes Execute from one goroutine per busy replica.
+type Backend interface {
+	// Name identifies the backend in reports ("bitexact", "analytic").
+	Name() string
+	// Model returns the served model.
+	Model() *neuralcache.Model
+	// System returns the modeled cache the backend serves on.
+	System() *neuralcache.System
+	// RequiresInput reports whether requests must carry an input tensor.
+	// The server rejects nil-input submissions to a backend that needs
+	// them at admission time.
+	RequiresInput() bool
+	// ServiceTime returns the modeled wall-clock one slice replica is
+	// occupied serving a batch of n requests. It must be deterministic:
+	// the same n always yields the same duration.
+	ServiceTime(n int) (time.Duration, error)
+	// Execute produces one result per input. The analytic backend
+	// returns nil results (it models time, not values).
+	Execute(ctx context.Context, inputs []*neuralcache.Tensor) ([]*neuralcache.InferenceResult, error)
+}
+
+// serviceClock prices batch service times via System.EstimateReplica and
+// memoizes them per batch size, so a load run costs one analytic
+// estimate per distinct batch size rather than one per dispatch.
+type serviceClock struct {
+	sys *neuralcache.System
+	m   *neuralcache.Model
+
+	mu    sync.Mutex
+	cache map[int]time.Duration
+}
+
+func newServiceClock(sys *neuralcache.System, m *neuralcache.Model) *serviceClock {
+	return &serviceClock{sys: sys, m: m, cache: make(map[int]time.Duration)}
+}
+
+func (c *serviceClock) Model() *neuralcache.Model   { return c.m }
+func (c *serviceClock) System() *neuralcache.System { return c.sys }
+
+func (c *serviceClock) ServiceTime(n int) (time.Duration, error) {
+	if n <= 0 {
+		return 0, fmt.Errorf("serve: service time for batch of %d", n)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if d, ok := c.cache[n]; ok {
+		return d, nil
+	}
+	est, err := c.sys.EstimateReplica(c.m, n)
+	if err != nil {
+		return 0, err
+	}
+	d := time.Duration(est.LatencySeconds * float64(time.Second))
+	if d <= 0 {
+		d = time.Nanosecond
+	}
+	c.cache[n] = d
+	return d, nil
+}
+
+// BitExactBackend serves requests by executing the model bit-accurately
+// on the simulated compute arrays (System.Run). Outputs are byte-
+// identical to calling Run directly, for any batching or shard
+// assignment; service times are still priced by the replica estimate so
+// occupancy accounting matches the analytic backend's.
+type BitExactBackend struct {
+	*serviceClock
+}
+
+// NewBitExactBackend builds the bit-accurate backend. The model must
+// have weights (InitWeights) before the first request.
+func NewBitExactBackend(sys *neuralcache.System, m *neuralcache.Model) *BitExactBackend {
+	return &BitExactBackend{serviceClock: newServiceClock(sys, m)}
+}
+
+// Name implements Backend.
+func (b *BitExactBackend) Name() string { return "bitexact" }
+
+// RequiresInput implements Backend: bit-accurate execution needs the
+// input tensor.
+func (b *BitExactBackend) RequiresInput() bool { return true }
+
+// Execute runs every input through System.Run. Inputs are executed
+// sequentially within the batch (each Run already parallelizes a layer's
+// work groups across Config.Workers goroutines); a per-input failure
+// fails the whole batch, mirroring the hardware where a replica's batch
+// shares one staged weight set.
+func (b *BitExactBackend) Execute(ctx context.Context, inputs []*neuralcache.Tensor) ([]*neuralcache.InferenceResult, error) {
+	out := make([]*neuralcache.InferenceResult, len(inputs))
+	for i, in := range inputs {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		if in == nil {
+			return nil, fmt.Errorf("serve: bit-exact execute: nil input")
+		}
+		res, err := b.sys.Run(b.m, in)
+		if err != nil {
+			return nil, fmt.Errorf("serve: bit-exact execute: %w", err)
+		}
+		out[i] = res
+	}
+	return out, nil
+}
+
+// AnalyticBackend services requests on modeled time only: Execute
+// returns nil results after pacing the caller by the replica service
+// time, so a real Server running this backend emulates Inception-scale
+// occupancy in wall-clock time, while Simulate charges the same service
+// time on its virtual clock without sleeping at all.
+type AnalyticBackend struct {
+	*serviceClock
+}
+
+// NewAnalyticBackend builds the analytic-clocked backend. Estimation is
+// shape-only, so the model needs no weights and requests need no input
+// tensors.
+func NewAnalyticBackend(sys *neuralcache.System, m *neuralcache.Model) *AnalyticBackend {
+	return &AnalyticBackend{serviceClock: newServiceClock(sys, m)}
+}
+
+// Name implements Backend.
+func (b *AnalyticBackend) Name() string { return "analytic" }
+
+// RequiresInput implements Backend: estimation is shape-only, so
+// requests may be input-less.
+func (b *AnalyticBackend) RequiresInput() bool { return false }
+
+// Execute sleeps for the batch's modeled service time and returns nil
+// results. The sleep is interruptible by ctx.
+func (b *AnalyticBackend) Execute(ctx context.Context, inputs []*neuralcache.Tensor) ([]*neuralcache.InferenceResult, error) {
+	d, err := b.ServiceTime(len(inputs))
+	if err != nil {
+		return nil, err
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	return make([]*neuralcache.InferenceResult, len(inputs)), nil
+}

@@ -1,0 +1,71 @@
+package serve
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"neuralcache"
+)
+
+// BenchmarkServeSimulate pushes 100k Inception-scale requests through
+// the virtual-clock scheduler per iteration and reports the simulated
+// serving metrics alongside the simulator's own speed.
+func BenchmarkServeSimulate(b *testing.B) {
+	sys := newSystem(b, 0)
+	m := neuralcache.InceptionV3()
+	backend := NewAnalyticBackend(sys, m)
+	opts := Options{MaxBatch: 16, MaxLinger: time.Millisecond, QueueDepth: 1 << 20}
+	st, err := backend.ServiceTime(opts.MaxBatch)
+	if err != nil {
+		b.Fatal(err)
+	}
+	load := Load{Rate: 2 * float64(sys.Replicas()*opts.MaxBatch) / st.Seconds(),
+		Requests: 100_000, Seed: 42, Poisson: true}
+	b.ResetTimer()
+	var rep *LoadReport
+	for i := 0; i < b.N; i++ {
+		rep, err = Simulate(backend, opts, load)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(rep.ThroughputPerSec, "served/vsec")
+	b.ReportMetric(float64(rep.P99)/1e6, "p99-ms")
+	b.ReportMetric(rep.Utilization*100, "util-%")
+	b.ReportMetric(float64(rep.Served)/b.Elapsed().Seconds()*float64(b.N), "req/wallsec")
+}
+
+// BenchmarkServeBitExact serves a micro-batch of bit-accurate SmallCNN
+// requests through the real async server per iteration.
+func BenchmarkServeBitExact(b *testing.B) {
+	sys := newSystem(b, 0)
+	m := neuralcache.SmallCNN()
+	m.InitWeights(7)
+	srv, err := NewServer(NewBitExactBackend(sys, m),
+		Options{MaxBatch: 4, MaxLinger: time.Millisecond})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	inputs := make([]*neuralcache.Tensor, 4)
+	for i := range inputs {
+		inputs[i] = randomInput(m, 99, i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		chans := make([]<-chan *Response, len(inputs))
+		for j, in := range inputs {
+			ch, err := srv.TrySubmit(context.Background(), in)
+			if err != nil {
+				b.Fatal(err)
+			}
+			chans[j] = ch
+		}
+		for _, ch := range chans {
+			if r := <-ch; r.Err != nil {
+				b.Fatal(r.Err)
+			}
+		}
+	}
+}

@@ -1,0 +1,121 @@
+package serve
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"neuralcache"
+)
+
+// LoadTest drives a freshly started Server with the open-loop arrival
+// process described by load, in wall-clock time: arrivals that find the
+// admission queue full are rejected and counted, exactly like
+// Simulate's. inputs, when non-nil, supplies the tensor for the i-th
+// arrival (0-based) — required for a bit-exact backend; nil submits
+// input-less requests, which the analytic backend serves on modeled
+// time. LoadTest waits for every admitted request to complete and
+// leaves the server running.
+func LoadTest(srv *Server, load Load, inputs func(i int) *neuralcache.Tensor) (*LoadReport, error) {
+	if err := load.validate(); err != nil {
+		return nil, err
+	}
+	gen := load.arrivals()
+	o := srv.Options()
+	before := srv.Stats()
+
+	var (
+		mu        sync.Mutex
+		latencies []time.Duration
+		wg        sync.WaitGroup
+	)
+	offered, rejected := 0, 0
+	start := time.Now()
+	var firstArrival, lastDone time.Time
+	ctx := context.Background()
+	for i := 0; ; i++ {
+		at, ok := gen.next()
+		if !ok {
+			break
+		}
+		if d := time.Until(start.Add(at)); d > 0 {
+			time.Sleep(d)
+		}
+		var in *neuralcache.Tensor
+		if inputs != nil {
+			in = inputs(i)
+		}
+		now := time.Now()
+		if firstArrival.IsZero() {
+			firstArrival = now
+		}
+		offered++
+		ch, err := srv.TrySubmit(ctx, in)
+		if err == ErrQueueFull {
+			rejected++
+			continue
+		}
+		if err != nil {
+			return nil, err
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			r := <-ch
+			mu.Lock()
+			defer mu.Unlock()
+			if r.Err == nil {
+				latencies = append(latencies, r.Latency)
+				if done := time.Now(); done.After(lastDone) {
+					lastDone = done
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	after := srv.Stats()
+	rep := &LoadReport{
+		Backend:    srv.backend.Name(),
+		Model:      srv.backend.Model().Name(),
+		Replicas:   o.Replicas,
+		MaxBatch:   o.MaxBatch,
+		MaxLinger:  o.MaxLinger,
+		QueueDepth: o.QueueDepth,
+		Offered:    offered,
+		Served:     len(latencies),
+		Rejected:   rejected,
+		Batches:    int(after.Batches - before.Batches),
+
+		MaxQueueDepth: after.QueueHighWater,
+	}
+	if rep.Batches > 0 {
+		rep.MeanBatch = float64(rep.Served) / float64(rep.Batches)
+	}
+	if !lastDone.IsZero() {
+		rep.Makespan = lastDone.Sub(firstArrival)
+	}
+	if rep.Makespan > 0 {
+		rep.ThroughputPerSec = float64(rep.Served) / rep.Makespan.Seconds()
+	}
+	rep.PerShard = diffShards(before.PerShard, after.PerShard)
+	if err := rep.finish(srv.backend, latencies, rep.Makespan); err != nil {
+		return nil, err
+	}
+	return rep, nil
+}
+
+// diffShards subtracts a prior occupancy snapshot so a LoadTest on a
+// reused server reports only its own traffic.
+func diffShards(before, after []ShardUsage) []ShardUsage {
+	out := append([]ShardUsage(nil), after...)
+	for i := range out {
+		if i < len(before) {
+			out[i].Batches -= before[i].Batches
+			out[i].Requests -= before[i].Requests
+			out[i].Busy -= before[i].Busy
+		}
+		out[i].Utilization = 0
+	}
+	return out
+}

@@ -1,0 +1,181 @@
+package serve
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"sort"
+	"strings"
+	"time"
+
+	"neuralcache/internal/report"
+)
+
+// LoadReport is the outcome of one load run — Simulate (virtual clock)
+// or LoadTest (wall clock). All duration fields marshal to JSON as
+// integer nanoseconds.
+type LoadReport struct {
+	Backend    string        `json:"backend"`
+	Model      string        `json:"model"`
+	Replicas   int           `json:"replicas"`
+	MaxBatch   int           `json:"max_batch"`
+	MaxLinger  time.Duration `json:"max_linger_ns"`
+	QueueDepth int           `json:"queue_depth"`
+	// Virtual marks a virtual-clock (Simulate) run; false means
+	// wall-clock (LoadTest).
+	Virtual bool `json:"virtual"`
+
+	Offered   int     `json:"offered"`
+	Served    int     `json:"served"`
+	Rejected  int     `json:"rejected"`
+	Batches   int     `json:"batches"`
+	MeanBatch float64 `json:"mean_batch"`
+
+	// Makespan spans first arrival to last completion.
+	Makespan         time.Duration `json:"makespan_ns"`
+	ThroughputPerSec float64       `json:"throughput_per_sec"`
+	// CapacityPerSec is the Estimate-derived slice-replica bound the
+	// scheduler cannot beat: Replicas × MaxBatch / ServiceTime(MaxBatch).
+	CapacityPerSec float64 `json:"capacity_per_sec"`
+
+	P50 time.Duration `json:"p50_ns"`
+	P90 time.Duration `json:"p90_ns"`
+	P95 time.Duration `json:"p95_ns"`
+	P99 time.Duration `json:"p99_ns"`
+	Max time.Duration `json:"max_ns"`
+
+	MeanQueueDepth float64 `json:"mean_queue_depth"`
+	MaxQueueDepth  int     `json:"max_queue_depth"`
+	// Utilization is the mean busy fraction across replicas over the
+	// makespan.
+	Utilization float64      `json:"utilization"`
+	PerShard    []ShardUsage `json:"per_shard"`
+	Histogram   []HistBucket `json:"histogram"`
+}
+
+// finish derives capacity, percentiles, histogram and utilization from
+// the raw samples; shared by Simulate and LoadTest.
+func (r *LoadReport) finish(backend Backend, latencies []time.Duration, window time.Duration) error {
+	st, err := backend.ServiceTime(r.MaxBatch)
+	if err != nil {
+		return err
+	}
+	r.CapacityPerSec = float64(r.Replicas*r.MaxBatch) / st.Seconds()
+	sorted := append([]time.Duration(nil), latencies...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	if len(sorted) > 0 {
+		r.P50 = percentile(sorted, 0.50)
+		r.P90 = percentile(sorted, 0.90)
+		r.P95 = percentile(sorted, 0.95)
+		r.P99 = percentile(sorted, 0.99)
+		r.Max = sorted[len(sorted)-1]
+	}
+	r.Histogram = histogram(sorted)
+	var busy time.Duration
+	for i := range r.PerShard {
+		busy += r.PerShard[i].Busy
+		if window > 0 {
+			r.PerShard[i].Utilization = float64(r.PerShard[i].Busy) / float64(window)
+		}
+	}
+	if window > 0 && len(r.PerShard) > 0 {
+		r.Utilization = float64(busy) / float64(window*time.Duration(len(r.PerShard)))
+	}
+	return nil
+}
+
+// percentile returns the nearest-rank q-th percentile of an ascending
+// sample set.
+func percentile(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// HistBucket is one power-of-two latency bucket: [Lo, Hi).
+type HistBucket struct {
+	Lo    time.Duration `json:"lo_ns"`
+	Hi    time.Duration `json:"hi_ns"`
+	Count int           `json:"count"`
+}
+
+// histogram buckets latencies by power-of-two microseconds, including
+// empty buckets between the occupied extremes so bar charts read as a
+// contiguous distribution.
+func histogram(sorted []time.Duration) []HistBucket {
+	if len(sorted) == 0 {
+		return nil
+	}
+	bucket := func(d time.Duration) int {
+		if d < 0 {
+			d = 0
+		}
+		return bits.Len64(uint64(d / time.Microsecond))
+	}
+	lo, hi := bucket(sorted[0]), bucket(sorted[len(sorted)-1])
+	counts := make([]int, hi-lo+1)
+	for _, d := range sorted {
+		counts[bucket(d)-lo]++
+	}
+	out := make([]HistBucket, len(counts))
+	for i := range counts {
+		b := HistBucket{Count: counts[i]}
+		if idx := lo + i; idx > 0 {
+			b.Lo = time.Duration(1<<(idx-1)) * time.Microsecond
+			b.Hi = time.Duration(1<<idx) * time.Microsecond
+		} else {
+			b.Hi = time.Microsecond
+		}
+		out[i] = b
+	}
+	return out
+}
+
+// String renders the report as the CLI's latency histogram and
+// utilization summary.
+func (r *LoadReport) String() string {
+	var b strings.Builder
+	clock := "wall"
+	if r.Virtual {
+		clock = "virtual"
+	}
+	fmt.Fprintf(&b, "%s serve of %s: %d slice replicas, batch ≤%d, linger %v, queue %d\n",
+		r.Backend, r.Model, r.Replicas, r.MaxBatch, r.MaxLinger, r.QueueDepth)
+	fmt.Fprintf(&b, "offered %d  served %d  rejected %d  batches %d (mean %.2f)\n",
+		r.Offered, r.Served, r.Rejected, r.Batches, r.MeanBatch)
+	fmt.Fprintf(&b, "makespan %v (%s clock)  throughput %.1f/s  capacity %.1f/s  utilization %s\n",
+		r.Makespan.Round(time.Microsecond), clock,
+		r.ThroughputPerSec, r.CapacityPerSec, report.Pct(r.Utilization))
+	fmt.Fprintf(&b, "latency p50 %v  p90 %v  p95 %v  p99 %v  max %v\n",
+		r.P50.Round(time.Microsecond), r.P90.Round(time.Microsecond),
+		r.P95.Round(time.Microsecond), r.P99.Round(time.Microsecond),
+		r.Max.Round(time.Microsecond))
+	fmt.Fprintf(&b, "queue depth mean %.1f  max %d\n", r.MeanQueueDepth, r.MaxQueueDepth)
+	if len(r.Histogram) > 0 {
+		labels := make([]string, len(r.Histogram))
+		values := make([]float64, len(r.Histogram))
+		for i, h := range r.Histogram {
+			labels[i] = fmt.Sprintf("< %v", h.Hi)
+			values[i] = float64(h.Count)
+		}
+		b.WriteString(report.Bars("Latency histogram", labels, values, 40))
+		b.WriteByte('\n')
+	}
+	if len(r.PerShard) > 0 {
+		t := report.NewTable("Slice utilization", "Shard", "Batches", "Requests", "Busy", "Util")
+		for _, u := range r.PerShard {
+			t.Add(u.Shard.String(), fmt.Sprint(u.Batches), fmt.Sprint(u.Requests),
+				u.Busy.Round(time.Microsecond).String(), report.Pct(u.Utilization))
+		}
+		b.WriteString(t.String())
+	}
+	return b.String()
+}

@@ -1,0 +1,135 @@
+// Package serve turns a neuralcache.System into a long-running inference
+// service with admission control, dynamic micro-batching and slice-shard
+// scheduling.
+//
+// The paper's throughput headline (§VI-B) comes from replicating the
+// network across LLC slices: each slice processes one image, and
+// throughput scales with slices × sockets. This package models exactly
+// that execution style as a serving system. Requests enter a bounded
+// admission queue (backpressure: TrySubmit rejects with ErrQueueFull when
+// the queue is full, Submit blocks until space or context cancellation).
+// A dynamic micro-batcher groups queued requests into batches of at most
+// Options.MaxBatch, waiting at most Options.MaxLinger for a fuller batch
+// — batching amortizes per-layer filter loading exactly as §IV-E batches
+// amortize it in the analytic model. A slice-shard scheduler dispatches
+// each batch to a free replica — one LLC slice of one socket — and tracks
+// per-shard occupancy, so utilization reports show which slices carried
+// the traffic.
+//
+// Two backends implement the Backend interface:
+//
+//   - NewBitExactBackend executes every request bit-accurately via
+//     System.Run; served outputs are byte-identical to calling Run
+//     directly, for any batching, shard assignment or worker count.
+//   - NewAnalyticBackend services requests on service times priced by
+//     System.EstimateReplica — the cost of the batch on a single-slice,
+//     single-socket replica of the cache.
+//
+// Two drivers consume a Backend:
+//
+//   - NewServer is the asynchronous goroutine server: Submit/TrySubmit,
+//     real wall-clock time, context cancellation, Close-and-drain.
+//   - Simulate is a deterministic discrete-event simulator on a virtual
+//     clock: it pushes hundreds of thousands of simulated requests
+//     through the same admission/batching/scheduling policy in a few
+//     real seconds and reports p50/p95/p99 latency, throughput, queue
+//     depth and per-shard utilization. Same seed, same Load, same
+//     Options ⇒ identical LoadReport, every run.
+//
+// LoadTest drives a running Server with the same open-loop arrival
+// process Simulate uses, so wall-clock and virtual-clock results are
+// directly comparable.
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// Errors returned by the server's admission path.
+var (
+	// ErrQueueFull reports that the bounded admission queue rejected a
+	// request (open-loop backpressure).
+	ErrQueueFull = errors.New("serve: admission queue full")
+	// ErrClosed reports a submission to a closed server.
+	ErrClosed = errors.New("serve: server closed")
+)
+
+// Options configures admission, batching and scheduling. The zero value
+// is usable: every field defaults sensibly in New/Simulate.
+type Options struct {
+	// QueueDepth bounds the admission queue; requests beyond it are
+	// rejected (TrySubmit) or block (Submit). Default 1024.
+	QueueDepth int
+	// MaxBatch caps the dynamic micro-batch size. Default 16.
+	MaxBatch int
+	// MaxLinger is how long the batcher waits for a fuller batch after
+	// the first request arrives. 0 means the 2ms default; NoLinger (any
+	// negative value) dispatches immediately.
+	MaxLinger time.Duration
+	// Replicas is the number of slice shards to schedule on, at most
+	// System.Replicas() (= Slices × Sockets). 0 means all of them; fewer
+	// models reserving slices for the host workload.
+	Replicas int
+}
+
+// NoLinger disables the batcher's linger wait: a batch dispatches as
+// soon as a replica is free, however small it is.
+const NoLinger time.Duration = -1
+
+// withDefaults fills zero fields and validates against the backend's
+// replica budget.
+func (o Options) withDefaults(totalReplicas int) (Options, error) {
+	if o.QueueDepth == 0 {
+		o.QueueDepth = 1024
+	}
+	if o.MaxBatch == 0 {
+		o.MaxBatch = 16
+	}
+	switch {
+	case o.MaxLinger == 0:
+		o.MaxLinger = 2 * time.Millisecond
+	case o.MaxLinger < 0:
+		o.MaxLinger = 0
+	}
+	if o.Replicas == 0 {
+		o.Replicas = totalReplicas
+	}
+	switch {
+	case o.QueueDepth < 0:
+		return o, fmt.Errorf("serve: queue depth %d", o.QueueDepth)
+	case o.MaxBatch < 0:
+		return o, fmt.Errorf("serve: max batch %d", o.MaxBatch)
+	case o.Replicas < 0 || o.Replicas > totalReplicas:
+		return o, fmt.Errorf("serve: %d replicas, system has %d", o.Replicas, totalReplicas)
+	case o.QueueDepth < o.MaxBatch:
+		return o, fmt.Errorf("serve: queue depth %d below max batch %d", o.QueueDepth, o.MaxBatch)
+	}
+	return o, nil
+}
+
+// Shard identifies one slice replica: a single LLC slice of a single
+// socket, the unit of the paper's §VI-B throughput model.
+type Shard struct {
+	Socket int
+	Slice  int
+}
+
+// String formats the shard like s0/slice3.
+func (s Shard) String() string { return fmt.Sprintf("s%d/slice%d", s.Socket, s.Slice) }
+
+// shardFor maps a dense replica ordinal to its shard coordinates.
+func shardFor(id, slicesPerSocket int) Shard {
+	return Shard{Socket: id / slicesPerSocket, Slice: id % slicesPerSocket}
+}
+
+// ShardUsage is one replica's occupancy accounting.
+type ShardUsage struct {
+	Shard    Shard         `json:"shard"`
+	Batches  int           `json:"batches"`
+	Requests int           `json:"requests"`
+	Busy     time.Duration `json:"busy_ns"`
+	// Utilization is Busy over the observation window.
+	Utilization float64 `json:"utilization"`
+}

@@ -1,0 +1,328 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"neuralcache"
+)
+
+// Response is the outcome of one served request.
+type Response struct {
+	// ID is the server-assigned admission ordinal (1-based).
+	ID uint64
+	// Result is the bit-accurate inference result; nil for the analytic
+	// backend, which models time rather than values.
+	Result *neuralcache.InferenceResult
+	// Err is the failure, if any. A batch-level execution failure fails
+	// every request of the batch.
+	Err error
+	// Shard is the slice replica that served the request.
+	Shard Shard
+	// BatchSize is the size of the micro-batch the request rode in.
+	BatchSize int
+	// Queued is the time from admission to dispatch; Latency is the time
+	// from admission to completion.
+	Queued  time.Duration
+	Latency time.Duration
+}
+
+// request is one admitted unit of work.
+type request struct {
+	id       uint64
+	input    *neuralcache.Tensor
+	ctx      context.Context
+	enqueued time.Time
+	resp     chan *Response // buffered, capacity 1
+}
+
+// Server is the asynchronous inference service: a bounded admission
+// queue feeding a dynamic micro-batcher whose batches are dispatched to
+// free slice replicas. Create with NewServer, stop with Close.
+type Server struct {
+	backend Backend
+	opts    Options
+	slices  int // slices per socket, for shard naming
+
+	queue  chan *request
+	shards chan int // free replica ordinals
+
+	mu     sync.RWMutex // guards closed against concurrent Submit/Close
+	closed bool
+
+	batcherDone chan struct{}
+	execWG      sync.WaitGroup
+
+	nextID  atomic.Uint64
+	started time.Time
+
+	stats struct {
+		sync.Mutex
+		submitted, rejected, served, failed, canceled uint64
+		batches, batched                              uint64
+		queueHighWater                                int
+		perShard                                      []ShardUsage
+	}
+}
+
+// NewServer starts a server on the backend. The returned server is
+// accepting requests; call Close to drain and stop it.
+func NewServer(backend Backend, opts Options) (*Server, error) {
+	sys := backend.System()
+	o, err := opts.withDefaults(sys.Replicas())
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		backend:     backend,
+		opts:        o,
+		slices:      sys.Config().Slices,
+		queue:       make(chan *request, o.QueueDepth),
+		shards:      make(chan int, o.Replicas),
+		batcherDone: make(chan struct{}),
+		started:     time.Now(),
+	}
+	s.stats.perShard = make([]ShardUsage, o.Replicas)
+	for i := 0; i < o.Replicas; i++ {
+		s.stats.perShard[i].Shard = shardFor(i, s.slices)
+		s.shards <- i
+	}
+	go s.batcher()
+	return s, nil
+}
+
+// Options returns the server's effective (defaulted) options.
+func (s *Server) Options() Options { return s.opts }
+
+// Submit admits one request and blocks until it is served or ctx is
+// done. When the admission queue is full, Submit waits for space
+// (backpressure); cancel ctx to give up. A ctx that expires after
+// admission abandons the wait but lets the request complete.
+func (s *Server) Submit(ctx context.Context, in *neuralcache.Tensor) (*Response, error) {
+	ch, err := s.submit(ctx, in, true)
+	if err != nil {
+		return nil, err
+	}
+	select {
+	case r := <-ch:
+		return r, r.Err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// TrySubmit admits one request without blocking: when the admission
+// queue is full it returns ErrQueueFull immediately (the open-loop
+// rejection path). On success the response arrives on the returned
+// channel. ctx is checked again at dispatch time: a request whose ctx
+// expired while queued is dropped with its ctx error.
+func (s *Server) TrySubmit(ctx context.Context, in *neuralcache.Tensor) (<-chan *Response, error) {
+	return s.submit(ctx, in, false)
+}
+
+func (s *Server) submit(ctx context.Context, in *neuralcache.Tensor, wait bool) (chan *Response, error) {
+	if in == nil {
+		if s.backend.RequiresInput() {
+			return nil, fmt.Errorf("serve: %s backend requires an input tensor", s.backend.Name())
+		}
+	} else if h, w, c := s.backend.Model().InputShape(); in.H != h || in.W != w || in.C != c {
+		return nil, fmt.Errorf("serve: input %dx%dx%d, model %s expects %dx%dx%d",
+			in.H, in.W, in.C, s.backend.Model().Name(), h, w, c)
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
+	req := &request{
+		id:       s.nextID.Add(1),
+		input:    in,
+		ctx:      ctx,
+		enqueued: time.Now(),
+		resp:     make(chan *Response, 1),
+	}
+	if wait {
+		select {
+		case s.queue <- req:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	} else {
+		select {
+		case s.queue <- req:
+		default:
+			s.stats.Lock()
+			s.stats.rejected++
+			s.stats.Unlock()
+			return nil, ErrQueueFull
+		}
+	}
+	depth := len(s.queue)
+	s.stats.Lock()
+	s.stats.submitted++
+	if depth > s.stats.queueHighWater {
+		s.stats.queueHighWater = depth
+	}
+	s.stats.Unlock()
+	return req.resp, nil
+}
+
+// batcher is the single goroutine forming micro-batches: it waits for a
+// first request, then collects up to MaxBatch-1 more or until MaxLinger
+// elapses, and hands the batch to a free replica.
+func (s *Server) batcher() {
+	defer close(s.batcherDone)
+	for {
+		req, ok := <-s.queue
+		if !ok {
+			return
+		}
+		batch := []*request{req}
+		if s.opts.MaxBatch > 1 {
+			timer := time.NewTimer(s.opts.MaxLinger)
+		collect:
+			for len(batch) < s.opts.MaxBatch {
+				select {
+				case r, ok := <-s.queue:
+					if !ok {
+						break collect
+					}
+					batch = append(batch, r)
+				case <-timer.C:
+					break collect
+				}
+			}
+			timer.Stop()
+		}
+		s.dispatch(batch)
+	}
+}
+
+// dispatch drops canceled requests, claims a free replica (blocking the
+// batcher while all replicas are busy — the queue buffer keeps admitting
+// meanwhile) and executes the batch on its own goroutine.
+func (s *Server) dispatch(batch []*request) {
+	live := batch[:0]
+	for _, r := range batch {
+		if r.ctx != nil && r.ctx.Err() != nil {
+			r.resp <- &Response{ID: r.id, Err: r.ctx.Err()}
+			s.stats.Lock()
+			s.stats.canceled++
+			s.stats.Unlock()
+			continue
+		}
+		live = append(live, r)
+	}
+	if len(live) == 0 {
+		return
+	}
+	id := <-s.shards
+	dispatched := time.Now()
+	s.execWG.Add(1)
+	go func() {
+		defer s.execWG.Done()
+		inputs := make([]*neuralcache.Tensor, len(live))
+		for i, r := range live {
+			inputs[i] = r.input
+		}
+		// The batch runs under the server's lifetime, not any one
+		// request's ctx: replicas share one staged weight set, so a
+		// single submitter's cancellation must not fail its batchmates.
+		results, err := s.backend.Execute(context.Background(), inputs)
+		done := time.Now()
+		for i, r := range live {
+			resp := &Response{
+				ID:        r.id,
+				Shard:     shardFor(id, s.slices),
+				BatchSize: len(live),
+				Queued:    dispatched.Sub(r.enqueued),
+				Latency:   done.Sub(r.enqueued),
+				Err:       err,
+			}
+			if err == nil && results != nil {
+				resp.Result = results[i]
+			}
+			r.resp <- resp
+		}
+		s.stats.Lock()
+		s.stats.batches++
+		s.stats.batched += uint64(len(live))
+		if err != nil {
+			s.stats.failed += uint64(len(live))
+		} else {
+			s.stats.served += uint64(len(live))
+		}
+		u := &s.stats.perShard[id]
+		u.Batches++
+		u.Requests += len(live)
+		u.Busy += done.Sub(dispatched)
+		s.stats.Unlock()
+		s.shards <- id
+	}()
+}
+
+// Close stops admission, drains the queue, waits for in-flight batches
+// and returns. Closing twice returns ErrClosed.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return ErrClosed
+	}
+	s.closed = true
+	close(s.queue)
+	s.mu.Unlock()
+	<-s.batcherDone
+	s.execWG.Wait()
+	return nil
+}
+
+// Stats is a point-in-time snapshot of the server's counters.
+type Stats struct {
+	Submitted, Rejected uint64
+	Served, Failed      uint64
+	Canceled            uint64
+	Batches             uint64
+	MeanBatch           float64
+	QueueHighWater      int
+	Uptime              time.Duration
+	// Utilization is the mean busy fraction across replicas since the
+	// server started.
+	Utilization float64
+	PerShard    []ShardUsage
+}
+
+// Stats snapshots the server's occupancy and admission counters.
+func (s *Server) Stats() Stats {
+	up := time.Since(s.started)
+	s.stats.Lock()
+	defer s.stats.Unlock()
+	out := Stats{
+		Submitted:      s.stats.submitted,
+		Rejected:       s.stats.rejected,
+		Served:         s.stats.served,
+		Failed:         s.stats.failed,
+		Canceled:       s.stats.canceled,
+		Batches:        s.stats.batches,
+		QueueHighWater: s.stats.queueHighWater,
+		Uptime:         up,
+		PerShard:       append([]ShardUsage(nil), s.stats.perShard...),
+	}
+	if out.Batches > 0 {
+		out.MeanBatch = float64(s.stats.batched) / float64(out.Batches)
+	}
+	var busy time.Duration
+	for i := range out.PerShard {
+		busy += out.PerShard[i].Busy
+		if up > 0 {
+			out.PerShard[i].Utilization = float64(out.PerShard[i].Busy) / float64(up)
+		}
+	}
+	if up > 0 && len(out.PerShard) > 0 {
+		out.Utilization = float64(busy) / float64(up*time.Duration(len(out.PerShard)))
+	}
+	return out
+}

@@ -1,0 +1,318 @@
+package serve
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+)
+
+// Load describes an open-loop arrival process: requests arrive on their
+// own schedule regardless of service progress, the regime the paper's
+// throughput evaluation implies and the one that exposes queueing.
+type Load struct {
+	// Rate is the mean arrival rate in requests per second.
+	Rate float64
+	// Requests is the number of arrivals to generate. When 0, arrivals
+	// are generated for Duration instead.
+	Requests int
+	// Duration is the arrival window used when Requests is 0.
+	Duration time.Duration
+	// Seed seeds the Poisson process. The same seed reproduces the same
+	// arrival schedule exactly.
+	Seed int64
+	// Poisson draws exponential interarrival times (a Poisson process)
+	// instead of uniform spacing.
+	Poisson bool
+}
+
+func (l Load) validate() error {
+	if l.Rate <= 0 || math.IsNaN(l.Rate) || math.IsInf(l.Rate, 0) {
+		return fmt.Errorf("serve: arrival rate %v", l.Rate)
+	}
+	if l.Requests < 0 {
+		return fmt.Errorf("serve: %d requests", l.Requests)
+	}
+	if l.Requests == 0 && l.Duration <= 0 {
+		return fmt.Errorf("serve: load needs Requests or Duration")
+	}
+	return nil
+}
+
+// arrivalGen yields a deterministic, monotone sequence of arrival
+// offsets from t=0.
+type arrivalGen struct {
+	load  Load
+	rng   *rand.Rand
+	count int
+	t     float64 // seconds
+}
+
+func (l Load) arrivals() *arrivalGen {
+	g := &arrivalGen{load: l}
+	if l.Poisson {
+		g.rng = rand.New(rand.NewSource(l.Seed))
+	}
+	return g
+}
+
+// next returns the next arrival offset, or false when the load is
+// exhausted.
+func (g *arrivalGen) next() (time.Duration, bool) {
+	g.count++
+	if g.load.Requests > 0 && g.count > g.load.Requests {
+		return 0, false
+	}
+	if g.load.Poisson {
+		g.t += g.rng.ExpFloat64() / g.load.Rate
+	} else {
+		g.t = float64(g.count) / g.load.Rate
+	}
+	at := time.Duration(g.t * float64(time.Second))
+	if g.load.Requests == 0 && at > g.load.Duration {
+		return 0, false
+	}
+	return at, true
+}
+
+// Event kinds of the discrete-event simulator.
+const (
+	evArrival = iota
+	evCompletion
+	evLinger
+)
+
+// event is one scheduled state change on the virtual clock.
+type event struct {
+	at   time.Duration
+	seq  uint64 // FIFO tiebreak among equal times
+	kind int
+	// completion-only fields
+	shard    int
+	arrivals []time.Duration
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+
+// sim is the state of one Simulate run: the same admission queue,
+// micro-batching policy and lowest-ordinal-first shard scheduling the
+// real Server applies, driven by events on a virtual clock.
+type sim struct {
+	backend Backend
+	opts    Options
+
+	events eventHeap
+	seq    uint64
+	now    time.Duration
+
+	queue []time.Duration // arrival times of admitted, undispatched requests
+	qhead int
+
+	freeShard  []bool
+	freeCount  int
+	lastLinger time.Duration
+
+	gen *arrivalGen
+
+	offered, served, rejected int
+	batches, batched          int
+	latencies                 []time.Duration
+	firstArrival              time.Duration
+	lastCompletion            time.Duration
+	shardUse                  []ShardUsage
+
+	depth      int
+	maxDepth   int
+	depthInt   float64 // ∫ queue-depth dt, duration units
+	lastDepthT time.Duration
+}
+
+// Simulate runs the serving policy against an open-loop load on a
+// deterministic virtual clock. No goroutines, no wall-clock sleeps:
+// service times come from Backend.ServiceTime (the analytic replica
+// estimate), so hundreds of thousands of Inception-scale requests
+// simulate in a few real seconds. The same backend, options and load
+// produce an identical LoadReport on every run.
+func Simulate(backend Backend, opts Options, load Load) (*LoadReport, error) {
+	o, err := opts.withDefaults(backend.System().Replicas())
+	if err != nil {
+		return nil, err
+	}
+	if err := load.validate(); err != nil {
+		return nil, err
+	}
+	s := &sim{
+		backend:    backend,
+		opts:       o,
+		gen:        load.arrivals(),
+		freeShard:  make([]bool, o.Replicas),
+		freeCount:  o.Replicas,
+		lastLinger: -1,
+		shardUse:   make([]ShardUsage, o.Replicas),
+	}
+	slices := backend.System().Config().Slices
+	for i := range s.freeShard {
+		s.freeShard[i] = true
+		s.shardUse[i].Shard = shardFor(i, slices)
+	}
+	if at, ok := s.gen.next(); ok {
+		s.push(&event{at: at, kind: evArrival})
+	}
+	for len(s.events) > 0 {
+		e := heap.Pop(&s.events).(*event)
+		s.now = e.at
+		switch e.kind {
+		case evArrival:
+			s.onArrival()
+		case evCompletion:
+			s.onCompletion(e)
+		}
+		if err := s.tryDispatch(); err != nil {
+			return nil, err
+		}
+	}
+	return s.report(backend, load)
+}
+
+func (s *sim) push(e *event) {
+	e.seq = s.seq
+	s.seq++
+	heap.Push(&s.events, e)
+}
+
+func (s *sim) qlen() int { return len(s.queue) - s.qhead }
+
+// syncDepth integrates the queue depth up to the current virtual time;
+// call before every depth change.
+func (s *sim) syncDepth() {
+	s.depthInt += float64(s.depth) * float64(s.now-s.lastDepthT)
+	s.lastDepthT = s.now
+}
+
+func (s *sim) onArrival() {
+	s.offered++
+	if s.offered == 1 {
+		s.firstArrival = s.now
+	}
+	if s.qlen() >= s.opts.QueueDepth {
+		s.rejected++
+	} else {
+		s.syncDepth()
+		s.queue = append(s.queue, s.now)
+		s.depth++
+		if s.depth > s.maxDepth {
+			s.maxDepth = s.depth
+		}
+	}
+	if at, ok := s.gen.next(); ok {
+		s.push(&event{at: at, kind: evArrival})
+	}
+}
+
+func (s *sim) onCompletion(e *event) {
+	s.freeShard[e.shard] = true
+	s.freeCount++
+	s.served += len(e.arrivals)
+	s.lastCompletion = s.now
+	for _, at := range e.arrivals {
+		s.latencies = append(s.latencies, s.now-at)
+	}
+}
+
+// tryDispatch applies the micro-batching policy: dispatch when a replica
+// is free and either a full batch is pending or the oldest pending
+// request has lingered MaxLinger; otherwise schedule the linger
+// deadline and wait.
+func (s *sim) tryDispatch() error {
+	for s.qlen() > 0 && s.freeCount > 0 {
+		head := s.queue[s.qhead]
+		if s.qlen() < s.opts.MaxBatch && s.now < head+s.opts.MaxLinger {
+			if deadline := head + s.opts.MaxLinger; deadline != s.lastLinger {
+				s.push(&event{at: deadline, kind: evLinger})
+				s.lastLinger = deadline
+			}
+			return nil
+		}
+		n := min(s.qlen(), s.opts.MaxBatch)
+		batch := append([]time.Duration(nil), s.queue[s.qhead:s.qhead+n]...)
+		s.syncDepth()
+		s.qhead += n
+		s.depth -= n
+		if s.qhead == len(s.queue) {
+			s.queue, s.qhead = s.queue[:0], 0
+		} else if s.qhead > 4096 && s.qhead > len(s.queue)/2 {
+			s.queue = append(s.queue[:0], s.queue[s.qhead:]...)
+			s.qhead = 0
+		}
+		shard := s.takeShard()
+		st, err := s.backend.ServiceTime(n)
+		if err != nil {
+			return err
+		}
+		s.push(&event{at: s.now + st, kind: evCompletion, shard: shard, arrivals: batch})
+		s.batches++
+		s.batched += n
+		u := &s.shardUse[shard]
+		u.Batches++
+		u.Requests += n
+		u.Busy += st
+	}
+	return nil
+}
+
+// takeShard claims the lowest-ordinal free replica — the deterministic
+// analogue of the Server's free-shard channel.
+func (s *sim) takeShard() int {
+	for i, free := range s.freeShard {
+		if free {
+			s.freeShard[i] = false
+			s.freeCount--
+			return i
+		}
+	}
+	panic("serve: takeShard with no free shard")
+}
+
+func (s *sim) report(backend Backend, load Load) (*LoadReport, error) {
+	r := &LoadReport{
+		Backend:    backend.Name(),
+		Model:      backend.Model().Name(),
+		Replicas:   s.opts.Replicas,
+		MaxBatch:   s.opts.MaxBatch,
+		MaxLinger:  s.opts.MaxLinger,
+		QueueDepth: s.opts.QueueDepth,
+		Virtual:    true,
+		Offered:    s.offered,
+		Served:     s.served,
+		Rejected:   s.rejected,
+		Batches:    s.batches,
+
+		MaxQueueDepth: s.maxDepth,
+		PerShard:      s.shardUse,
+	}
+	if s.batches > 0 {
+		r.MeanBatch = float64(s.batched) / float64(s.batches)
+	}
+	makespan := s.lastCompletion - s.firstArrival
+	r.Makespan = makespan
+	if makespan > 0 {
+		r.ThroughputPerSec = float64(s.served) / makespan.Seconds()
+		r.MeanQueueDepth = s.depthInt / float64(makespan)
+	}
+	if err := r.finish(backend, s.latencies, makespan); err != nil {
+		return nil, err
+	}
+	return r, nil
+}

@@ -8,11 +8,18 @@
 // drives it with the same load generator in wall-clock time, executing
 // every request bit-accurately on the simulated SRAM arrays.
 //
+// Multiple models can be resident at once (-models): each arrival draws
+// its model from the -mix weights, the scheduler dispatches warm-first,
+// and cold dispatches pay the §IV-E weight-reload cost. The report
+// splits dispatches into warm/cold counts and carries per-model latency
+// percentiles.
+//
 // Usage:
 //
 //	ncserve -model inception -rate 2000 -requests 100000
+//	ncserve -models inception,resnet -mix 0.7,0.3 -requests 100000
 //	ncserve -model inception -maxbatch 32 -linger 5ms -json
-//	ncserve -backend bitexact -model small -requests 64 -rate 500
+//	ncserve -backend bitexact -models small,smallresnet -mix 1,1 -requests 16 -rate 500
 //	ncserve -model resnet -slices 24 -replicas 12 -duration 2s -rate 1000
 package main
 
@@ -23,6 +30,7 @@ import (
 	"log"
 	"math/rand"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
@@ -35,6 +43,8 @@ func main() {
 	log.SetPrefix("ncserve: ")
 	var (
 		model    = flag.String("model", "inception", "model: "+strings.Join(neuralcache.ModelNames(), ", "))
+		models   = flag.String("models", "", "comma-separated resident models (overrides -model; first is the default)")
+		mix      = flag.String("mix", "", "comma-separated traffic weights matching -models (default uniform)")
 		backend  = flag.String("backend", "analytic", "backend: analytic (virtual clock) or bitexact (real server)")
 		slices   = flag.Int("slices", 14, "LLC slices (14=35MB, 18=45MB, 24=60MB)")
 		sockets  = flag.Int("sockets", 2, "host sockets")
@@ -47,7 +57,7 @@ func main() {
 		requests = flag.Int("requests", 0, "arrivals to generate (0 = 100000 analytic / 64 bitexact)")
 		duration = flag.Duration("duration", 0, "arrival window, alternative to -requests")
 		poisson  = flag.Bool("poisson", true, "Poisson (exponential) interarrivals; false = uniform spacing")
-		seed     = flag.Int64("seed", 42, "arrival / weight / input seed")
+		seed     = flag.Int64("seed", 42, "arrival / mix / weight / input seed")
 		jsonOut  = flag.Bool("json", false, "emit the load report as JSON")
 	)
 	flag.Parse()
@@ -60,9 +70,23 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	m, err := neuralcache.ModelByName(*model)
-	if err != nil {
-		log.Fatal(err)
+	names := []string{*model}
+	if *models != "" {
+		names = strings.Split(*models, ",")
+	}
+	resident := make([]*neuralcache.Model, len(names))
+	seen := make(map[string]bool, len(names))
+	for i, name := range names {
+		m, err := neuralcache.ModelByName(strings.TrimSpace(name))
+		if err != nil {
+			log.Fatal(err)
+		}
+		if seen[m.Name()] {
+			log.Fatalf("-models lists %s twice", strings.TrimSpace(name))
+		}
+		seen[m.Name()] = true
+		resident[i] = m
+		names[i] = m.Name()
 	}
 
 	opts := serve.Options{
@@ -80,24 +104,27 @@ func main() {
 		Duration: *duration,
 		Seed:     *seed,
 		Poisson:  *poisson,
+		Mix:      parseMix(names, *mix),
 	}
 
 	var rep *serve.LoadReport
 	switch *backend {
 	case "analytic":
-		be := serve.NewAnalyticBackend(sys, m)
+		be := serve.NewAnalyticBackend(sys, resident[0], resident[1:]...)
 		fillLoad(&load, be, opts, 100_000)
 		rep, err = serve.Simulate(be, opts, load)
 	case "bitexact":
-		m.InitWeights(*seed)
-		be := serve.NewBitExactBackend(sys, m)
+		for _, m := range resident {
+			m.InitWeights(*seed)
+		}
+		be := serve.NewBitExactBackend(sys, resident[0], resident[1:]...)
 		fillLoad(&load, be, opts, 64)
 		var srv *serve.Server
 		srv, err = serve.NewServer(be, opts)
 		if err != nil {
 			log.Fatal(err)
 		}
-		rep, err = serve.LoadTest(srv, load, inputSource(m, *seed))
+		rep, err = serve.LoadTest(srv, load, inputSource(be, *seed))
 		if cerr := srv.Close(); err == nil {
 			err = cerr
 		}
@@ -123,9 +150,38 @@ func main() {
 	fmt.Println(rep)
 }
 
+// parseMix builds the traffic mix for the resident models: -mix weights
+// when given (must match -models in count), uniform weights when several
+// models are resident, nil (default-model-only) otherwise.
+func parseMix(names []string, mixFlag string) []serve.ModelShare {
+	if mixFlag == "" {
+		if len(names) <= 1 {
+			return nil
+		}
+		out := make([]serve.ModelShare, len(names))
+		for i, n := range names {
+			out[i] = serve.ModelShare{Model: n, Weight: 1}
+		}
+		return out
+	}
+	parts := strings.Split(mixFlag, ",")
+	if len(parts) != len(names) {
+		log.Fatalf("-mix has %d weights for %d models", len(parts), len(names))
+	}
+	out := make([]serve.ModelShare, len(names))
+	for i, p := range parts {
+		w, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			log.Fatalf("-mix weight %q: %v", p, err)
+		}
+		out[i] = serve.ModelShare{Model: names[i], Weight: w}
+	}
+	return out
+}
+
 // fillLoad defaults the request count and the arrival rate: with no -rate,
-// offer twice the replica capacity so the report shows the scheduler at
-// its §VI-B throughput bound.
+// offer twice the replica capacity of the default model so the report
+// shows the scheduler at its §VI-B throughput bound.
 func fillLoad(load *serve.Load, be serve.Backend, opts serve.Options, defaultRequests int) {
 	if load.Requests == 0 && load.Duration == 0 {
 		load.Requests = defaultRequests
@@ -135,7 +191,7 @@ func fillLoad(load *serve.Load, be serve.Backend, opts serve.Options, defaultReq
 		if maxBatch <= 0 {
 			maxBatch = 1
 		}
-		st, err := be.ServiceTime(maxBatch)
+		st, err := be.ServiceTime("", maxBatch)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -148,10 +204,15 @@ func fillLoad(load *serve.Load, be serve.Backend, opts serve.Options, defaultReq
 }
 
 // inputSource yields a deterministic random input tensor per arrival
-// ordinal, seeded like ncsim's functional mode.
-func inputSource(m *neuralcache.Model, seed int64) func(i int) *neuralcache.Tensor {
-	h, w, c := m.InputShape()
-	return func(i int) *neuralcache.Tensor {
+// ordinal, shaped for the arrival's model and seeded like ncsim's
+// functional mode.
+func inputSource(be serve.Backend, seed int64) func(i int, model string) *neuralcache.Tensor {
+	return func(i int, model string) *neuralcache.Tensor {
+		m, err := be.Lookup(model)
+		if err != nil {
+			log.Fatal(err)
+		}
+		h, w, c := m.InputShape()
 		in := neuralcache.NewTensor(h, w, c, 1.0/255)
 		r := rand.New(rand.NewSource(seed + 1 + int64(i)))
 		for j := range in.Data {

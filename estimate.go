@@ -84,6 +84,35 @@ func (s *System) EstimateReplica(m *Model, batch int) (*Estimate, error) {
 	return newEstimate(rep), nil
 }
 
+// ReloadEstimate prices staging a model's filters onto a slice replica
+// (§IV-E): the set-strided DRAM stream of the full filter footprint at
+// effective bandwidth plus the transpose-gateway pass that lays the
+// weights out bit-serially. A serving scheduler charges it when a
+// replica switches models; warm dispatches pay nothing beyond the
+// per-layer filter loading already in Estimate.
+type ReloadEstimate struct {
+	Model       string  `json:"model"`
+	FilterBytes int     `json:"filter_bytes"`
+	Seconds     float64 `json:"seconds"`
+	DRAMEnergyJ float64 `json:"dram_energy_j"`
+}
+
+// EstimateReload prices swapping m's weights onto one slice replica —
+// the §IV-E filter DRAM stream a model switch costs. Package serve adds
+// it to the first batch a replica serves after changing models.
+func (s *System) EstimateReload(m *Model) (*ReloadEstimate, error) {
+	rel, err := s.replica.EstimateReload(m.net)
+	if err != nil {
+		return nil, err
+	}
+	return &ReloadEstimate{
+		Model:       rel.Model,
+		FilterBytes: rel.FilterBytes,
+		Seconds:     rel.Seconds,
+		DRAMEnergyJ: rel.DRAMEnergyJ,
+	}, nil
+}
+
 // Phase returns the seconds attributed to a named phase, or 0.
 func (e *Estimate) Phase(name string) float64 {
 	for _, p := range e.Phases {

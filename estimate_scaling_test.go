@@ -114,3 +114,48 @@ func TestEstimateReplica(t *testing.T) {
 		}
 	}
 }
+
+// TestEstimateReloadFacade pins the §IV-E weight-reload hook the serve
+// scheduler charges on model switches: the full filter footprint
+// streamed at DRAM effective bandwidth lower-bounds it, and it scales
+// with the model's weight footprint.
+func TestEstimateReloadFacade(t *testing.T) {
+	sys := scalingSystem(t, 14, 2)
+	inception, resnet := InceptionV3(), ResNet18()
+	ri, err := sys.EstimateReload(inception)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr, err := sys.EstimateReload(resnet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range []*ReloadEstimate{ri, rr} {
+		if r.Seconds <= 0 || math.IsInf(r.Seconds, 0) || math.IsNaN(r.Seconds) {
+			t.Fatalf("%s: degenerate reload %g", r.Model, r.Seconds)
+		}
+		// No reload can beat streaming the footprint at the 68 GB/s peak
+		// DRAM bandwidth (the model actually pays the slower 11 GB/s
+		// set-strided effective rate, pinned exactly in internal/core).
+		if lo := float64(r.FilterBytes) / 68e9; r.Seconds < lo {
+			t.Fatalf("%s: reload %g beats peak DRAM bandwidth (%g)", r.Model, r.Seconds, lo)
+		}
+	}
+	if ri.FilterBytes != inception.FilterBytes() {
+		t.Fatalf("inception reload footprint %d, want %d", ri.FilterBytes, inception.FilterBytes())
+	}
+	// Inception's ~24 MB filter footprint dwarfs ResNet-18's ~12 MB, so
+	// its reload must cost more.
+	if ri.Seconds <= rr.Seconds {
+		t.Fatalf("inception reload %g not above resnet %g", ri.Seconds, rr.Seconds)
+	}
+	// Reload is a staging cost, not a full inference: it stays below the
+	// replica's batch-1 service time.
+	rep, err := sys.EstimateReplica(inception, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ri.Seconds >= rep.LatencySeconds {
+		t.Fatalf("reload %g not below batch-1 replica service %g", ri.Seconds, rep.LatencySeconds)
+	}
+}

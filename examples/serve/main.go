@@ -1,17 +1,21 @@
-// Serving: turn the modeled cache into a long-running inference
-// service.
+// Serving: turn the modeled cache into a long-running, multi-model
+// inference service.
 //
 // The paper's throughput headline (§VI-B) replicates the network across
 // LLC slices — each slice processes one image — so serving is slice
 // sharding: requests enter a bounded admission queue, a dynamic
-// micro-batcher groups them (amortizing per-layer filter loads, §IV-E),
-// and a scheduler dispatches each batch to a free slice replica.
+// micro-batcher groups them per model (amortizing per-layer filter
+// loads, §IV-E), and a scheduler dispatches each batch to a free slice
+// replica, preferring one whose weights are already staged. A replica
+// that switches models pays the modeled §IV-E weight reload — the full
+// filter footprint streamed from DRAM.
 //
-// Part 1 serves bit-accurate requests through the real asynchronous
-// server and shows the outputs are byte-identical to calling System.Run
-// directly. Part 2 pushes 50,000 simulated Inception requests through
-// the same scheduling policy on a deterministic virtual clock and
-// prints the latency histogram and per-slice utilization report.
+// Part 1 serves bit-accurate requests for two resident models through
+// the real asynchronous server and shows every output is byte-identical
+// to calling System.Run directly. Part 2 pushes 50,000 simulated
+// Inception+ResNet requests through the same scheduling policy on a
+// deterministic virtual clock and prints the warm/cold dispatch split,
+// per-model latency percentiles and per-slice utilization.
 package main
 
 import (
@@ -35,17 +39,27 @@ func main() {
 	fmt.Printf("system: %d slice replicas (%d slices x %d sockets)\n\n",
 		sys.Replicas(), sys.Config().Slices, sys.Config().Sockets)
 
-	// --- Part 1: bit-accurate serving ---------------------------------
-	m := neuralcache.SmallCNN()
-	m.InitWeights(7)
-	srv, err := serve.NewServer(serve.NewBitExactBackend(sys, m),
+	// --- Part 1: bit-accurate multi-model serving ---------------------
+	small := neuralcache.SmallCNN()
+	small.InitWeights(7)
+	smallRes := neuralcache.SmallResNet()
+	smallRes.InitWeights(8)
+	models := []*neuralcache.Model{small, smallRes}
+	rel, err := sys.EstimateReload(small)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("resident models: %s (default), %s — %s reload costs %.1f µs\n",
+		small.Name(), smallRes.Name(), small.Name(), rel.Seconds*1e6)
+
+	srv, err := serve.NewServer(serve.NewBitExactBackend(sys, small, smallRes),
 		serve.Options{MaxBatch: 4, MaxLinger: 2 * time.Millisecond})
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	h, w, c := m.InputShape()
-	input := func(i int) *neuralcache.Tensor {
+	input := func(m *neuralcache.Model, i int) *neuralcache.Tensor {
+		h, w, c := m.InputShape()
 		in := neuralcache.NewTensor(h, w, c, 1.0/255)
 		r := rand.New(rand.NewSource(int64(100 + i)))
 		for j := range in.Data {
@@ -57,7 +71,8 @@ func main() {
 	const n = 8
 	chans := make([]<-chan *serve.Response, n)
 	for i := 0; i < n; i++ {
-		ch, err := srv.TrySubmit(context.Background(), input(i))
+		m := models[i%2] // interleave the two resident models
+		ch, err := srv.TrySubmitModel(context.Background(), m.Name(), input(m, i))
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -68,28 +83,39 @@ func main() {
 		if resp.Err != nil {
 			log.Fatal(resp.Err)
 		}
-		direct, err := sys.Run(m, input(i))
+		m := models[i%2]
+		direct, err := sys.Run(m, input(m, i))
 		if err != nil {
 			log.Fatal(err)
 		}
 		match := bytes.Equal(resp.Result.Output.Data, direct.Output.Data)
-		fmt.Printf("request %d: class %d on shard %s (batch of %d) — byte-identical to direct Run: %v\n",
-			resp.ID, resp.Result.Argmax(), resp.Shard, resp.BatchSize, match)
+		temp := "warm"
+		if resp.Cold {
+			temp = "cold"
+		}
+		fmt.Printf("request %d: %s class %d on shard %s (%s, batch of %d) — byte-identical to direct Run: %v\n",
+			resp.ID, resp.Model, resp.Result.Argmax(), resp.Shard, temp, resp.BatchSize, match)
 		if !match {
 			log.Fatal("served output diverged from direct Run")
 		}
 	}
+	st := srv.Stats()
+	fmt.Printf("dispatches: %d warm, %d cold (each model staged its replicas once)\n",
+		st.WarmBatches, st.ColdBatches)
 	if err := srv.Close(); err != nil {
 		log.Fatal(err)
 	}
 
-	// --- Part 2: Inception-scale load on the virtual clock ------------
+	// --- Part 2: mixed Inception+ResNet load on the virtual clock -----
 	fmt.Println()
-	inception := neuralcache.InceptionV3()
-	backend := serve.NewAnalyticBackend(sys, inception)
+	backend := serve.NewAnalyticBackend(sys, neuralcache.InceptionV3(), neuralcache.ResNet18())
 	rep, err := serve.Simulate(backend,
 		serve.Options{MaxBatch: 16, MaxLinger: time.Millisecond, QueueDepth: 4096},
-		serve.Load{Rate: 1500, Requests: 50_000, Seed: 42, Poisson: true})
+		serve.Load{Rate: 1500, Requests: 50_000, Seed: 42, Poisson: true,
+			Mix: []serve.ModelShare{
+				{Model: "inception_v3", Weight: 0.7},
+				{Model: "resnet_18", Weight: 0.3},
+			}})
 	if err != nil {
 		log.Fatal(err)
 	}

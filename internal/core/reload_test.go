@@ -1,0 +1,55 @@
+package core
+
+import (
+	"testing"
+
+	"neuralcache/internal/nn"
+	"neuralcache/internal/transpose"
+)
+
+// TestEstimateReload pins the §IV-E weight-staging model: the full
+// filter footprint streamed from DRAM at effective bandwidth plus the
+// transpose-gateway pass, charged per model switch.
+func TestEstimateReload(t *testing.T) {
+	sys, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := nn.InceptionV3()
+	rel, err := sys.EstimateReload(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.Model != net.Name {
+		t.Errorf("model %q, want %q", rel.Model, net.Name)
+	}
+	if rel.FilterBytes != net.FilterBytes() {
+		t.Errorf("filter bytes %d, want %d", rel.FilterBytes, net.FilterBytes())
+	}
+	cfg := sys.Config()
+	want := cfg.DRAM.StreamSeconds(rel.FilterBytes) +
+		cfg.Cost.Seconds(transpose.GatewayCycles(rel.FilterBytes))
+	if rel.Seconds != want {
+		t.Errorf("reload %.6fs, want %.6fs", rel.Seconds, want)
+	}
+	// The DRAM stream alone lower-bounds the reload; Inception's ~24 MB
+	// at 11 GB/s effective is ≈2 ms, and the full reload stays O(10 ms).
+	if lo := cfg.DRAM.StreamSeconds(rel.FilterBytes); rel.Seconds < lo {
+		t.Errorf("reload %.6fs below its DRAM stream %.6fs", rel.Seconds, lo)
+	}
+	if rel.Seconds < 1e-3 || rel.Seconds > 100e-3 {
+		t.Errorf("inception reload %.3f ms outside the plausible 1–100 ms band", rel.Seconds*1e3)
+	}
+	if rel.DRAMEnergyJ <= 0 {
+		t.Errorf("reload DRAM energy %.9f J", rel.DRAMEnergyJ)
+	}
+
+	// A smaller network reloads strictly faster.
+	small, err := sys.EstimateReload(nn.SmallCNN())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if small.Seconds >= rel.Seconds {
+		t.Errorf("small_cnn reload %.6fs not below inception %.6fs", small.Seconds, rel.Seconds)
+	}
+}

@@ -22,13 +22,17 @@
 // For serving traffic rather than pricing single inferences, package
 // neuralcache/serve turns a System into a long-running inference
 // service: serve.NewServer is an asynchronous server with a bounded
-// admission queue, dynamic micro-batching and a slice-shard scheduler
-// modeling the paper's one-image-per-slice replication (§VI-B), and
-// serve.Simulate load-tests the same scheduling policy on a
-// deterministic virtual clock. System.Replicas and
+// admission queue, dynamic per-model micro-batching and a slice-shard
+// scheduler modeling the paper's one-image-per-slice replication
+// (§VI-B), and serve.Simulate load-tests the same scheduling policy on
+// a deterministic virtual clock. Several models can be resident at
+// once: the scheduler tracks which model's weights each replica has
+// staged, dispatches warm-first, and charges the §IV-E filter DRAM
+// stream when a replica switches models. System.Replicas and
 // System.EstimateReplica expose the per-slice service-time model the
-// scheduler prices dispatches with; cmd/ncserve is the load-testing
-// CLI.
+// scheduler prices dispatches with, System.EstimateReload the
+// weight-reload cost of a model switch; cmd/ncserve is the load-testing
+// CLI (-models a,b -mix 0.7,0.3 for mixed traffic).
 //
 // Bit-accurate runs execute a layer's independent work groups in parallel
 // on a worker pool sized by Config.Workers (default GOMAXPROCS),

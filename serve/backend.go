@@ -10,13 +10,20 @@ import (
 )
 
 // Backend is one way of servicing a batch of inference requests on a
-// slice replica. Implementations must be safe for concurrent use: the
-// server invokes Execute from one goroutine per busy replica.
+// slice replica. A backend registers one or more models; every batch is
+// homogeneous in model, and the scheduler charges ReloadTime when a
+// replica's staged model changes (§IV-E filter streaming).
+// Implementations must be safe for concurrent use: the server invokes
+// Execute from one goroutine per busy replica.
 type Backend interface {
 	// Name identifies the backend in reports ("bitexact", "analytic").
 	Name() string
-	// Model returns the served model.
-	Model() *neuralcache.Model
+	// Models returns the registered models in registration order. The
+	// first is the default, used by requests that do not name a model.
+	Models() []*neuralcache.Model
+	// Lookup resolves a request's model name; "" means the default
+	// model. Unknown names are an error.
+	Lookup(name string) (*neuralcache.Model, error)
 	// System returns the modeled cache the backend serves on.
 	System() *neuralcache.System
 	// RequiresInput reports whether requests must carry an input tensor.
@@ -24,42 +31,93 @@ type Backend interface {
 	// them at admission time.
 	RequiresInput() bool
 	// ServiceTime returns the modeled wall-clock one slice replica is
-	// occupied serving a batch of n requests. It must be deterministic:
-	// the same n always yields the same duration.
-	ServiceTime(n int) (time.Duration, error)
-	// Execute produces one result per input. The analytic backend
+	// occupied serving a warm batch of n requests of the named model. It
+	// must be deterministic: the same (model, n) always yields the same
+	// duration.
+	ServiceTime(model string, n int) (time.Duration, error)
+	// ReloadTime returns the §IV-E weight-staging cost a replica pays
+	// before its first batch of the named model after serving a
+	// different one (or nothing). Deterministic per model.
+	ReloadTime(model string) (time.Duration, error)
+	// Execute produces one result per input for a batch of the named
+	// model. cold reports that the replica just switched to this model,
+	// so the execution should also pay ReloadTime. The analytic backend
 	// returns nil results (it models time, not values).
-	Execute(ctx context.Context, inputs []*neuralcache.Tensor) ([]*neuralcache.InferenceResult, error)
+	Execute(ctx context.Context, model string, inputs []*neuralcache.Tensor, cold bool) ([]*neuralcache.InferenceResult, error)
 }
 
-// serviceClock prices batch service times via System.EstimateReplica and
-// memoizes them per batch size, so a load run costs one analytic
-// estimate per distinct batch size rather than one per dispatch.
+// serviceClock holds the model registry and prices batch service and
+// reload times via System.EstimateReplica / System.EstimateReload,
+// memoizing per (model, batch size), so a load run costs one analytic
+// estimate per distinct key rather than one per dispatch.
 type serviceClock struct {
-	sys *neuralcache.System
-	m   *neuralcache.Model
+	sys    *neuralcache.System
+	models []*neuralcache.Model
+	byName map[string]*neuralcache.Model
 
-	mu    sync.Mutex
-	cache map[int]time.Duration
+	mu      sync.Mutex
+	svc     map[svcKey]time.Duration
+	reloads map[string]time.Duration
 }
 
-func newServiceClock(sys *neuralcache.System, m *neuralcache.Model) *serviceClock {
-	return &serviceClock{sys: sys, m: m, cache: make(map[int]time.Duration)}
+type svcKey struct {
+	model string
+	n     int
 }
 
-func (c *serviceClock) Model() *neuralcache.Model   { return c.m }
+func newServiceClock(sys *neuralcache.System, first *neuralcache.Model, more []*neuralcache.Model) *serviceClock {
+	c := &serviceClock{
+		sys:     sys,
+		byName:  make(map[string]*neuralcache.Model),
+		svc:     make(map[svcKey]time.Duration),
+		reloads: make(map[string]time.Duration),
+	}
+	for _, m := range append([]*neuralcache.Model{first}, more...) {
+		if m == nil {
+			panic("serve: nil model registered")
+		}
+		if _, dup := c.byName[m.Name()]; dup {
+			panic(fmt.Sprintf("serve: model %q registered twice", m.Name()))
+		}
+		c.byName[m.Name()] = m
+		c.models = append(c.models, m)
+	}
+	return c
+}
+
+func (c *serviceClock) Models() []*neuralcache.Model {
+	return append([]*neuralcache.Model(nil), c.models...)
+}
+
+func (c *serviceClock) Lookup(name string) (*neuralcache.Model, error) {
+	if name == "" {
+		return c.models[0], nil
+	}
+	m, ok := c.byName[name]
+	if !ok {
+		return nil, fmt.Errorf("serve: model %q not registered (have %s)",
+			name, joinModelNames(c.models, ", "))
+	}
+	return m, nil
+}
+
 func (c *serviceClock) System() *neuralcache.System { return c.sys }
 
-func (c *serviceClock) ServiceTime(n int) (time.Duration, error) {
+func (c *serviceClock) ServiceTime(model string, n int) (time.Duration, error) {
 	if n <= 0 {
 		return 0, fmt.Errorf("serve: service time for batch of %d", n)
 	}
+	m, err := c.Lookup(model)
+	if err != nil {
+		return 0, err
+	}
+	key := svcKey{model: m.Name(), n: n}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if d, ok := c.cache[n]; ok {
+	if d, ok := c.svc[key]; ok {
 		return d, nil
 	}
-	est, err := c.sys.EstimateReplica(c.m, n)
+	est, err := c.sys.EstimateReplica(m, n)
 	if err != nil {
 		return 0, err
 	}
@@ -67,23 +125,48 @@ func (c *serviceClock) ServiceTime(n int) (time.Duration, error) {
 	if d <= 0 {
 		d = time.Nanosecond
 	}
-	c.cache[n] = d
+	c.svc[key] = d
+	return d, nil
+}
+
+func (c *serviceClock) ReloadTime(model string) (time.Duration, error) {
+	m, err := c.Lookup(model)
+	if err != nil {
+		return 0, err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if d, ok := c.reloads[m.Name()]; ok {
+		return d, nil
+	}
+	rel, err := c.sys.EstimateReload(m)
+	if err != nil {
+		return 0, err
+	}
+	d := time.Duration(rel.Seconds * float64(time.Second))
+	if d < 0 {
+		d = 0
+	}
+	c.reloads[m.Name()] = d
 	return d, nil
 }
 
 // BitExactBackend serves requests by executing the model bit-accurately
 // on the simulated compute arrays (System.Run). Outputs are byte-
-// identical to calling Run directly, for any batching or shard
-// assignment; service times are still priced by the replica estimate so
-// occupancy accounting matches the analytic backend's.
+// identical to calling Run directly, for any batching, shard assignment,
+// model mix or worker count; service times are still priced by the
+// replica estimate so occupancy accounting matches the analytic
+// backend's.
 type BitExactBackend struct {
 	*serviceClock
 }
 
-// NewBitExactBackend builds the bit-accurate backend. The model must
-// have weights (InitWeights) before the first request.
-func NewBitExactBackend(sys *neuralcache.System, m *neuralcache.Model) *BitExactBackend {
-	return &BitExactBackend{serviceClock: newServiceClock(sys, m)}
+// NewBitExactBackend builds the bit-accurate backend serving one or more
+// models; the first is the default for requests that do not name one.
+// Every model must have weights (InitWeights) before its first request,
+// and model names must be unique (duplicates panic).
+func NewBitExactBackend(sys *neuralcache.System, first *neuralcache.Model, more ...*neuralcache.Model) *BitExactBackend {
+	return &BitExactBackend{serviceClock: newServiceClock(sys, first, more)}
 }
 
 // Name implements Backend.
@@ -93,12 +176,19 @@ func (b *BitExactBackend) Name() string { return "bitexact" }
 // input tensor.
 func (b *BitExactBackend) RequiresInput() bool { return true }
 
-// Execute runs every input through System.Run. Inputs are executed
-// sequentially within the batch (each Run already parallelizes a layer's
-// work groups across Config.Workers goroutines); a per-input failure
-// fails the whole batch, mirroring the hardware where a replica's batch
-// shares one staged weight set.
-func (b *BitExactBackend) Execute(ctx context.Context, inputs []*neuralcache.Tensor) ([]*neuralcache.InferenceResult, error) {
+// Execute runs every input through System.Run on the named model. Inputs
+// are executed sequentially within the batch (each Run already
+// parallelizes a layer's work groups across Config.Workers goroutines);
+// a per-input failure fails the whole batch, mirroring the hardware
+// where a replica's batch shares one staged weight set. cold does not
+// change the outputs — reload is a time cost, and System.Run stages
+// weights afresh each call — so served bytes stay identical to direct
+// Run either way.
+func (b *BitExactBackend) Execute(ctx context.Context, model string, inputs []*neuralcache.Tensor, cold bool) ([]*neuralcache.InferenceResult, error) {
+	m, err := b.Lookup(model)
+	if err != nil {
+		return nil, err
+	}
 	out := make([]*neuralcache.InferenceResult, len(inputs))
 	for i, in := range inputs {
 		if err := ctx.Err(); err != nil {
@@ -107,7 +197,7 @@ func (b *BitExactBackend) Execute(ctx context.Context, inputs []*neuralcache.Ten
 		if in == nil {
 			return nil, fmt.Errorf("serve: bit-exact execute: nil input")
 		}
-		res, err := b.sys.Run(b.m, in)
+		res, err := b.sys.Run(m, in)
 		if err != nil {
 			return nil, fmt.Errorf("serve: bit-exact execute: %w", err)
 		}
@@ -118,18 +208,20 @@ func (b *BitExactBackend) Execute(ctx context.Context, inputs []*neuralcache.Ten
 
 // AnalyticBackend services requests on modeled time only: Execute
 // returns nil results after pacing the caller by the replica service
-// time, so a real Server running this backend emulates Inception-scale
-// occupancy in wall-clock time, while Simulate charges the same service
-// time on its virtual clock without sleeping at all.
+// time (plus the reload time on cold dispatches), so a real Server
+// running this backend emulates Inception-scale occupancy in wall-clock
+// time, while Simulate charges the same service time on its virtual
+// clock without sleeping at all.
 type AnalyticBackend struct {
 	*serviceClock
 }
 
-// NewAnalyticBackend builds the analytic-clocked backend. Estimation is
-// shape-only, so the model needs no weights and requests need no input
-// tensors.
-func NewAnalyticBackend(sys *neuralcache.System, m *neuralcache.Model) *AnalyticBackend {
-	return &AnalyticBackend{serviceClock: newServiceClock(sys, m)}
+// NewAnalyticBackend builds the analytic-clocked backend serving one or
+// more models; the first is the default for requests that do not name
+// one. Estimation is shape-only, so models need no weights and requests
+// need no input tensors. Model names must be unique (duplicates panic).
+func NewAnalyticBackend(sys *neuralcache.System, first *neuralcache.Model, more ...*neuralcache.Model) *AnalyticBackend {
+	return &AnalyticBackend{serviceClock: newServiceClock(sys, first, more)}
 }
 
 // Name implements Backend.
@@ -139,12 +231,20 @@ func (b *AnalyticBackend) Name() string { return "analytic" }
 // requests may be input-less.
 func (b *AnalyticBackend) RequiresInput() bool { return false }
 
-// Execute sleeps for the batch's modeled service time and returns nil
-// results. The sleep is interruptible by ctx.
-func (b *AnalyticBackend) Execute(ctx context.Context, inputs []*neuralcache.Tensor) ([]*neuralcache.InferenceResult, error) {
-	d, err := b.ServiceTime(len(inputs))
+// Execute sleeps for the batch's modeled service time — plus the §IV-E
+// weight-reload time when cold — and returns nil results. The sleep is
+// interruptible by ctx.
+func (b *AnalyticBackend) Execute(ctx context.Context, model string, inputs []*neuralcache.Tensor, cold bool) ([]*neuralcache.InferenceResult, error) {
+	d, err := b.ServiceTime(model, len(inputs))
 	if err != nil {
 		return nil, err
+	}
+	if cold {
+		rel, err := b.ReloadTime(model)
+		if err != nil {
+			return nil, err
+		}
+		d += rel
 	}
 	t := time.NewTimer(d)
 	defer t.Stop()

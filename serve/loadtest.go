@@ -11,48 +11,75 @@ import (
 // LoadTest drives a freshly started Server with the open-loop arrival
 // process described by load, in wall-clock time: arrivals that find the
 // admission queue full are rejected and counted, exactly like
-// Simulate's. inputs, when non-nil, supplies the tensor for the i-th
-// arrival (0-based) — required for a bit-exact backend; nil submits
-// input-less requests, which the analytic backend serves on modeled
-// time. LoadTest waits for every admitted request to complete and
-// leaves the server running.
-func LoadTest(srv *Server, load Load, inputs func(i int) *neuralcache.Tensor) (*LoadReport, error) {
+// Simulate's, and each arrival targets the model drawn from load.Mix
+// ("" or an empty mix = the backend's default). inputs, when non-nil,
+// supplies the tensor for the i-th arrival (0-based) of the named model
+// — required for a bit-exact backend; nil submits input-less requests,
+// which the analytic backend serves on modeled time. LoadTest waits for
+// every admitted request to complete and leaves the server running.
+func LoadTest(srv *Server, load Load, inputs func(i int, model string) *neuralcache.Tensor) (*LoadReport, error) {
 	if err := load.validate(); err != nil {
 		return nil, err
+	}
+	// Resolve every mix entry up front so unknown models fail fast.
+	for _, ms := range load.Mix {
+		if _, err := srv.backend.Lookup(ms.Model); err != nil {
+			return nil, err
+		}
 	}
 	gen := load.arrivals()
 	o := srv.Options()
 	before := srv.Stats()
 
 	var (
-		mu        sync.Mutex
-		latencies []time.Duration
-		wg        sync.WaitGroup
+		mu           sync.Mutex
+		latencies    []time.Duration
+		perModelLat  = make(map[string][]time.Duration)
+		wg           sync.WaitGroup
+		lastDone     time.Time
+		firstArrival time.Time
 	)
 	offered, rejected := 0, 0
+	perModel := make(map[string]*ModelUsage)
+	usage := func(model string) *ModelUsage {
+		u := perModel[model]
+		if u == nil {
+			u = &ModelUsage{Model: model}
+			perModel[model] = u
+		}
+		return u
+	}
 	start := time.Now()
-	var firstArrival, lastDone time.Time
 	ctx := context.Background()
 	for i := 0; ; i++ {
-		at, ok := gen.next()
+		at, model, ok := gen.next()
 		if !ok {
 			break
 		}
+		// Canonicalize "" to the default model's registered name so
+		// per-model accounting lines up with Response.Model.
+		m, err := srv.backend.Lookup(model)
+		if err != nil {
+			return nil, err
+		}
+		name := m.Name()
 		if d := time.Until(start.Add(at)); d > 0 {
 			time.Sleep(d)
 		}
 		var in *neuralcache.Tensor
 		if inputs != nil {
-			in = inputs(i)
+			in = inputs(i, name)
 		}
 		now := time.Now()
 		if firstArrival.IsZero() {
 			firstArrival = now
 		}
 		offered++
-		ch, err := srv.TrySubmit(ctx, in)
+		usage(name).Offered++
+		ch, err := srv.TrySubmitModel(ctx, name, in)
 		if err == ErrQueueFull {
 			rejected++
+			usage(name).Rejected++
 			continue
 		}
 		if err != nil {
@@ -66,6 +93,7 @@ func LoadTest(srv *Server, load Load, inputs func(i int) *neuralcache.Tensor) (*
 			defer mu.Unlock()
 			if r.Err == nil {
 				latencies = append(latencies, r.Latency)
+				perModelLat[r.Model] = append(perModelLat[r.Model], r.Latency)
 				if done := time.Now(); done.After(lastDone) {
 					lastDone = done
 				}
@@ -77,7 +105,7 @@ func LoadTest(srv *Server, load Load, inputs func(i int) *neuralcache.Tensor) (*
 	after := srv.Stats()
 	rep := &LoadReport{
 		Backend:    srv.backend.Name(),
-		Model:      srv.backend.Model().Name(),
+		Model:      modelList(srv.backend),
 		Replicas:   o.Replicas,
 		MaxBatch:   o.MaxBatch,
 		MaxLinger:  o.MaxLinger,
@@ -87,7 +115,15 @@ func LoadTest(srv *Server, load Load, inputs func(i int) *neuralcache.Tensor) (*
 		Rejected:   rejected,
 		Batches:    int(after.Batches - before.Batches),
 
+		WarmDispatches: int(after.WarmBatches - before.WarmBatches),
+		ColdDispatches: int(after.ColdBatches - before.ColdBatches),
+
+		// MaxQueueDepth is the server-lifetime high-water (a max cannot
+		// be windowed); the mean is differenced to this run's admissions.
 		MaxQueueDepth: after.QueueHighWater,
+	}
+	if n := after.DepthSamples - before.DepthSamples; n > 0 {
+		rep.MeanQueueDepth = float64(after.DepthSum-before.DepthSum) / float64(n)
 	}
 	if rep.Batches > 0 {
 		rep.MeanBatch = float64(rep.Served) / float64(rep.Batches)
@@ -98,8 +134,23 @@ func LoadTest(srv *Server, load Load, inputs func(i int) *neuralcache.Tensor) (*
 	if rep.Makespan > 0 {
 		rep.ThroughputPerSec = float64(rep.Served) / rep.Makespan.Seconds()
 	}
+	// One per-model row per registered model in registration order,
+	// zero-traffic residents included — the same inclusion rule as
+	// Simulate, so JSON consumers can index rows identically.
+	for _, m := range srv.backend.Models() {
+		u := perModel[m.Name()]
+		if u == nil {
+			u = &ModelUsage{Model: m.Name()}
+		}
+		u.Served = len(perModelLat[m.Name()])
+		bc, ac := before.PerModel[m.Name()], after.PerModel[m.Name()]
+		u.Batches = int(ac.Batches - bc.Batches)
+		u.WarmBatches = int(ac.WarmBatches - bc.WarmBatches)
+		u.ColdBatches = int(ac.ColdBatches - bc.ColdBatches)
+		rep.PerModel = append(rep.PerModel, *u)
+	}
 	rep.PerShard = diffShards(before.PerShard, after.PerShard)
-	if err := rep.finish(srv.backend, latencies, rep.Makespan); err != nil {
+	if err := rep.finish(srv.backend, latencies, perModelLat, rep.Makespan); err != nil {
 		return nil, err
 	}
 	return rep, nil
@@ -114,6 +165,7 @@ func diffShards(before, after []ShardUsage) []ShardUsage {
 			out[i].Batches -= before[i].Batches
 			out[i].Requests -= before[i].Requests
 			out[i].Busy -= before[i].Busy
+			out[i].Reloads -= before[i].Reloads
 		}
 		out[i].Utilization = 0
 	}

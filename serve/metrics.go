@@ -11,11 +11,31 @@ import (
 	"neuralcache/internal/report"
 )
 
+// ModelUsage is one registered model's share of a load run.
+type ModelUsage struct {
+	Model    string `json:"model"`
+	Offered  int    `json:"offered"`
+	Served   int    `json:"served"`
+	Rejected int    `json:"rejected"`
+	Batches  int    `json:"batches"`
+	// WarmBatches rode a replica already staging this model;
+	// ColdBatches paid the §IV-E weight reload.
+	WarmBatches      int           `json:"warm_batches"`
+	ColdBatches      int           `json:"cold_batches"`
+	ThroughputPerSec float64       `json:"throughput_per_sec"`
+	P50              time.Duration `json:"p50_ns"`
+	P95              time.Duration `json:"p95_ns"`
+	P99              time.Duration `json:"p99_ns"`
+	Max              time.Duration `json:"max_ns"`
+}
+
 // LoadReport is the outcome of one load run — Simulate (virtual clock)
 // or LoadTest (wall clock). All duration fields marshal to JSON as
 // integer nanoseconds.
 type LoadReport struct {
-	Backend    string        `json:"backend"`
+	Backend string `json:"backend"`
+	// Model lists the registered models, comma-joined in registration
+	// order; per-model accounting is in PerModel.
 	Model      string        `json:"model"`
 	Replicas   int           `json:"replicas"`
 	MaxBatch   int           `json:"max_batch"`
@@ -31,11 +51,18 @@ type LoadReport struct {
 	Batches   int     `json:"batches"`
 	MeanBatch float64 `json:"mean_batch"`
 
+	// WarmDispatches found their model already staged on the replica;
+	// ColdDispatches paid the §IV-E weight reload (model switch or a
+	// replica's first batch).
+	WarmDispatches int `json:"warm_dispatches"`
+	ColdDispatches int `json:"cold_dispatches"`
+
 	// Makespan spans first arrival to last completion.
 	Makespan         time.Duration `json:"makespan_ns"`
 	ThroughputPerSec float64       `json:"throughput_per_sec"`
 	// CapacityPerSec is the Estimate-derived slice-replica bound the
-	// scheduler cannot beat: Replicas × MaxBatch / ServiceTime(MaxBatch).
+	// scheduler cannot beat: Replicas × MaxBatch over the served-share
+	// weighted mean warm ServiceTime(MaxBatch).
 	CapacityPerSec float64 `json:"capacity_per_sec"`
 
 	P50 time.Duration `json:"p50_ns"`
@@ -44,23 +71,30 @@ type LoadReport struct {
 	P99 time.Duration `json:"p99_ns"`
 	Max time.Duration `json:"max_ns"`
 
+	// MeanQueueDepth is the time-weighted average depth on Simulate
+	// reports (∫depth dt / makespan); wall-clock LoadTest reports the
+	// arithmetic mean of the depth sampled at each admission instead,
+	// which never observes idle periods and so reads higher under bursty
+	// arrivals. Compare the two with that bias in mind.
 	MeanQueueDepth float64 `json:"mean_queue_depth"`
 	MaxQueueDepth  int     `json:"max_queue_depth"`
 	// Utilization is the mean busy fraction across replicas over the
 	// makespan.
 	Utilization float64      `json:"utilization"`
+	PerModel    []ModelUsage `json:"per_model,omitempty"`
 	PerShard    []ShardUsage `json:"per_shard"`
 	Histogram   []HistBucket `json:"histogram"`
 }
 
-// finish derives capacity, percentiles, histogram and utilization from
-// the raw samples; shared by Simulate and LoadTest.
-func (r *LoadReport) finish(backend Backend, latencies []time.Duration, window time.Duration) error {
-	st, err := backend.ServiceTime(r.MaxBatch)
-	if err != nil {
+// finish derives capacity, percentiles, histogram, utilization and the
+// per-model breakdown from the raw samples; shared by Simulate and
+// LoadTest. perModel maps model names to their latency samples and may
+// be nil. A zero window leaves throughput and utilization fields zero;
+// empty latencies leave percentiles zero and the histogram empty.
+func (r *LoadReport) finish(backend Backend, latencies []time.Duration, perModel map[string][]time.Duration, window time.Duration) error {
+	if err := r.capacity(backend); err != nil {
 		return err
 	}
-	r.CapacityPerSec = float64(r.Replicas*r.MaxBatch) / st.Seconds()
 	sorted := append([]time.Duration(nil), latencies...)
 	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
 	if len(sorted) > 0 {
@@ -71,6 +105,20 @@ func (r *LoadReport) finish(backend Backend, latencies []time.Duration, window t
 		r.Max = sorted[len(sorted)-1]
 	}
 	r.Histogram = histogram(sorted)
+	for i := range r.PerModel {
+		mu := &r.PerModel[i]
+		lat := append([]time.Duration(nil), perModel[mu.Model]...)
+		sort.Slice(lat, func(a, b int) bool { return lat[a] < lat[b] })
+		if len(lat) > 0 {
+			mu.P50 = percentile(lat, 0.50)
+			mu.P95 = percentile(lat, 0.95)
+			mu.P99 = percentile(lat, 0.99)
+			mu.Max = lat[len(lat)-1]
+		}
+		if window > 0 {
+			mu.ThroughputPerSec = float64(mu.Served) / window.Seconds()
+		}
+	}
 	var busy time.Duration
 	for i := range r.PerShard {
 		busy += r.PerShard[i].Busy
@@ -80,6 +128,40 @@ func (r *LoadReport) finish(backend Backend, latencies []time.Duration, window t
 	}
 	if window > 0 && len(r.PerShard) > 0 {
 		r.Utilization = float64(busy) / float64(window*time.Duration(len(r.PerShard)))
+	}
+	return nil
+}
+
+// capacity computes the replica throughput bound. With one model (or no
+// served traffic) it is Replicas × MaxBatch / ServiceTime(MaxBatch); a
+// multi-model run weights each model's warm service time by its served
+// share.
+func (r *LoadReport) capacity(backend Backend) error {
+	totalServed := 0
+	for _, mu := range r.PerModel {
+		totalServed += mu.Served
+	}
+	var meanSec float64
+	if totalServed == 0 {
+		st, err := backend.ServiceTime("", r.MaxBatch)
+		if err != nil {
+			return err
+		}
+		meanSec = st.Seconds()
+	} else {
+		for _, mu := range r.PerModel {
+			if mu.Served == 0 {
+				continue
+			}
+			st, err := backend.ServiceTime(mu.Model, r.MaxBatch)
+			if err != nil {
+				return err
+			}
+			meanSec += float64(mu.Served) / float64(totalServed) * st.Seconds()
+		}
+	}
+	if meanSec > 0 {
+		r.CapacityPerSec = float64(r.Replicas*r.MaxBatch) / meanSec
 	}
 	return nil
 }
@@ -149,8 +231,9 @@ func (r *LoadReport) String() string {
 	}
 	fmt.Fprintf(&b, "%s serve of %s: %d slice replicas, batch ≤%d, linger %v, queue %d\n",
 		r.Backend, r.Model, r.Replicas, r.MaxBatch, r.MaxLinger, r.QueueDepth)
-	fmt.Fprintf(&b, "offered %d  served %d  rejected %d  batches %d (mean %.2f)\n",
-		r.Offered, r.Served, r.Rejected, r.Batches, r.MeanBatch)
+	fmt.Fprintf(&b, "offered %d  served %d  rejected %d  batches %d (mean %.2f, %d warm / %d cold)\n",
+		r.Offered, r.Served, r.Rejected, r.Batches, r.MeanBatch,
+		r.WarmDispatches, r.ColdDispatches)
 	fmt.Fprintf(&b, "makespan %v (%s clock)  throughput %.1f/s  capacity %.1f/s  utilization %s\n",
 		r.Makespan.Round(time.Microsecond), clock,
 		r.ThroughputPerSec, r.CapacityPerSec, report.Pct(r.Utilization))
@@ -159,6 +242,18 @@ func (r *LoadReport) String() string {
 		r.P95.Round(time.Microsecond), r.P99.Round(time.Microsecond),
 		r.Max.Round(time.Microsecond))
 	fmt.Fprintf(&b, "queue depth mean %.1f  max %d\n", r.MeanQueueDepth, r.MaxQueueDepth)
+	if len(r.PerModel) > 1 {
+		t := report.NewTable("Per-model traffic", "Model", "Served", "Rejected", "Warm", "Cold", "Thru/s", "p50", "p99")
+		for _, mu := range r.PerModel {
+			t.Add(mu.Model, fmt.Sprint(mu.Served), fmt.Sprint(mu.Rejected),
+				fmt.Sprint(mu.WarmBatches), fmt.Sprint(mu.ColdBatches),
+				fmt.Sprintf("%.1f", mu.ThroughputPerSec),
+				mu.P50.Round(time.Microsecond).String(),
+				mu.P99.Round(time.Microsecond).String())
+		}
+		b.WriteString(t.String())
+		b.WriteByte('\n')
+	}
 	if len(r.Histogram) > 0 {
 		labels := make([]string, len(r.Histogram))
 		values := make([]float64, len(r.Histogram))
@@ -170,9 +265,10 @@ func (r *LoadReport) String() string {
 		b.WriteByte('\n')
 	}
 	if len(r.PerShard) > 0 {
-		t := report.NewTable("Slice utilization", "Shard", "Batches", "Requests", "Busy", "Util")
+		t := report.NewTable("Slice utilization", "Shard", "Batches", "Requests", "Reloads", "Busy", "Util")
 		for _, u := range r.PerShard {
 			t.Add(u.Shard.String(), fmt.Sprint(u.Batches), fmt.Sprint(u.Requests),
+				fmt.Sprint(u.Reloads),
 				u.Busy.Round(time.Microsecond).String(), report.Pct(u.Utilization))
 		}
 		b.WriteString(t.String())

@@ -1,6 +1,6 @@
 // Package serve turns a neuralcache.System into a long-running inference
-// service with admission control, dynamic micro-batching and slice-shard
-// scheduling.
+// service with admission control, dynamic micro-batching, multi-model
+// residency and slice-shard scheduling.
 //
 // The paper's throughput headline (§VI-B) comes from replicating the
 // network across LLC slices: each slice processes one image, and
@@ -16,14 +16,32 @@
 // per-shard occupancy, so utilization reports show which slices carried
 // the traffic.
 //
+// # Multi-model residency
+//
+// A backend registers one or more models (the first is the default).
+// Requests name their model (Server.SubmitModel / TrySubmitModel, or
+// Load.Mix for generated traffic), the batcher forms per-model
+// micro-batches, and the scheduler tracks which model's weights each
+// replica has staged. Dispatch is warm-first: a free replica already
+// staging the batch's model wins over an unstaged one, which wins over
+// evicting another model's weights. A cold dispatch — the replica's
+// staged model changed, or it is the replica's first — pays the modeled
+// §IV-E weight reload (System.EstimateReload: the filter footprint
+// streamed from DRAM at effective bandwidth plus the transpose-gateway
+// pass), charged by both the analytic backend's wall-clock sleep and the
+// virtual-clock simulator. LoadReport splits dispatches into warm/cold
+// counts and carries per-model latency percentiles and throughput.
+//
 // Two backends implement the Backend interface:
 //
 //   - NewBitExactBackend executes every request bit-accurately via
 //     System.Run; served outputs are byte-identical to calling Run
-//     directly, for any batching, shard assignment or worker count.
+//     directly, for any batching, shard assignment, model mix or worker
+//     count.
 //   - NewAnalyticBackend services requests on service times priced by
 //     System.EstimateReplica — the cost of the batch on a single-slice,
-//     single-socket replica of the cache.
+//     single-socket replica of the cache — plus System.EstimateReload on
+//     cold dispatches.
 //
 // Two drivers consume a Backend:
 //
@@ -44,8 +62,21 @@ package serve
 import (
 	"errors"
 	"fmt"
+	"strings"
 	"time"
+
+	"neuralcache"
 )
+
+// joinModelNames renders a model set as a separator-joined name list,
+// in slice order.
+func joinModelNames(models []*neuralcache.Model, sep string) string {
+	names := make([]string, len(models))
+	for i, m := range models {
+		names[i] = m.Name()
+	}
+	return strings.Join(names, sep)
+}
 
 // Errors returned by the server's admission path.
 var (
@@ -116,12 +147,49 @@ type Shard struct {
 	Slice  int
 }
 
-// String formats the shard like s0/slice3.
-func (s Shard) String() string { return fmt.Sprintf("s%d/slice%d", s.Socket, s.Slice) }
+// NoShard marks a Response that never reached a replica: the request
+// was canceled while queued and dropped at dispatch.
+var NoShard = Shard{Socket: -1, Slice: -1}
+
+// String formats the shard like s0/slice3 (or "none" for NoShard).
+func (s Shard) String() string {
+	if s.Socket < 0 || s.Slice < 0 {
+		return "none"
+	}
+	return fmt.Sprintf("s%d/slice%d", s.Socket, s.Slice)
+}
 
 // shardFor maps a dense replica ordinal to its shard coordinates.
 func shardFor(id, slicesPerSocket int) Shard {
 	return Shard{Socket: id / slicesPerSocket, Slice: id % slicesPerSocket}
+}
+
+// pickShard is the warm-first replica-selection policy shared by the
+// real Server's shard pool and the simulator: lowest-ordinal free
+// replica already staging the wanted model (warm), else lowest-ordinal
+// never-staged (empty) free one, else lowest-ordinal free one. Returns
+// -1 when no replica is free; the caller marks the claim and restages
+// on cold.
+func pickShard[T comparable](free []bool, staged []T, want, empty T) (id int, warm bool) {
+	bestFree, bestEmpty := -1, -1
+	for i, f := range free {
+		if !f {
+			continue
+		}
+		if staged[i] == want {
+			return i, true
+		}
+		if staged[i] == empty && bestEmpty < 0 {
+			bestEmpty = i
+		}
+		if bestFree < 0 {
+			bestFree = i
+		}
+	}
+	if bestEmpty >= 0 {
+		bestFree = bestEmpty
+	}
+	return bestFree, false
 }
 
 // ShardUsage is one replica's occupancy accounting.
@@ -130,6 +198,10 @@ type ShardUsage struct {
 	Batches  int           `json:"batches"`
 	Requests int           `json:"requests"`
 	Busy     time.Duration `json:"busy_ns"`
+	// Reloads counts cold dispatches: batches that paid the §IV-E
+	// weight-reload cost because this replica's staged model changed
+	// (including its first dispatch ever).
+	Reloads int `json:"reloads"`
 	// Utilization is Busy over the observation window.
 	Utilization float64 `json:"utilization"`
 }

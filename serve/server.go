@@ -14,18 +14,28 @@ import (
 type Response struct {
 	// ID is the server-assigned admission ordinal (1-based).
 	ID uint64
+	// Model is the registered model the request was served on.
+	Model string
 	// Result is the bit-accurate inference result; nil for the analytic
 	// backend, which models time rather than values.
 	Result *neuralcache.InferenceResult
 	// Err is the failure, if any. A batch-level execution failure fails
 	// every request of the batch.
 	Err error
-	// Shard is the slice replica that served the request.
+	// Shard is the slice replica that served the request. A request
+	// canceled before dispatch never reached a replica: its Shard is
+	// NoShard and its BatchSize is 0.
 	Shard Shard
-	// BatchSize is the size of the micro-batch the request rode in.
+	// BatchSize is the size of the micro-batch the request rode in; 0
+	// for requests canceled before dispatch.
 	BatchSize int
-	// Queued is the time from admission to dispatch; Latency is the time
-	// from admission to completion.
+	// Cold reports that the batch paid the §IV-E weight-reload cost: its
+	// replica's staged model changed (or it was the replica's first
+	// dispatch).
+	Cold bool
+	// Queued is the time from admission to dispatch — or, for a request
+	// canceled while queued, from admission to the drop. Latency is the
+	// time from admission to completion (zero when canceled).
 	Queued  time.Duration
 	Latency time.Duration
 }
@@ -33,25 +43,76 @@ type Response struct {
 // request is one admitted unit of work.
 type request struct {
 	id       uint64
+	model    string // resolved registered model name
 	input    *neuralcache.Tensor
 	ctx      context.Context
 	enqueued time.Time
 	resp     chan *Response // buffered, capacity 1
 }
 
+// shardPool tracks the free replicas and which model's weights each one
+// has staged. Acquisition is warm-first: a free replica already staging
+// the requested model wins over an unstaged one, which wins over
+// evicting another model's weights. Only the batcher acquires (single
+// consumer); executor goroutines release.
+type shardPool struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	free   []bool
+	staged []string // model staged on each replica; "" = never staged
+}
+
+func newShardPool(n int) *shardPool {
+	p := &shardPool{free: make([]bool, n), staged: make([]string, n)}
+	p.cond = sync.NewCond(&p.mu)
+	for i := range p.free {
+		p.free[i] = true
+	}
+	return p
+}
+
+// acquire blocks until a replica is free and claims the best one for
+// model per the shared warm-first policy (pickShard). It reports
+// whether the claim was warm; a cold claim restages the replica to
+// model.
+func (p *shardPool) acquire(model string) (id int, warm bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for {
+		if id, warm := pickShard(p.free, p.staged, model, ""); id >= 0 {
+			p.free[id] = false
+			if !warm {
+				p.staged[id] = model
+			}
+			return id, warm
+		}
+		p.cond.Wait()
+	}
+}
+
+func (p *shardPool) release(id int) {
+	p.mu.Lock()
+	p.free[id] = true
+	p.mu.Unlock()
+	p.cond.Signal()
+}
+
 // Server is the asynchronous inference service: a bounded admission
-// queue feeding a dynamic micro-batcher whose batches are dispatched to
-// free slice replicas. Create with NewServer, stop with Close.
+// queue feeding a dynamic micro-batcher that forms per-model batches and
+// dispatches them to free slice replicas, warm-first. Create with
+// NewServer, stop with Close.
 type Server struct {
 	backend Backend
 	opts    Options
 	slices  int // slices per socket, for shard naming
 
-	queue  chan *request
-	shards chan int // free replica ordinals
+	queue chan *request
+	pool  *shardPool
 
-	mu     sync.RWMutex // guards closed against concurrent Submit/Close
-	closed bool
+	mu         sync.RWMutex // guards closed against concurrent Submit/Close
+	closed     bool
+	closing    chan struct{}  // closed by Close; wakes Submits blocked on a full queue
+	submitters sync.WaitGroup // in-flight submit calls past the closed check
 
 	batcherDone chan struct{}
 	execWG      sync.WaitGroup
@@ -59,13 +120,40 @@ type Server struct {
 	nextID  atomic.Uint64
 	started time.Time
 
-	stats struct {
-		sync.Mutex
-		submitted, rejected, served, failed, canceled uint64
-		batches, batched                              uint64
-		queueHighWater                                int
-		perShard                                      []ShardUsage
+	// depth is the admitted-minus-dispatched request count — requests in
+	// the queue channel or parked in the batcher's per-model pending
+	// lists. It is the authoritative admission bound: admit reserves a
+	// slot (depth < QueueDepth, the simulator's rule) before the queue
+	// send and dispatchFrom releases it, so concurrent submitters cannot
+	// under-report the high-water mark and backlog memory stays bounded.
+	depth        atomic.Int64
+	highWater    atomic.Int64
+	depthSum     atomic.Int64  // Σ depth sampled at each admission
+	depthSamples atomic.Int64  //
+	space        chan struct{} // freed-slot wakeup for Submits blocked in admit
+
+	stats serverStats
+}
+
+// serverStats is the mutex-guarded counter block of a Server.
+type serverStats struct {
+	sync.Mutex
+	submitted, rejected, served, failed, canceled uint64
+	batches, batched                              uint64
+	warmBatches, coldBatches                      uint64
+	perModel                                      map[string]*ModelCounters
+	perShard                                      []ShardUsage
+}
+
+// model returns the (lazily created) counters for a registered model;
+// callers hold the stats mutex.
+func (st *serverStats) model(name string) *ModelCounters {
+	c := st.perModel[name]
+	if c == nil {
+		c = &ModelCounters{}
+		st.perModel[name] = c
 	}
+	return c
 }
 
 // NewServer starts a server on the backend. The returned server is
@@ -81,14 +169,16 @@ func NewServer(backend Backend, opts Options) (*Server, error) {
 		opts:        o,
 		slices:      sys.Config().Slices,
 		queue:       make(chan *request, o.QueueDepth),
-		shards:      make(chan int, o.Replicas),
+		pool:        newShardPool(o.Replicas),
+		closing:     make(chan struct{}),
+		space:       make(chan struct{}, 1),
 		batcherDone: make(chan struct{}),
 		started:     time.Now(),
 	}
+	s.stats.perModel = make(map[string]*ModelCounters)
 	s.stats.perShard = make([]ShardUsage, o.Replicas)
 	for i := 0; i < o.Replicas; i++ {
 		s.stats.perShard[i].Shard = shardFor(i, s.slices)
-		s.shards <- i
 	}
 	go s.batcher()
 	return s, nil
@@ -97,12 +187,18 @@ func NewServer(backend Backend, opts Options) (*Server, error) {
 // Options returns the server's effective (defaulted) options.
 func (s *Server) Options() Options { return s.opts }
 
-// Submit admits one request and blocks until it is served or ctx is
-// done. When the admission queue is full, Submit waits for space
-// (backpressure); cancel ctx to give up. A ctx that expires after
-// admission abandons the wait but lets the request complete.
+// Submit admits one request for the backend's default model and blocks
+// until it is served or ctx is done. When the admission queue is full,
+// Submit waits for space (backpressure); cancel ctx — or Close the
+// server — to give up. A ctx that expires after admission abandons the
+// wait but lets the request complete.
 func (s *Server) Submit(ctx context.Context, in *neuralcache.Tensor) (*Response, error) {
-	ch, err := s.submit(ctx, in, true)
+	return s.SubmitModel(ctx, "", in)
+}
+
+// SubmitModel is Submit for a named registered model ("" = default).
+func (s *Server) SubmitModel(ctx context.Context, model string, in *neuralcache.Tensor) (*Response, error) {
+	ch, err := s.submit(ctx, model, in, true)
 	if err != nil {
 		return nil, err
 	}
@@ -114,103 +210,263 @@ func (s *Server) Submit(ctx context.Context, in *neuralcache.Tensor) (*Response,
 	}
 }
 
-// TrySubmit admits one request without blocking: when the admission
-// queue is full it returns ErrQueueFull immediately (the open-loop
-// rejection path). On success the response arrives on the returned
-// channel. ctx is checked again at dispatch time: a request whose ctx
-// expired while queued is dropped with its ctx error.
+// TrySubmit admits one request for the backend's default model without
+// blocking: when the admission queue is full it returns ErrQueueFull
+// immediately (the open-loop rejection path). On success the response
+// arrives on the returned channel. ctx is checked again at dispatch
+// time: a request whose ctx expired while queued is dropped with its
+// ctx error.
 func (s *Server) TrySubmit(ctx context.Context, in *neuralcache.Tensor) (<-chan *Response, error) {
-	return s.submit(ctx, in, false)
+	return s.submit(ctx, "", in, false)
 }
 
-func (s *Server) submit(ctx context.Context, in *neuralcache.Tensor, wait bool) (chan *Response, error) {
+// TrySubmitModel is TrySubmit for a named registered model ("" = default).
+func (s *Server) TrySubmitModel(ctx context.Context, model string, in *neuralcache.Tensor) (<-chan *Response, error) {
+	return s.submit(ctx, model, in, false)
+}
+
+func (s *Server) submit(ctx context.Context, model string, in *neuralcache.Tensor, wait bool) (chan *Response, error) {
+	m, err := s.backend.Lookup(model)
+	if err != nil {
+		return nil, err
+	}
+	name := m.Name()
 	if in == nil {
 		if s.backend.RequiresInput() {
 			return nil, fmt.Errorf("serve: %s backend requires an input tensor", s.backend.Name())
 		}
-	} else if h, w, c := s.backend.Model().InputShape(); in.H != h || in.W != w || in.C != c {
+	} else if h, w, c := m.InputShape(); in.H != h || in.W != w || in.C != c {
 		return nil, fmt.Errorf("serve: input %dx%dx%d, model %s expects %dx%dx%d",
-			in.H, in.W, in.C, s.backend.Model().Name(), h, w, c)
+			in.H, in.W, in.C, name, h, w, c)
 	}
+	// Register as an in-flight submitter under the read lock, then drop
+	// the lock before the (possibly waiting) admission: Close must not
+	// stall behind back-pressured submitters, and the queue send must
+	// still never race close(s.queue) — Close waits for submitters to
+	// drain after waking them via s.closing.
 	s.mu.RLock()
-	defer s.mu.RUnlock()
 	if s.closed {
+		s.mu.RUnlock()
 		return nil, ErrClosed
+	}
+	s.submitters.Add(1)
+	s.mu.RUnlock()
+	defer s.submitters.Done()
+	if err := s.admit(ctx, wait, name); err != nil {
+		return nil, err
 	}
 	req := &request{
 		id:       s.nextID.Add(1),
+		model:    name,
 		input:    in,
 		ctx:      ctx,
 		enqueued: time.Now(),
 		resp:     make(chan *Response, 1),
 	}
-	if wait {
-		select {
-		case s.queue <- req:
-		case <-ctx.Done():
-			return nil, ctx.Err()
-		}
-	} else {
-		select {
-		case s.queue <- req:
-		default:
-			s.stats.Lock()
-			s.stats.rejected++
-			s.stats.Unlock()
-			return nil, ErrQueueFull
-		}
-	}
-	depth := len(s.queue)
+	// The send cannot block: channel occupancy never exceeds the depth
+	// counter, which admit just bounded by QueueDepth, the channel's
+	// capacity.
+	s.queue <- req
 	s.stats.Lock()
 	s.stats.submitted++
-	if depth > s.stats.queueHighWater {
-		s.stats.queueHighWater = depth
-	}
 	s.stats.Unlock()
 	return req.resp, nil
 }
 
-// batcher is the single goroutine forming micro-batches: it waits for a
-// first request, then collects up to MaxBatch-1 more or until MaxLinger
-// elapses, and hands the batch to a free replica.
-func (s *Server) batcher() {
-	defer close(s.batcherDone)
+// admit reserves one slot of the bounded admission depth — the same
+// depth >= QueueDepth rule the simulator applies — incrementing the
+// counter before the queue send so concurrent submitters can never
+// under-report the high-water mark. Without wait a full queue rejects
+// with ErrQueueFull; with wait the caller blocks until a dispatch frees
+// a slot, ctx is done, or the server closes.
+func (s *Server) admit(ctx context.Context, wait bool, model string) error {
 	for {
-		req, ok := <-s.queue
-		if !ok {
-			return
-		}
-		batch := []*request{req}
-		if s.opts.MaxBatch > 1 {
-			timer := time.NewTimer(s.opts.MaxLinger)
-		collect:
-			for len(batch) < s.opts.MaxBatch {
-				select {
-				case r, ok := <-s.queue:
-					if !ok {
-						break collect
-					}
-					batch = append(batch, r)
-				case <-timer.C:
-					break collect
+		d := s.depth.Load()
+		if d < int64(s.opts.QueueDepth) {
+			if !s.depth.CompareAndSwap(d, d+1) {
+				continue
+			}
+			d++
+			for {
+				hw := s.highWater.Load()
+				if d <= hw || s.highWater.CompareAndSwap(hw, d) {
+					break
 				}
 			}
-			timer.Stop()
+			s.depthSum.Add(d)
+			s.depthSamples.Add(1)
+			if d < int64(s.opts.QueueDepth) {
+				// Cascade the wakeup: one freed-slot token wakes one
+				// waiter, so pass it on while slots remain.
+				select {
+				case s.space <- struct{}{}:
+				default:
+				}
+			}
+			return nil
 		}
-		s.dispatch(batch)
+		if !wait {
+			s.stats.Lock()
+			s.stats.rejected++
+			s.stats.model(model).Rejected++
+			s.stats.Unlock()
+			return ErrQueueFull
+		}
+		select {
+		case <-s.space:
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-s.closing:
+			return ErrClosed
+		}
 	}
 }
 
-// dispatch drops canceled requests, claims a free replica (blocking the
-// batcher while all replicas are busy — the queue buffer keeps admitting
-// meanwhile) and executes the batch on its own goroutine.
-func (s *Server) dispatch(batch []*request) {
+// batcher is the single goroutine forming per-model micro-batches: it
+// collects admitted requests into one FIFO per model and dispatches a
+// model's batch when it is full (MaxBatch) or its oldest request has
+// lingered MaxLinger. When several models are ready, the one with the
+// oldest head dispatches first.
+func (s *Server) batcher() {
+	defer close(s.batcherDone)
+	pending := make(map[string][]*request)
+	total := 0
+	add := func(r *request) {
+		pending[r.model] = append(pending[r.model], r)
+		total++
+	}
+	// drain moves every immediately available request into pending
+	// before any dispatch decision, so a backlog forms full batches
+	// instead of lingered singletons; it reports false once the queue is
+	// closed and empty.
+	drain := func() bool {
+		for {
+			select {
+			case r, ok := <-s.queue:
+				if !ok {
+					return false
+				}
+				add(r)
+			default:
+				return true
+			}
+		}
+	}
+	for {
+		if total == 0 {
+			r, ok := <-s.queue
+			if !ok {
+				return
+			}
+			add(r)
+		} else {
+			// Wait for the next admission or the earliest linger deadline.
+			var deadline time.Time
+			for _, q := range pending {
+				if d := q[0].enqueued.Add(s.opts.MaxLinger); deadline.IsZero() || d.Before(deadline) {
+					deadline = d
+				}
+			}
+			timer := time.NewTimer(time.Until(deadline))
+			select {
+			case r, ok := <-s.queue:
+				timer.Stop()
+				if !ok {
+					s.flush(pending)
+					return
+				}
+				add(r)
+			case <-timer.C:
+			}
+		}
+		for {
+			if !drain() {
+				s.flush(pending)
+				return
+			}
+			model, ok := nextReady(pending, time.Now(), s.opts)
+			if !ok {
+				break
+			}
+			// dispatchFrom can block a while claiming a replica, so
+			// re-drain (and re-take the clock) every iteration.
+			total -= s.dispatchFrom(pending, model)
+		}
+	}
+}
+
+// nextReady picks the dispatchable model with the oldest head request: a
+// model is ready when it holds a full batch or its head has lingered
+// MaxLinger. Ties break on admission ordinal.
+func nextReady(pending map[string][]*request, now time.Time, opts Options) (string, bool) {
+	best, bestID := "", uint64(0)
+	for model, q := range pending {
+		head := q[0]
+		if len(q) < opts.MaxBatch && now.Before(head.enqueued.Add(opts.MaxLinger)) {
+			continue
+		}
+		if best == "" || head.id < bestID {
+			best, bestID = model, head.id
+		}
+	}
+	return best, best != ""
+}
+
+// dispatchFrom pops one batch of the model from pending and dispatches
+// it, returning how many requests it consumed. The queue-depth counter
+// drops here — not at the channel receive — so requests parked in
+// pending still count as queued, matching the simulator's accounting.
+func (s *Server) dispatchFrom(pending map[string][]*request, model string) int {
+	q := pending[model]
+	n := min(len(q), s.opts.MaxBatch)
+	batch := append([]*request(nil), q[:n]...)
+	if n == len(q) {
+		delete(pending, model)
+	} else {
+		pending[model] = q[n:]
+	}
+	s.depth.Add(-int64(n))
+	select {
+	case s.space <- struct{}{}: // wake one Submit blocked in admit
+	default:
+	}
+	s.dispatch(model, batch)
+	return n
+}
+
+// flush dispatches everything still pending when the queue closes, in
+// oldest-head-first order, so Close drains instead of dropping.
+func (s *Server) flush(pending map[string][]*request) {
+	for len(pending) > 0 {
+		best, bestID := "", uint64(0)
+		for model, q := range pending {
+			if best == "" || q[0].id < bestID {
+				best, bestID = model, q[0].id
+			}
+		}
+		s.dispatchFrom(pending, best)
+	}
+}
+
+// dispatch drops canceled requests, claims the best free replica for the
+// model (blocking the batcher while all replicas are busy — the queue
+// buffer keeps admitting meanwhile) and executes the batch on its own
+// goroutine, charging the backend's reload cost when the replica was not
+// already staging this model.
+func (s *Server) dispatch(model string, batch []*request) {
 	live := batch[:0]
 	for _, r := range batch {
 		if r.ctx != nil && r.ctx.Err() != nil {
-			r.resp <- &Response{ID: r.id, Err: r.ctx.Err()}
+			r.resp <- &Response{
+				ID:     r.id,
+				Model:  r.model,
+				Err:    r.ctx.Err(),
+				Shard:  NoShard,
+				Queued: time.Since(r.enqueued),
+			}
 			s.stats.Lock()
 			s.stats.canceled++
+			s.stats.model(r.model).Canceled++
 			s.stats.Unlock()
 			continue
 		}
@@ -219,7 +475,7 @@ func (s *Server) dispatch(batch []*request) {
 	if len(live) == 0 {
 		return
 	}
-	id := <-s.shards
+	id, warm := s.pool.acquire(model)
 	dispatched := time.Now()
 	s.execWG.Add(1)
 	go func() {
@@ -231,13 +487,44 @@ func (s *Server) dispatch(batch []*request) {
 		// The batch runs under the server's lifetime, not any one
 		// request's ctx: replicas share one staged weight set, so a
 		// single submitter's cancellation must not fail its batchmates.
-		results, err := s.backend.Execute(context.Background(), inputs)
+		results, err := s.backend.Execute(context.Background(), model, inputs, !warm)
 		done := time.Now()
+		// Update counters before delivering responses: a caller that has
+		// drained its response channels must see this batch in Stats().
+		s.stats.Lock()
+		s.stats.batches++
+		s.stats.batched += uint64(len(live))
+		mc := s.stats.model(model)
+		mc.Batches++
+		if warm {
+			s.stats.warmBatches++
+			mc.WarmBatches++
+		} else {
+			s.stats.coldBatches++
+			mc.ColdBatches++
+		}
+		if err != nil {
+			s.stats.failed += uint64(len(live))
+			mc.Failed += uint64(len(live))
+		} else {
+			s.stats.served += uint64(len(live))
+			mc.Served += uint64(len(live))
+		}
+		u := &s.stats.perShard[id]
+		u.Batches++
+		u.Requests += len(live)
+		u.Busy += done.Sub(dispatched)
+		if !warm {
+			u.Reloads++
+		}
+		s.stats.Unlock()
 		for i, r := range live {
 			resp := &Response{
 				ID:        r.id,
+				Model:     model,
 				Shard:     shardFor(id, s.slices),
 				BatchSize: len(live),
+				Cold:      !warm,
 				Queued:    dispatched.Sub(r.enqueued),
 				Latency:   done.Sub(r.enqueued),
 				Err:       err,
@@ -247,25 +534,13 @@ func (s *Server) dispatch(batch []*request) {
 			}
 			r.resp <- resp
 		}
-		s.stats.Lock()
-		s.stats.batches++
-		s.stats.batched += uint64(len(live))
-		if err != nil {
-			s.stats.failed += uint64(len(live))
-		} else {
-			s.stats.served += uint64(len(live))
-		}
-		u := &s.stats.perShard[id]
-		u.Batches++
-		u.Requests += len(live)
-		u.Busy += done.Sub(dispatched)
-		s.stats.Unlock()
-		s.shards <- id
+		s.pool.release(id)
 	}()
 }
 
-// Close stops admission, drains the queue, waits for in-flight batches
-// and returns. Closing twice returns ErrClosed.
+// Close stops admission, wakes Submits blocked on a full queue (they
+// return ErrClosed), drains the queue, waits for in-flight batches and
+// returns. Closing twice returns ErrClosed.
 func (s *Server) Close() error {
 	s.mu.Lock()
 	if s.closed {
@@ -273,11 +548,25 @@ func (s *Server) Close() error {
 		return ErrClosed
 	}
 	s.closed = true
-	close(s.queue)
+	close(s.closing)
 	s.mu.Unlock()
+	// Wait out submitters that passed the closed check before closing
+	// the queue channel: they either complete their send or bail on
+	// s.closing, so close(s.queue) can never race a send.
+	s.submitters.Wait()
+	close(s.queue)
 	<-s.batcherDone
 	s.execWG.Wait()
 	return nil
+}
+
+// ModelCounters aggregates one registered model's admission and dispatch
+// accounting on a Server.
+type ModelCounters struct {
+	Served, Failed, Canceled uint64
+	Rejected                 uint64
+	Batches                  uint64
+	WarmBatches, ColdBatches uint64
 }
 
 // Stats is a point-in-time snapshot of the server's counters.
@@ -287,12 +576,32 @@ type Stats struct {
 	Canceled            uint64
 	Batches             uint64
 	MeanBatch           float64
-	QueueHighWater      int
-	Uptime              time.Duration
+	// WarmBatches and ColdBatches split dispatches by whether the
+	// replica already staged the batch's model; cold ones paid the
+	// §IV-E weight reload.
+	WarmBatches, ColdBatches uint64
+	// QueueHighWater is the maximum admitted-minus-dispatched depth
+	// (queued in the channel plus parked in the batcher), tracked
+	// atomically at every admission; it never exceeds QueueDepth, and
+	// MeanQueueDepth is the mean of the depth sampled at each admission,
+	// so QueueHighWater ≥ ⌈MeanQueueDepth⌉ always.
+	QueueHighWater int
+	MeanQueueDepth float64
+	// DepthSum and DepthSamples are the raw accumulators behind
+	// MeanQueueDepth (Σ depth sampled at each admission, and the sample
+	// count), exposed so windowed consumers like LoadTest can difference
+	// two snapshots. QueueHighWater has no windowed form: a max cannot
+	// be differenced, so on a reused server it spans the whole lifetime.
+	DepthSum     int64
+	DepthSamples int64
+	Uptime       time.Duration
 	// Utilization is the mean busy fraction across replicas since the
 	// server started.
 	Utilization float64
 	PerShard    []ShardUsage
+	// PerModel maps registered model names to their counters; only
+	// models that saw traffic appear.
+	PerModel map[string]ModelCounters
 }
 
 // Stats snapshots the server's occupancy and admission counters.
@@ -307,9 +616,20 @@ func (s *Server) Stats() Stats {
 		Failed:         s.stats.failed,
 		Canceled:       s.stats.canceled,
 		Batches:        s.stats.batches,
-		QueueHighWater: s.stats.queueHighWater,
+		WarmBatches:    s.stats.warmBatches,
+		ColdBatches:    s.stats.coldBatches,
+		QueueHighWater: int(s.highWater.Load()),
 		Uptime:         up,
 		PerShard:       append([]ShardUsage(nil), s.stats.perShard...),
+		PerModel:       make(map[string]ModelCounters, len(s.stats.perModel)),
+	}
+	out.DepthSum = s.depthSum.Load()
+	out.DepthSamples = s.depthSamples.Load()
+	if out.DepthSamples > 0 {
+		out.MeanQueueDepth = float64(out.DepthSum) / float64(out.DepthSamples)
+	}
+	for name, c := range s.stats.perModel {
+		out.PerModel[name] = *c
 	}
 	if out.Batches > 0 {
 		out.MeanBatch = float64(s.stats.batched) / float64(out.Batches)

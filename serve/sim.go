@@ -8,6 +8,15 @@ import (
 	"time"
 )
 
+// ModelShare is one model's weight in a generated traffic mix.
+type ModelShare struct {
+	// Model names a registered model; "" means the backend's default.
+	Model string `json:"model"`
+	// Weight is the model's relative share of arrivals (normalized over
+	// the mix; it need not sum to 1).
+	Weight float64 `json:"weight"`
+}
+
 // Load describes an open-loop arrival process: requests arrive on their
 // own schedule regardless of service progress, the regime the paper's
 // throughput evaluation implies and the one that exposes queueing.
@@ -19,12 +28,17 @@ type Load struct {
 	Requests int
 	// Duration is the arrival window used when Requests is 0.
 	Duration time.Duration
-	// Seed seeds the Poisson process. The same seed reproduces the same
-	// arrival schedule exactly.
+	// Seed seeds the Poisson process and the model-mix draw. The same
+	// seed reproduces the same arrival schedule and model assignment
+	// exactly.
 	Seed int64
 	// Poisson draws exponential interarrival times (a Poisson process)
 	// instead of uniform spacing.
 	Poisson bool
+	// Mix assigns each arrival a model, drawn independently with the
+	// given weights from the seeded generator. Empty means every arrival
+	// targets the backend's default model.
+	Mix []ModelShare
 }
 
 func (l Load) validate() error {
@@ -37,16 +51,28 @@ func (l Load) validate() error {
 	if l.Requests == 0 && l.Duration <= 0 {
 		return fmt.Errorf("serve: load needs Requests or Duration")
 	}
+	seen := make(map[string]bool, len(l.Mix))
+	for _, ms := range l.Mix {
+		if ms.Weight <= 0 || math.IsNaN(ms.Weight) || math.IsInf(ms.Weight, 0) {
+			return fmt.Errorf("serve: mix weight %v for model %q", ms.Weight, ms.Model)
+		}
+		if seen[ms.Model] {
+			return fmt.Errorf("serve: model %q appears twice in the mix", ms.Model)
+		}
+		seen[ms.Model] = true
+	}
 	return nil
 }
 
 // arrivalGen yields a deterministic, monotone sequence of arrival
-// offsets from t=0.
+// offsets from t=0, each tagged with its mix-drawn model name.
 type arrivalGen struct {
-	load  Load
-	rng   *rand.Rand
-	count int
-	t     float64 // seconds
+	load   Load
+	rng    *rand.Rand // interarrival draws (Poisson only)
+	mixRNG *rand.Rand // model-mix draws, independent of arrival times
+	cum    []float64  // cumulative mix weights
+	count  int
+	t      float64 // seconds
 }
 
 func (l Load) arrivals() *arrivalGen {
@@ -54,15 +80,24 @@ func (l Load) arrivals() *arrivalGen {
 	if l.Poisson {
 		g.rng = rand.New(rand.NewSource(l.Seed))
 	}
+	if len(l.Mix) > 0 {
+		g.mixRNG = rand.New(rand.NewSource(l.Seed ^ 0x6d69780a)) // "mix" salt
+		total := 0.0
+		g.cum = make([]float64, len(l.Mix))
+		for i, ms := range l.Mix {
+			total += ms.Weight
+			g.cum[i] = total
+		}
+	}
 	return g
 }
 
-// next returns the next arrival offset, or false when the load is
-// exhausted.
-func (g *arrivalGen) next() (time.Duration, bool) {
+// next returns the next arrival offset and its model name ("" = the
+// backend's default), or false when the load is exhausted.
+func (g *arrivalGen) next() (time.Duration, string, bool) {
 	g.count++
 	if g.load.Requests > 0 && g.count > g.load.Requests {
-		return 0, false
+		return 0, "", false
 	}
 	if g.load.Poisson {
 		g.t += g.rng.ExpFloat64() / g.load.Rate
@@ -71,9 +106,26 @@ func (g *arrivalGen) next() (time.Duration, bool) {
 	}
 	at := time.Duration(g.t * float64(time.Second))
 	if g.load.Requests == 0 && at > g.load.Duration {
-		return 0, false
+		return 0, "", false
 	}
-	return at, true
+	return at, g.model(), true
+}
+
+// model draws the arrival's model from the mix.
+func (g *arrivalGen) model() string {
+	switch len(g.load.Mix) {
+	case 0:
+		return ""
+	case 1:
+		return g.load.Mix[0].Model
+	}
+	x := g.mixRNG.Float64() * g.cum[len(g.cum)-1]
+	for i, c := range g.cum {
+		if x < c {
+			return g.load.Mix[i].Model
+		}
+	}
+	return g.load.Mix[len(g.load.Mix)-1].Model
 }
 
 // Event kinds of the discrete-event simulator.
@@ -88,6 +140,8 @@ type event struct {
 	at   time.Duration
 	seq  uint64 // FIFO tiebreak among equal times
 	kind int
+	// arrival / completion fields
+	model int
 	// completion-only fields
 	shard    int
 	arrivals []time.Duration
@@ -106,8 +160,21 @@ func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
 func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
 func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
 
+// simModel is one registered model's queue and accounting inside a run.
+type simModel struct {
+	name string
+	at   []time.Duration // arrival times of admitted, undispatched requests
+	head int
+
+	offered, served, rejected int
+	batches, warm, cold       int
+	latencies                 []time.Duration
+}
+
+func (m *simModel) qlen() int { return len(m.at) - m.head }
+
 // sim is the state of one Simulate run: the same admission queue,
-// micro-batching policy and lowest-ordinal-first shard scheduling the
+// per-model micro-batching policy and warm-first shard scheduling the
 // real Server applies, driven by events on a virtual clock.
 type sim struct {
 	backend Backend
@@ -117,17 +184,20 @@ type sim struct {
 	seq    uint64
 	now    time.Duration
 
-	queue []time.Duration // arrival times of admitted, undispatched requests
-	qhead int
+	models []*simModel
+	index  map[string]int
 
-	freeShard  []bool
-	freeCount  int
+	freeShard []bool
+	staged    []int // model index staged per shard; -1 = never staged
+	freeCount int
+
 	lastLinger time.Duration
 
 	gen *arrivalGen
 
 	offered, served, rejected int
 	batches, batched          int
+	warm, cold                int
 	latencies                 []time.Duration
 	firstArrival              time.Duration
 	lastCompletion            time.Duration
@@ -142,9 +212,10 @@ type sim struct {
 // Simulate runs the serving policy against an open-loop load on a
 // deterministic virtual clock. No goroutines, no wall-clock sleeps:
 // service times come from Backend.ServiceTime (the analytic replica
-// estimate), so hundreds of thousands of Inception-scale requests
-// simulate in a few real seconds. The same backend, options and load
-// produce an identical LoadReport on every run.
+// estimate) plus Backend.ReloadTime on cold dispatches, so hundreds of
+// thousands of Inception-scale requests simulate in a few real seconds.
+// The same backend, options and load produce an identical LoadReport on
+// every run.
 func Simulate(backend Backend, opts Options, load Load) (*LoadReport, error) {
 	o, err := opts.withDefaults(backend.System().Replicas())
 	if err != nil {
@@ -153,29 +224,50 @@ func Simulate(backend Backend, opts Options, load Load) (*LoadReport, error) {
 	if err := load.validate(); err != nil {
 		return nil, err
 	}
+	registered := backend.Models()
 	s := &sim{
 		backend:    backend,
 		opts:       o,
 		gen:        load.arrivals(),
+		index:      make(map[string]int, len(registered)),
 		freeShard:  make([]bool, o.Replicas),
+		staged:     make([]int, o.Replicas),
 		freeCount:  o.Replicas,
 		lastLinger: -1,
 		shardUse:   make([]ShardUsage, o.Replicas),
 	}
+	for i, m := range registered {
+		s.models = append(s.models, &simModel{name: m.Name()})
+		s.index[m.Name()] = i
+	}
+	// Resolve the mix against the registry up front so unknown models
+	// fail fast rather than mid-run.
+	for _, ms := range load.Mix {
+		if _, err := s.resolve(ms.Model); err != nil {
+			return nil, err
+		}
+	}
 	slices := backend.System().Config().Slices
 	for i := range s.freeShard {
 		s.freeShard[i] = true
+		s.staged[i] = -1
 		s.shardUse[i].Shard = shardFor(i, slices)
 	}
-	if at, ok := s.gen.next(); ok {
-		s.push(&event{at: at, kind: evArrival})
+	if at, model, ok := s.gen.next(); ok {
+		mi, err := s.resolve(model)
+		if err != nil {
+			return nil, err
+		}
+		s.push(&event{at: at, kind: evArrival, model: mi})
 	}
 	for len(s.events) > 0 {
 		e := heap.Pop(&s.events).(*event)
 		s.now = e.at
 		switch e.kind {
 		case evArrival:
-			s.onArrival()
+			if err := s.onArrival(e); err != nil {
+				return nil, err
+			}
 		case evCompletion:
 			s.onCompletion(e)
 		}
@@ -186,13 +278,25 @@ func Simulate(backend Backend, opts Options, load Load) (*LoadReport, error) {
 	return s.report(backend, load)
 }
 
+// resolve maps a load-mix model name ("" = default) to its registry
+// index.
+func (s *sim) resolve(name string) (int, error) {
+	m, err := s.backend.Lookup(name)
+	if err != nil {
+		return 0, err
+	}
+	mi, ok := s.index[m.Name()]
+	if !ok {
+		return 0, fmt.Errorf("serve: model %q not in backend registry", m.Name())
+	}
+	return mi, nil
+}
+
 func (s *sim) push(e *event) {
 	e.seq = s.seq
 	s.seq++
 	heap.Push(&s.events, e)
 }
-
-func (s *sim) qlen() int { return len(s.queue) - s.qhead }
 
 // syncDepth integrates the queue depth up to the current virtual time;
 // call before every depth change.
@@ -201,94 +305,145 @@ func (s *sim) syncDepth() {
 	s.lastDepthT = s.now
 }
 
-func (s *sim) onArrival() {
+func (s *sim) onArrival(e *event) error {
+	m := s.models[e.model]
 	s.offered++
+	m.offered++
 	if s.offered == 1 {
 		s.firstArrival = s.now
 	}
-	if s.qlen() >= s.opts.QueueDepth {
+	if s.depth >= s.opts.QueueDepth {
 		s.rejected++
+		m.rejected++
 	} else {
 		s.syncDepth()
-		s.queue = append(s.queue, s.now)
+		m.at = append(m.at, s.now)
 		s.depth++
 		if s.depth > s.maxDepth {
 			s.maxDepth = s.depth
 		}
 	}
-	if at, ok := s.gen.next(); ok {
-		s.push(&event{at: at, kind: evArrival})
+	if at, model, ok := s.gen.next(); ok {
+		mi, err := s.resolve(model)
+		if err != nil {
+			return err
+		}
+		s.push(&event{at: at, kind: evArrival, model: mi})
 	}
+	return nil
 }
 
 func (s *sim) onCompletion(e *event) {
 	s.freeShard[e.shard] = true
 	s.freeCount++
+	m := s.models[e.model]
 	s.served += len(e.arrivals)
+	m.served += len(e.arrivals)
 	s.lastCompletion = s.now
 	for _, at := range e.arrivals {
 		s.latencies = append(s.latencies, s.now-at)
+		m.latencies = append(m.latencies, s.now-at)
 	}
 }
 
-// tryDispatch applies the micro-batching policy: dispatch when a replica
-// is free and either a full batch is pending or the oldest pending
-// request has lingered MaxLinger; otherwise schedule the linger
-// deadline and wait.
+// tryDispatch applies the per-model micro-batching policy: a model is
+// ready when it holds a full batch or its oldest pending request has
+// lingered MaxLinger; among ready models the oldest head dispatches
+// first, onto the warmest free replica. When nothing is ready, the
+// earliest linger deadline is scheduled.
 func (s *sim) tryDispatch() error {
-	for s.qlen() > 0 && s.freeCount > 0 {
-		head := s.queue[s.qhead]
-		if s.qlen() < s.opts.MaxBatch && s.now < head+s.opts.MaxLinger {
-			if deadline := head + s.opts.MaxLinger; deadline != s.lastLinger {
-				s.push(&event{at: deadline, kind: evLinger})
-				s.lastLinger = deadline
+	for s.depth > 0 && s.freeCount > 0 {
+		best := -1
+		var bestAt time.Duration
+		nextDeadline := time.Duration(-1)
+		for mi, m := range s.models {
+			if m.qlen() == 0 {
+				continue
+			}
+			head := m.at[m.head]
+			if m.qlen() < s.opts.MaxBatch && s.now < head+s.opts.MaxLinger {
+				if dl := head + s.opts.MaxLinger; nextDeadline < 0 || dl < nextDeadline {
+					nextDeadline = dl
+				}
+				continue
+			}
+			if best < 0 || head < bestAt {
+				best, bestAt = mi, head
+			}
+		}
+		if best < 0 {
+			if nextDeadline >= 0 && nextDeadline != s.lastLinger {
+				s.push(&event{at: nextDeadline, kind: evLinger})
+				s.lastLinger = nextDeadline
 			}
 			return nil
 		}
-		n := min(s.qlen(), s.opts.MaxBatch)
-		batch := append([]time.Duration(nil), s.queue[s.qhead:s.qhead+n]...)
+		m := s.models[best]
+		n := min(m.qlen(), s.opts.MaxBatch)
+		batch := append([]time.Duration(nil), m.at[m.head:m.head+n]...)
 		s.syncDepth()
-		s.qhead += n
+		m.head += n
 		s.depth -= n
-		if s.qhead == len(s.queue) {
-			s.queue, s.qhead = s.queue[:0], 0
-		} else if s.qhead > 4096 && s.qhead > len(s.queue)/2 {
-			s.queue = append(s.queue[:0], s.queue[s.qhead:]...)
-			s.qhead = 0
+		if m.head == len(m.at) {
+			m.at, m.head = m.at[:0], 0
+		} else if m.head > 4096 && m.head > len(m.at)/2 {
+			m.at = append(m.at[:0], m.at[m.head:]...)
+			m.head = 0
 		}
-		shard := s.takeShard()
-		st, err := s.backend.ServiceTime(n)
+		shard, warmHit := s.takeShard(best)
+		st, err := s.backend.ServiceTime(m.name, n)
 		if err != nil {
 			return err
 		}
-		s.push(&event{at: s.now + st, kind: evCompletion, shard: shard, arrivals: batch})
+		if !warmHit {
+			rel, err := s.backend.ReloadTime(m.name)
+			if err != nil {
+				return err
+			}
+			st += rel
+		}
+		s.push(&event{at: s.now + st, kind: evCompletion, shard: shard, model: best, arrivals: batch})
 		s.batches++
 		s.batched += n
+		m.batches++
+		if warmHit {
+			s.warm++
+			m.warm++
+		} else {
+			s.cold++
+			m.cold++
+		}
 		u := &s.shardUse[shard]
 		u.Batches++
 		u.Requests += n
 		u.Busy += st
+		if !warmHit {
+			u.Reloads++
+		}
 	}
 	return nil
 }
 
-// takeShard claims the lowest-ordinal free replica — the deterministic
-// analogue of the Server's free-shard channel.
-func (s *sim) takeShard() int {
-	for i, free := range s.freeShard {
-		if free {
-			s.freeShard[i] = false
-			s.freeCount--
-			return i
-		}
+// takeShard claims the best free replica for the model via the same
+// warm-first policy the Server's pool applies (pickShard); a cold claim
+// restages the replica.
+func (s *sim) takeShard(model int) (int, bool) {
+	id, warm := pickShard(s.freeShard, s.staged, model, -1)
+	if id < 0 {
+		panic("serve: takeShard with no free shard")
 	}
-	panic("serve: takeShard with no free shard")
+	s.freeShard[id] = false
+	s.freeCount--
+	if !warm {
+		s.staged[id] = model
+	}
+	return id, warm
 }
 
 func (s *sim) report(backend Backend, load Load) (*LoadReport, error) {
 	r := &LoadReport{
 		Backend:    backend.Name(),
-		Model:      backend.Model().Name(),
+		Model:      modelList(backend),
 		Replicas:   s.opts.Replicas,
 		MaxBatch:   s.opts.MaxBatch,
 		MaxLinger:  s.opts.MaxLinger,
@@ -299,11 +454,27 @@ func (s *sim) report(backend Backend, load Load) (*LoadReport, error) {
 		Rejected:   s.rejected,
 		Batches:    s.batches,
 
+		WarmDispatches: s.warm,
+		ColdDispatches: s.cold,
+
 		MaxQueueDepth: s.maxDepth,
 		PerShard:      s.shardUse,
 	}
 	if s.batches > 0 {
 		r.MeanBatch = float64(s.batched) / float64(s.batches)
+	}
+	perModelLat := make(map[string][]time.Duration, len(s.models))
+	for _, m := range s.models {
+		r.PerModel = append(r.PerModel, ModelUsage{
+			Model:       m.name,
+			Offered:     m.offered,
+			Served:      m.served,
+			Rejected:    m.rejected,
+			Batches:     m.batches,
+			WarmBatches: m.warm,
+			ColdBatches: m.cold,
+		})
+		perModelLat[m.name] = m.latencies
 	}
 	makespan := s.lastCompletion - s.firstArrival
 	r.Makespan = makespan
@@ -311,8 +482,14 @@ func (s *sim) report(backend Backend, load Load) (*LoadReport, error) {
 		r.ThroughputPerSec = float64(s.served) / makespan.Seconds()
 		r.MeanQueueDepth = s.depthInt / float64(makespan)
 	}
-	if err := r.finish(backend, s.latencies, makespan); err != nil {
+	if err := r.finish(backend, s.latencies, perModelLat, makespan); err != nil {
 		return nil, err
 	}
 	return r, nil
+}
+
+// modelList joins the backend's registered model names for the report
+// header.
+func modelList(backend Backend) string {
+	return joinModelNames(backend.Models(), ",")
 }

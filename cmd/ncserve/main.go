@@ -1,12 +1,20 @@
 // Command ncserve load-tests the Neural Cache serving subsystem.
 //
-// The analytic backend (default) replays an open-loop arrival process
-// through the slice-shard scheduler on a deterministic virtual clock —
+// The analytic backend (default) replays a generated arrival process
+// through the replica-group scheduler on a deterministic virtual clock —
 // hundreds of thousands of Inception-scale requests simulate in
-// seconds — and prints a latency histogram and per-slice utilization
+// seconds — and prints a latency histogram and per-group utilization
 // report. The bitexact backend starts the real asynchronous server and
 // drives it with the same load generator in wall-clock time, executing
 // every request bit-accurately on the simulated SRAM arrays.
+//
+// The serving unit is a replica group of -group consecutive LLC slices
+// on one socket (default 1, the paper's §VI-B one-image-per-slice
+// replication; -group must divide -slices). Bigger groups serve each
+// image faster and reload models less often at the cost of replica
+// count; -sweep-groups runs the same load at several group sizes and
+// prints the Table IV-style latency/throughput/reload frontier (as a
+// table, or as a JSON array with -json).
 //
 // Multiple models can be resident at once (-models): each arrival draws
 // its model from the -mix weights, the scheduler dispatches warm-first,
@@ -14,11 +22,19 @@
 // splits dispatches into warm/cold counts and carries per-model latency
 // percentiles.
 //
+// Traffic is open-loop by default (-rate arrivals per second, exposing
+// queueing and rejection); -concurrency N switches to a closed loop of N
+// users that each keep one request in flight (-rate then sets the
+// per-user think rate; 0 = none), exposing latency under admission
+// control.
+//
 // Usage:
 //
 //	ncserve -model inception -rate 2000 -requests 100000
 //	ncserve -models inception,resnet -mix 0.7,0.3 -requests 100000
-//	ncserve -model inception -maxbatch 32 -linger 5ms -json
+//	ncserve -model inception -group 2 -requests 100000
+//	ncserve -model inception -sweep-groups 1,2,7,14 -requests 50000 -json
+//	ncserve -model inception -concurrency 64 -requests 50000
 //	ncserve -backend bitexact -models small,smallresnet -mix 1,1 -requests 16 -rate 500
 //	ncserve -model resnet -slices 24 -replicas 12 -duration 2s -rate 1000
 package main
@@ -42,23 +58,26 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("ncserve: ")
 	var (
-		model    = flag.String("model", "inception", "model: "+strings.Join(neuralcache.ModelNames(), ", "))
-		models   = flag.String("models", "", "comma-separated resident models (overrides -model; first is the default)")
-		mix      = flag.String("mix", "", "comma-separated traffic weights matching -models (default uniform)")
-		backend  = flag.String("backend", "analytic", "backend: analytic (virtual clock) or bitexact (real server)")
-		slices   = flag.Int("slices", 14, "LLC slices (14=35MB, 18=45MB, 24=60MB)")
-		sockets  = flag.Int("sockets", 2, "host sockets")
-		workers  = flag.Int("workers", 0, "functional-engine worker goroutines (bitexact; 0 = GOMAXPROCS)")
-		replicas = flag.Int("replicas", 0, "slice replicas to serve on (0 = slices × sockets)")
-		maxBatch = flag.Int("maxbatch", 16, "dynamic micro-batch size cap")
-		linger   = flag.Duration("linger", 2*time.Millisecond, "max wait for a fuller batch (0 = dispatch immediately)")
-		queue    = flag.Int("queue", 1024, "admission queue depth")
-		rate     = flag.Float64("rate", 0, "open-loop arrival rate per second (0 = 2× replica capacity)")
-		requests = flag.Int("requests", 0, "arrivals to generate (0 = 100000 analytic / 64 bitexact)")
-		duration = flag.Duration("duration", 0, "arrival window, alternative to -requests")
-		poisson  = flag.Bool("poisson", true, "Poisson (exponential) interarrivals; false = uniform spacing")
-		seed     = flag.Int64("seed", 42, "arrival / mix / weight / input seed")
-		jsonOut  = flag.Bool("json", false, "emit the load report as JSON")
+		model       = flag.String("model", "inception", "model: "+strings.Join(neuralcache.ModelNames(), ", "))
+		models      = flag.String("models", "", "comma-separated resident models (overrides -model; first is the default)")
+		mix         = flag.String("mix", "", "comma-separated traffic weights matching -models (default uniform)")
+		backend     = flag.String("backend", "analytic", "backend: analytic (virtual clock) or bitexact (real server)")
+		slices      = flag.Int("slices", 14, "LLC slices (14=35MB, 18=45MB, 24=60MB)")
+		sockets     = flag.Int("sockets", 2, "host sockets")
+		workers     = flag.Int("workers", 0, "functional-engine worker goroutines (bitexact; 0 = GOMAXPROCS)")
+		group       = flag.Int("group", 1, "LLC slices per replica group (must divide -slices)")
+		sweepGroups = flag.String("sweep-groups", "", "comma-separated group sizes to sweep (analytic only; overrides -group)")
+		replicas    = flag.Int("replicas", 0, "replica groups to serve on (0 = slices × sockets / group)")
+		maxBatch    = flag.Int("maxbatch", 16, "dynamic micro-batch size cap")
+		linger      = flag.Duration("linger", 2*time.Millisecond, "max wait for a fuller batch (0 = dispatch immediately)")
+		queue       = flag.Int("queue", 1024, "admission queue depth")
+		rate        = flag.Float64("rate", 0, "open-loop arrival rate per second (0 = 2× group capacity); closed-loop per-user think rate (0 = no think)")
+		concurrency = flag.Int("concurrency", 0, "closed-loop users keeping one request in flight each (0 = open loop)")
+		requests    = flag.Int("requests", 0, "arrivals to generate (0 = 100000 analytic / 64 bitexact)")
+		duration    = flag.Duration("duration", 0, "arrival window, alternative to -requests")
+		poisson     = flag.Bool("poisson", true, "Poisson (exponential) interarrivals/think times; false = uniform spacing")
+		seed        = flag.Int64("seed", 42, "arrival / mix / weight / input seed")
+		jsonOut     = flag.Bool("json", false, "emit the load report (or group sweep) as JSON")
 	)
 	flag.Parse()
 
@@ -66,6 +85,15 @@ func main() {
 	cfg.Slices = *slices
 	cfg.Sockets = *sockets
 	cfg.Workers = *workers
+	if *group < 1 {
+		log.Fatalf("-group %d: need at least one slice per replica group", *group)
+	}
+	if *group != 1 {
+		// Reflect the grouping in the facade config so the echoed
+		// "config" JSON describes the system actually run (1 keeps the
+		// historical schema: GroupSize 0 ≡ 1).
+		cfg.GroupSize = *group
+	}
 	sys, err := neuralcache.New(cfg)
 	if err != nil {
 		log.Fatal(err)
@@ -93,18 +121,53 @@ func main() {
 		QueueDepth: *queue,
 		MaxBatch:   *maxBatch,
 		MaxLinger:  *linger,
+		GroupSize:  *group,
 		Replicas:   *replicas,
 	}
 	if *linger == 0 {
 		opts.MaxLinger = serve.NoLinger
 	}
 	load := serve.Load{
-		Rate:     *rate,
-		Requests: *requests,
-		Duration: *duration,
-		Seed:     *seed,
-		Poisson:  *poisson,
-		Mix:      parseMix(names, *mix),
+		Rate:        *rate,
+		Requests:    *requests,
+		Duration:    *duration,
+		Seed:        *seed,
+		Poisson:     *poisson,
+		Concurrency: *concurrency,
+		Mix:         parseMix(names, *mix),
+	}
+
+	if *sweepGroups != "" {
+		if *backend != "analytic" {
+			log.Fatalf("-sweep-groups needs the analytic backend, not %q", *backend)
+		}
+		if *replicas != 0 {
+			// SweepGroups schedules on every group of each k; a narrowed
+			// replica count would silently describe a different system.
+			log.Fatal("-replicas cannot be combined with -sweep-groups (each point uses all groups of its size)")
+		}
+		be := serve.NewAnalyticBackend(sys, resident[0], resident[1:]...)
+		fillLoad(&load, be, opts, 100_000)
+		points, err := serve.SweepGroups(be, opts, load, parseGroups(*sweepGroups))
+		if err != nil {
+			log.Fatal(err)
+		}
+		if *jsonOut {
+			// The frontier rows only; drop the per-run reports to keep the
+			// sweep JSON a compact, diffable artifact.
+			rows := make([]serve.GroupSweepPoint, len(points))
+			for i, p := range points {
+				rows[i] = p
+				rows[i].Report = nil
+			}
+			emitJSON(struct {
+				Config neuralcache.Config      `json:"config"`
+				Sweep  []serve.GroupSweepPoint `json:"sweep"`
+			}{cfg, rows})
+			return
+		}
+		fmt.Println(serve.SweepTable(points))
+		return
 	}
 
 	var rep *serve.LoadReport
@@ -136,18 +199,35 @@ func main() {
 	}
 
 	if *jsonOut {
-		out := struct {
+		emitJSON(struct {
 			Config neuralcache.Config `json:"config"`
 			*serve.LoadReport
-		}{cfg, rep}
-		enc := json.NewEncoder(os.Stdout)
-		enc.SetIndent("", "  ")
-		if err := enc.Encode(out); err != nil {
-			log.Fatal(err)
-		}
+		}{cfg, rep})
 		return
 	}
 	fmt.Println(rep)
+}
+
+func emitJSON(v any) {
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// parseGroups parses the -sweep-groups list.
+func parseGroups(s string) []int {
+	parts := strings.Split(s, ",")
+	out := make([]int, len(parts))
+	for i, p := range parts {
+		k, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			log.Fatalf("-sweep-groups entry %q: %v", p, err)
+		}
+		out[i] = k
+	}
+	return out
 }
 
 // parseMix builds the traffic mix for the resident models: -mix weights
@@ -179,25 +259,28 @@ func parseMix(names []string, mixFlag string) []serve.ModelShare {
 	return out
 }
 
-// fillLoad defaults the request count and the arrival rate: with no -rate,
-// offer twice the replica capacity of the default model so the report
-// shows the scheduler at its §VI-B throughput bound.
+// fillLoad defaults the request count and the open-loop arrival rate:
+// with no -rate, offer twice the replica-group capacity of the default
+// model so the report shows the scheduler at its §VI-B throughput bound.
+// Closed-loop runs keep a zero rate (no think time).
 func fillLoad(load *serve.Load, be serve.Backend, opts serve.Options, defaultRequests int) {
 	if load.Requests == 0 && load.Duration == 0 {
 		load.Requests = defaultRequests
 	}
-	if load.Rate == 0 {
+	if load.Rate == 0 && load.Concurrency == 0 {
 		maxBatch := opts.MaxBatch
 		if maxBatch <= 0 {
 			maxBatch = 1
 		}
-		st, err := be.ServiceTime("", maxBatch)
+		// -group feeds Config.GroupSize above, so the system's own group
+		// accounting applies (Options.GroupSize 0 defaults to it too).
+		st, err := be.ServiceTime("", maxBatch, be.System().GroupSize())
 		if err != nil {
 			log.Fatal(err)
 		}
 		replicas := opts.Replicas
 		if replicas == 0 {
-			replicas = be.System().Replicas()
+			replicas = be.System().ReplicaGroups()
 		}
 		load.Rate = 2 * float64(replicas*maxBatch) / st.Seconds()
 	}

@@ -64,32 +64,63 @@ func newEstimate(rep *core.Report) *Estimate {
 	return out
 }
 
-// Replicas returns the number of independent slice replicas the system
-// can serve concurrently: Slices × Sockets. The paper's §VI-B throughput
-// model replicates the network across LLC slices with each slice
-// processing one image; package serve schedules requests onto exactly
-// these replicas.
+// Replicas returns the number of single-slice replicas the system holds:
+// Slices × Sockets, the paper's §VI-B one-image-per-slice replication.
+// When slices are grouped (Config.GroupSize > 1) the serving unit is the
+// group, counted by ReplicaGroups; Replicas is kept as the k=1 spelling.
 func (s *System) Replicas() int { return s.cfg.Slices * s.cfg.Sockets }
 
-// EstimateReplica prices a batch of inferences on one slice replica — a
-// single LLC slice of a single socket — with the analytic engine. This is
-// the per-shard service time the serving scheduler (package serve)
-// charges when it dispatches a batch to a free replica: the full-system
-// throughput bound is Replicas()·batch / EstimateReplica latency.
+// GroupSize returns the configured slices per replica group (≥ 1; a zero
+// Config.GroupSize means the paper's single-slice replication).
+func (s *System) GroupSize() int {
+	if s.cfg.GroupSize <= 0 {
+		return 1
+	}
+	return s.cfg.GroupSize
+}
+
+// ReplicaGroups returns the number of independent replica groups the
+// system can serve concurrently: Slices × Sockets / GroupSize. Package
+// serve schedules requests onto exactly these groups; with the default
+// GroupSize of 1 this is Replicas().
+func (s *System) ReplicaGroups() int { return s.cfg.Slices * s.cfg.Sockets / s.GroupSize() }
+
+// EstimateReplica prices a batch of inferences on one replica group —
+// Config.GroupSize consecutive LLC slices of a single socket — with the
+// analytic engine. This is the per-shard service time the serving
+// scheduler (package serve) charges when it dispatches a batch to a free
+// group: the full-system throughput bound is ReplicaGroups()·batch /
+// EstimateReplica latency. Intra-group parallelism shortens service
+// time, so fewer, bigger groups serve each image faster (Table IV's
+// latency/capacity trade-off).
 func (s *System) EstimateReplica(m *Model, batch int) (*Estimate, error) {
-	rep, err := s.replica.Estimate(m.net, batch)
+	return s.EstimateReplicaGroup(m, batch, s.GroupSize())
+}
+
+// EstimateReplicaGroup prices a batch on a k-slice replica group,
+// independent of the configured GroupSize — the hook group-sweep tooling
+// uses to walk the Table IV frontier. k must divide Slices.
+func (s *System) EstimateReplicaGroup(m *Model, batch, k int) (*Estimate, error) {
+	sys, err := s.replicaGroup(k)
+	if err != nil {
+		return nil, err
+	}
+	rep, err := sys.Estimate(m.net, batch)
 	if err != nil {
 		return nil, err
 	}
 	return newEstimate(rep), nil
 }
 
-// ReloadEstimate prices staging a model's filters onto a slice replica
+// ReloadEstimate prices staging a model's filters onto a replica group
 // (§IV-E): the set-strided DRAM stream of the full filter footprint at
 // effective bandwidth plus the transpose-gateway pass that lays the
-// weights out bit-serially. A serving scheduler charges it when a
-// replica switches models; warm dispatches pay nothing beyond the
-// per-layer filter loading already in Estimate.
+// weights out bit-serially. A serving scheduler charges it when a group
+// switches models; warm dispatches pay nothing beyond the per-layer
+// filter loading already in Estimate. One reload warms the whole group —
+// the stream is DRAM-bound, so its cost does not grow with GroupSize,
+// and bigger groups mean fewer groups to stage (fewer reloads under
+// churn).
 type ReloadEstimate struct {
 	Model       string  `json:"model"`
 	FilterBytes int     `json:"filter_bytes"`
@@ -97,11 +128,22 @@ type ReloadEstimate struct {
 	DRAMEnergyJ float64 `json:"dram_energy_j"`
 }
 
-// EstimateReload prices swapping m's weights onto one slice replica —
-// the §IV-E filter DRAM stream a model switch costs. Package serve adds
-// it to the first batch a replica serves after changing models.
+// EstimateReload prices swapping m's weights onto one replica group of
+// Config.GroupSize slices — the §IV-E filter DRAM stream a model switch
+// costs. Package serve adds it to the first batch a group serves after
+// changing models.
 func (s *System) EstimateReload(m *Model) (*ReloadEstimate, error) {
-	rel, err := s.replica.EstimateReload(m.net)
+	return s.EstimateReloadGroup(m, s.GroupSize())
+}
+
+// EstimateReloadGroup prices the model switch onto a k-slice replica
+// group, independent of the configured GroupSize. k must divide Slices.
+func (s *System) EstimateReloadGroup(m *Model, k int) (*ReloadEstimate, error) {
+	sys, err := s.replicaGroup(k)
+	if err != nil {
+		return nil, err
+	}
+	rel, err := sys.EstimateReload(m.net)
 	if err != nil {
 		return nil, err
 	}

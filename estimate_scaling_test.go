@@ -115,6 +115,104 @@ func TestEstimateReplica(t *testing.T) {
 	}
 }
 
+// TestReplicaGroupFacade pins the k-slice generalization of the replica
+// hook: group counts, the latency/capacity trade-off across k, reload
+// invariance in k, and the divisibility contract.
+func TestReplicaGroupFacade(t *testing.T) {
+	sys := scalingSystem(t, 14, 2)
+	if got := sys.GroupSize(); got != 1 {
+		t.Fatalf("default GroupSize() = %d, want 1", got)
+	}
+	if got := sys.ReplicaGroups(); got != 28 {
+		t.Fatalf("default ReplicaGroups() = %d, want 28 (= Replicas)", got)
+	}
+	m := InceptionV3()
+
+	// EstimateReplica at the default group size is EstimateReplicaGroup(1).
+	r1, err := sys.EstimateReplica(m, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g1, err := sys.EstimateReplicaGroup(m, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.LatencySeconds != g1.LatencySeconds {
+		t.Fatalf("EstimateReplica %g != EstimateReplicaGroup(1) %g", r1.LatencySeconds, g1.LatencySeconds)
+	}
+
+	// Intra-group parallelism: per-batch latency strictly falls with k,
+	// but sub-linearly (the DRAM-bound phases do not parallelize), so
+	// aggregate capacity ReplicaGroups(k)/latency(k) falls too.
+	var lastLat, lastCap float64
+	for i, k := range []int{1, 2, 7, 14} {
+		est, err := sys.EstimateReplicaGroup(m, 1, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		groups := 14 * 2 / k
+		capacity := float64(groups) / est.LatencySeconds
+		if i > 0 {
+			if est.LatencySeconds >= lastLat {
+				t.Fatalf("k=%d: group latency %g not below %g", k, est.LatencySeconds, lastLat)
+			}
+			if capacity >= lastCap {
+				t.Fatalf("k=%d: aggregate capacity %g rose above %g; slice parallelism cannot be super-linear",
+					k, capacity, lastCap)
+			}
+		}
+		lastLat, lastCap = est.LatencySeconds, capacity
+	}
+
+	// One reload warms the whole group: the DRAM-bound staging cost is
+	// identical for every k.
+	base, err := sys.EstimateReloadGroup(m, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []int{2, 7, 14} {
+		rel, err := sys.EstimateReloadGroup(m, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rel.Seconds != base.Seconds || rel.FilterBytes != base.FilterBytes {
+			t.Fatalf("k=%d reload %+v differs from k=1 %+v", k, rel, base)
+		}
+	}
+
+	// Divisibility contract.
+	for _, k := range []int{-1, 0, 3, 28} {
+		if _, err := sys.EstimateReplicaGroup(m, 1, k); err == nil {
+			t.Fatalf("EstimateReplicaGroup accepted group size %d over 14 slices", k)
+		}
+	}
+
+	// A system configured with GroupSize prices EstimateReplica on that
+	// group and counts groups accordingly.
+	cfg := DefaultConfig()
+	cfg.GroupSize = 7
+	grouped, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if grouped.GroupSize() != 7 || grouped.ReplicaGroups() != 4 || grouped.Replicas() != 28 {
+		t.Fatalf("grouped system: GroupSize %d ReplicaGroups %d Replicas %d",
+			grouped.GroupSize(), grouped.ReplicaGroups(), grouped.Replicas())
+	}
+	want, err := sys.EstimateReplicaGroup(m, 2, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := grouped.EstimateReplica(m, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.LatencySeconds != want.LatencySeconds {
+		t.Fatalf("configured-group EstimateReplica %g != EstimateReplicaGroup(7) %g",
+			got.LatencySeconds, want.LatencySeconds)
+	}
+}
+
 // TestEstimateReloadFacade pins the §IV-E weight-reload hook the serve
 // scheduler charges on model switches: the full filter footprint
 // streamed at DRAM effective bandwidth lower-bounds it, and it scales

@@ -2,20 +2,23 @@
 // inference service.
 //
 // The paper's throughput headline (§VI-B) replicates the network across
-// LLC slices — each slice processes one image — so serving is slice
-// sharding: requests enter a bounded admission queue, a dynamic
-// micro-batcher groups them per model (amortizing per-layer filter
-// loads, §IV-E), and a scheduler dispatches each batch to a free slice
-// replica, preferring one whose weights are already staged. A replica
-// that switches models pays the modeled §IV-E weight reload — the full
-// filter footprint streamed from DRAM.
+// LLC slices — each slice processes one image — and this serving stack
+// generalizes that unit to replica groups of k slices: requests enter a
+// bounded admission queue, a dynamic micro-batcher groups them per model
+// (amortizing per-layer filter loads, §IV-E), and a scheduler dispatches
+// each batch to a free replica group, preferring one whose weights are
+// already staged. A group that switches models pays the modeled §IV-E
+// weight reload — the full filter footprint streamed from DRAM, warming
+// all k slices at once.
 //
 // Part 1 serves bit-accurate requests for two resident models through
 // the real asynchronous server and shows every output is byte-identical
 // to calling System.Run directly. Part 2 pushes 50,000 simulated
 // Inception+ResNet requests through the same scheduling policy on a
 // deterministic virtual clock and prints the warm/cold dispatch split,
-// per-model latency percentiles and per-slice utilization.
+// per-model latency percentiles and per-group utilization. Part 3 sweeps
+// the group size over the Table IV-style frontier: bigger groups serve
+// each image faster and reload less, at the cost of replica count.
 package main
 
 import (
@@ -36,8 +39,8 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("system: %d slice replicas (%d slices x %d sockets)\n\n",
-		sys.Replicas(), sys.Config().Slices, sys.Config().Sockets)
+	fmt.Printf("system: %d replica groups of %d slice(s) each (%d slices x %d sockets)\n\n",
+		sys.ReplicaGroups(), sys.GroupSize(), sys.Config().Slices, sys.Config().Sockets)
 
 	// --- Part 1: bit-accurate multi-model serving ---------------------
 	small := neuralcache.SmallCNN()
@@ -120,4 +123,20 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Println(rep)
+
+	// --- Part 3: the replica-group frontier (Table IV style) ----------
+	// The same saturating Inception load at four group sizes: as k grows,
+	// groups get faster (intra-group parallelism) and reload less (fewer,
+	// bigger shards), while aggregate throughput tracks the shrinking
+	// group count.
+	fmt.Println()
+	points, err := serve.SweepGroups(
+		serve.NewAnalyticBackend(sys, neuralcache.InceptionV3()),
+		serve.Options{MaxBatch: 16, MaxLinger: time.Millisecond, QueueDepth: 1 << 20},
+		serve.Load{Rate: 2000, Requests: 30_000, Seed: 42, Poisson: true},
+		[]int{1, 2, 7, 14})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(serve.SweepTable(points))
 }

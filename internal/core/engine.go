@@ -68,14 +68,38 @@ func (c Config) WithSlices(n int) Config {
 	return c
 }
 
-// Replica shrinks the configuration to one LLC slice on one socket — the
-// unit of the paper's §VI-B throughput model, where the network is
-// replicated across slices and each slice processes one image. Pricing a
-// batch on the replica configuration yields the service time a serving
-// scheduler charges per slice-shard dispatch.
-func (c Config) Replica() Config {
-	r := c.WithSlices(1)
+// ReplicaGroup shrinks the configuration to a group of k consecutive LLC
+// slices on one socket — the generalized unit of the paper's §VI-B
+// throughput model. k = 1 is the paper's one-image-per-slice replication;
+// larger k trades replica count for per-image latency (Table IV's
+// capacity-scaling axis): the k slices of a group cooperate on one batch,
+// so service time shrinks while the socket holds Slices/k groups. k must
+// be positive and divide the socket's slice count, so groups tile the
+// cache exactly.
+func (c Config) ReplicaGroup(k int) (Config, error) {
+	if k <= 0 {
+		return Config{}, fmt.Errorf("core: replica group of %d slices", k)
+	}
+	if c.Geometry.Slices%k != 0 {
+		return Config{}, fmt.Errorf("core: replica group of %d slices does not divide the %d-slice cache",
+			k, c.Geometry.Slices)
+	}
+	r := c.WithSlices(k)
 	r.Sockets = 1
+	return r, nil
+}
+
+// Replica is ReplicaGroup(1): one LLC slice of one socket, the unit of
+// the paper's literal one-image-per-slice replication. Kept as the
+// compatibility spelling; pricing a batch on the replica configuration
+// yields the service time a serving scheduler charges per shard dispatch.
+func (c Config) Replica() Config {
+	r, err := c.ReplicaGroup(1)
+	if err != nil {
+		// Unreachable for any validated geometry: every positive slice
+		// count is divisible by 1.
+		panic(err)
+	}
 	return r
 }
 

@@ -22,17 +22,22 @@
 // For serving traffic rather than pricing single inferences, package
 // neuralcache/serve turns a System into a long-running inference
 // service: serve.NewServer is an asynchronous server with a bounded
-// admission queue, dynamic per-model micro-batching and a slice-shard
-// scheduler modeling the paper's one-image-per-slice replication
-// (§VI-B), and serve.Simulate load-tests the same scheduling policy on
-// a deterministic virtual clock. Several models can be resident at
-// once: the scheduler tracks which model's weights each replica has
-// staged, dispatches warm-first, and charges the §IV-E filter DRAM
-// stream when a replica switches models. System.Replicas and
-// System.EstimateReplica expose the per-slice service-time model the
-// scheduler prices dispatches with, System.EstimateReload the
-// weight-reload cost of a model switch; cmd/ncserve is the load-testing
-// CLI (-models a,b -mix 0.7,0.3 for mixed traffic).
+// admission queue, dynamic per-model micro-batching and a replica-group
+// scheduler generalizing the paper's one-image-per-slice replication
+// (§VI-B) to groups of Config.GroupSize slices, and serve.Simulate
+// load-tests the same scheduling policy on a deterministic virtual
+// clock (open-loop rates or closed-loop fixed-concurrency populations).
+// Several models can be resident at once: the scheduler tracks which
+// model's weights each group has staged, dispatches warm-first, and
+// charges the §IV-E filter DRAM stream when a group switches models —
+// one reload warms the whole group. System.ReplicaGroups and
+// System.EstimateReplica expose the per-group service-time model the
+// scheduler prices dispatches with (System.EstimateReplicaGroup for an
+// explicit k), System.EstimateReload the weight-reload cost of a model
+// switch; serve.SweepGroups walks the Table IV-style group-size
+// frontier. cmd/ncserve is the load-testing CLI (-models a,b -mix
+// 0.7,0.3 for mixed traffic, -group k / -sweep-groups 1,2,7 for group
+// sizing, -concurrency N for closed-loop load).
 //
 // Bit-accurate runs execute a layer's independent work groups in parallel
 // on a worker pool sized by Config.Workers (default GOMAXPROCS),
@@ -61,6 +66,7 @@ package neuralcache
 
 import (
 	"fmt"
+	"sync"
 
 	"neuralcache/internal/core"
 	"neuralcache/internal/geometry"
@@ -79,6 +85,14 @@ type Config struct {
 	// 1 forces sequential execution. Results are bit-identical for every
 	// worker count.
 	Workers int `json:"workers"`
+	// GroupSize is the number of consecutive LLC slices forming one
+	// serving replica group — the unit System.EstimateReplica and
+	// System.EstimateReload price and package serve schedules on. 0 or 1
+	// is the paper's one-image-per-slice replication (§VI-B); larger
+	// values trade replica count (System.ReplicaGroups = Slices × Sockets
+	// / GroupSize) for per-image latency, Table IV style. Must divide
+	// Slices.
+	GroupSize int `json:"group_size,omitempty"`
 	// BankLatch enables the 64-bit per-bank input latch (§IV-C); disable
 	// for the ablation.
 	BankLatch bool `json:"bank_latch"`
@@ -98,9 +112,16 @@ func DefaultConfig() Config {
 
 // System is a configured Neural Cache.
 type System struct {
-	cfg     Config
-	core    *core.System
-	replica *core.System // one slice of one socket: the §VI-B throughput unit
+	cfg  Config
+	core *core.System
+
+	// groups caches the shrunken k-slice replica-group engines
+	// (core.Config.ReplicaGroup); the configured GroupSize is built
+	// eagerly in New, other divisors lazily on first use.
+	groups struct {
+		sync.Mutex
+		byK map[int]*core.System
+	}
 }
 
 // New builds a system.
@@ -114,6 +135,12 @@ func New(cfg Config) (*System, error) {
 	if cfg.Workers < 0 {
 		return nil, fmt.Errorf("neuralcache: negative worker count %d", cfg.Workers)
 	}
+	if cfg.GroupSize < 0 {
+		return nil, fmt.Errorf("neuralcache: negative replica group size %d", cfg.GroupSize)
+	}
+	if k := cfg.GroupSize; k > 1 && cfg.Slices%k != 0 {
+		return nil, fmt.Errorf("neuralcache: replica group size %d does not divide %d slices", k, cfg.Slices)
+	}
 	cc := core.DefaultConfig().WithSlices(cfg.Slices)
 	cc.Sockets = cfg.Sockets
 	cc.Workers = cfg.Workers
@@ -124,11 +151,32 @@ func New(cfg Config) (*System, error) {
 	if err != nil {
 		return nil, err
 	}
-	rep, err := core.New(cc.Replica())
+	s := &System{cfg: cfg, core: sys}
+	s.groups.byK = make(map[int]*core.System)
+	if _, err := s.replicaGroup(s.GroupSize()); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// replicaGroup returns (building and caching on first use) the k-slice
+// single-socket engine that prices replica-group dispatches.
+func (s *System) replicaGroup(k int) (*core.System, error) {
+	s.groups.Lock()
+	defer s.groups.Unlock()
+	if sys, ok := s.groups.byK[k]; ok {
+		return sys, nil
+	}
+	gc, err := s.core.Config().ReplicaGroup(k)
 	if err != nil {
 		return nil, err
 	}
-	return &System{cfg: cfg, core: sys, replica: rep}, nil
+	sys, err := core.New(gc)
+	if err != nil {
+		return nil, err
+	}
+	s.groups.byK[k] = sys
+	return sys, nil
 }
 
 // Config returns the facade configuration.

@@ -10,11 +10,11 @@ import (
 )
 
 // Backend is one way of servicing a batch of inference requests on a
-// slice replica. A backend registers one or more models; every batch is
-// homogeneous in model, and the scheduler charges ReloadTime when a
-// replica's staged model changes (§IV-E filter streaming).
-// Implementations must be safe for concurrent use: the server invokes
-// Execute from one goroutine per busy replica.
+// replica group of k LLC slices. A backend registers one or more models;
+// every batch is homogeneous in model, and the scheduler charges
+// ReloadTime when a group's staged model changes (§IV-E filter
+// streaming). Implementations must be safe for concurrent use: the
+// server invokes Execute from one goroutine per busy group.
 type Backend interface {
 	// Name identifies the backend in reports ("bitexact", "analytic").
 	Name() string
@@ -30,26 +30,30 @@ type Backend interface {
 	// The server rejects nil-input submissions to a backend that needs
 	// them at admission time.
 	RequiresInput() bool
-	// ServiceTime returns the modeled wall-clock one slice replica is
-	// occupied serving a warm batch of n requests of the named model. It
-	// must be deterministic: the same (model, n) always yields the same
-	// duration.
-	ServiceTime(model string, n int) (time.Duration, error)
-	// ReloadTime returns the §IV-E weight-staging cost a replica pays
-	// before its first batch of the named model after serving a
-	// different one (or nothing). Deterministic per model.
-	ReloadTime(model string) (time.Duration, error)
+	// ServiceTime returns the modeled wall-clock a replica group of
+	// groupSize slices is occupied serving a warm batch of n requests of
+	// the named model. It must be deterministic: the same (model, n,
+	// groupSize) always yields the same duration, and implementations
+	// pre-price per key so repeated dispatches cost a map hit.
+	ServiceTime(model string, n, groupSize int) (time.Duration, error)
+	// ReloadTime returns the §IV-E weight-staging cost a groupSize-slice
+	// group pays before its first batch of the named model after serving
+	// a different one (or nothing). One reload warms the whole group.
+	// Deterministic per (model, groupSize).
+	ReloadTime(model string, groupSize int) (time.Duration, error)
 	// Execute produces one result per input for a batch of the named
-	// model. cold reports that the replica just switched to this model,
-	// so the execution should also pay ReloadTime. The analytic backend
-	// returns nil results (it models time, not values).
-	Execute(ctx context.Context, model string, inputs []*neuralcache.Tensor, cold bool) ([]*neuralcache.InferenceResult, error)
+	// model on a replica group of groupSize slices. cold reports that
+	// the group just switched to this model, so the execution should
+	// also pay ReloadTime. The analytic backend returns nil results (it
+	// models time, not values).
+	Execute(ctx context.Context, model string, inputs []*neuralcache.Tensor, cold bool, groupSize int) ([]*neuralcache.InferenceResult, error)
 }
 
 // serviceClock holds the model registry and prices batch service and
-// reload times via System.EstimateReplica / System.EstimateReload,
-// memoizing per (model, batch size), so a load run costs one analytic
-// estimate per distinct key rather than one per dispatch.
+// reload times via System.EstimateReplicaGroup /
+// System.EstimateReloadGroup, memoizing per (model, batch size, group
+// size), so a load run costs one analytic estimate per distinct key
+// rather than one per dispatch.
 type serviceClock struct {
 	sys    *neuralcache.System
 	models []*neuralcache.Model
@@ -57,12 +61,18 @@ type serviceClock struct {
 
 	mu      sync.Mutex
 	svc     map[svcKey]time.Duration
-	reloads map[string]time.Duration
+	reloads map[reloadKey]time.Duration
 }
 
 type svcKey struct {
 	model string
 	n     int
+	group int
+}
+
+type reloadKey struct {
+	model string
+	group int
 }
 
 func newServiceClock(sys *neuralcache.System, first *neuralcache.Model, more []*neuralcache.Model) *serviceClock {
@@ -70,7 +80,7 @@ func newServiceClock(sys *neuralcache.System, first *neuralcache.Model, more []*
 		sys:     sys,
 		byName:  make(map[string]*neuralcache.Model),
 		svc:     make(map[svcKey]time.Duration),
-		reloads: make(map[string]time.Duration),
+		reloads: make(map[reloadKey]time.Duration),
 	}
 	for _, m := range append([]*neuralcache.Model{first}, more...) {
 		if m == nil {
@@ -103,7 +113,7 @@ func (c *serviceClock) Lookup(name string) (*neuralcache.Model, error) {
 
 func (c *serviceClock) System() *neuralcache.System { return c.sys }
 
-func (c *serviceClock) ServiceTime(model string, n int) (time.Duration, error) {
+func (c *serviceClock) ServiceTime(model string, n, groupSize int) (time.Duration, error) {
 	if n <= 0 {
 		return 0, fmt.Errorf("serve: service time for batch of %d", n)
 	}
@@ -111,13 +121,13 @@ func (c *serviceClock) ServiceTime(model string, n int) (time.Duration, error) {
 	if err != nil {
 		return 0, err
 	}
-	key := svcKey{model: m.Name(), n: n}
+	key := svcKey{model: m.Name(), n: n, group: groupSize}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if d, ok := c.svc[key]; ok {
 		return d, nil
 	}
-	est, err := c.sys.EstimateReplica(m, n)
+	est, err := c.sys.EstimateReplicaGroup(m, n, groupSize)
 	if err != nil {
 		return 0, err
 	}
@@ -129,17 +139,18 @@ func (c *serviceClock) ServiceTime(model string, n int) (time.Duration, error) {
 	return d, nil
 }
 
-func (c *serviceClock) ReloadTime(model string) (time.Duration, error) {
+func (c *serviceClock) ReloadTime(model string, groupSize int) (time.Duration, error) {
 	m, err := c.Lookup(model)
 	if err != nil {
 		return 0, err
 	}
+	key := reloadKey{model: m.Name(), group: groupSize}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if d, ok := c.reloads[m.Name()]; ok {
+	if d, ok := c.reloads[key]; ok {
 		return d, nil
 	}
-	rel, err := c.sys.EstimateReload(m)
+	rel, err := c.sys.EstimateReloadGroup(m, groupSize)
 	if err != nil {
 		return 0, err
 	}
@@ -147,7 +158,7 @@ func (c *serviceClock) ReloadTime(model string) (time.Duration, error) {
 	if d < 0 {
 		d = 0
 	}
-	c.reloads[m.Name()] = d
+	c.reloads[key] = d
 	return d, nil
 }
 
@@ -180,11 +191,11 @@ func (b *BitExactBackend) RequiresInput() bool { return true }
 // are executed sequentially within the batch (each Run already
 // parallelizes a layer's work groups across Config.Workers goroutines);
 // a per-input failure fails the whole batch, mirroring the hardware
-// where a replica's batch shares one staged weight set. cold does not
-// change the outputs — reload is a time cost, and System.Run stages
-// weights afresh each call — so served bytes stay identical to direct
-// Run either way.
-func (b *BitExactBackend) Execute(ctx context.Context, model string, inputs []*neuralcache.Tensor, cold bool) ([]*neuralcache.InferenceResult, error) {
+// where a replica group's batch shares one staged weight set. Neither
+// cold nor groupSize changes the outputs — reload is a time cost,
+// grouping is a placement choice, and System.Run stages weights afresh
+// each call — so served bytes stay identical to direct Run either way.
+func (b *BitExactBackend) Execute(ctx context.Context, model string, inputs []*neuralcache.Tensor, cold bool, groupSize int) ([]*neuralcache.InferenceResult, error) {
 	m, err := b.Lookup(model)
 	if err != nil {
 		return nil, err
@@ -207,11 +218,11 @@ func (b *BitExactBackend) Execute(ctx context.Context, model string, inputs []*n
 }
 
 // AnalyticBackend services requests on modeled time only: Execute
-// returns nil results after pacing the caller by the replica service
-// time (plus the reload time on cold dispatches), so a real Server
-// running this backend emulates Inception-scale occupancy in wall-clock
-// time, while Simulate charges the same service time on its virtual
-// clock without sleeping at all.
+// returns nil results after pacing the caller by the replica-group
+// service time (plus the reload time on cold dispatches), so a real
+// Server running this backend emulates Inception-scale occupancy in
+// wall-clock time, while Simulate charges the same service time on its
+// virtual clock without sleeping at all.
 type AnalyticBackend struct {
 	*serviceClock
 }
@@ -231,16 +242,16 @@ func (b *AnalyticBackend) Name() string { return "analytic" }
 // requests may be input-less.
 func (b *AnalyticBackend) RequiresInput() bool { return false }
 
-// Execute sleeps for the batch's modeled service time — plus the §IV-E
-// weight-reload time when cold — and returns nil results. The sleep is
-// interruptible by ctx.
-func (b *AnalyticBackend) Execute(ctx context.Context, model string, inputs []*neuralcache.Tensor, cold bool) ([]*neuralcache.InferenceResult, error) {
-	d, err := b.ServiceTime(model, len(inputs))
+// Execute sleeps for the batch's modeled service time on a
+// groupSize-slice replica group — plus the §IV-E weight-reload time when
+// cold — and returns nil results. The sleep is interruptible by ctx.
+func (b *AnalyticBackend) Execute(ctx context.Context, model string, inputs []*neuralcache.Tensor, cold bool, groupSize int) ([]*neuralcache.InferenceResult, error) {
+	d, err := b.ServiceTime(model, len(inputs), groupSize)
 	if err != nil {
 		return nil, err
 	}
 	if cold {
-		rel, err := b.ReloadTime(model)
+		rel, err := b.ReloadTime(model, groupSize)
 		if err != nil {
 			return nil, err
 		}

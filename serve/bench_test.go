@@ -16,7 +16,7 @@ func BenchmarkServeSimulate(b *testing.B) {
 	m := neuralcache.InceptionV3()
 	backend := NewAnalyticBackend(sys, m)
 	opts := Options{MaxBatch: 16, MaxLinger: time.Millisecond, QueueDepth: 1 << 20}
-	st, err := backend.ServiceTime("", opts.MaxBatch)
+	st, err := backend.ServiceTime("", opts.MaxBatch, 1)
 	if err != nil {
 		b.Fatal(err)
 	}

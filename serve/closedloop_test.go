@@ -1,0 +1,215 @@
+package serve
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"neuralcache"
+)
+
+// TestSimulateClosedLoopBasics: a closed loop of K users admits exactly
+// the request budget, rejects nothing (admission control is the
+// population cap), never queues more than K requests, and is
+// deterministic run over run.
+func TestSimulateClosedLoopBasics(t *testing.T) {
+	sys := newSystem(t, 0)
+	m := neuralcache.InceptionV3()
+	backend := NewAnalyticBackend(sys, m)
+	opts := Options{MaxBatch: 8, MaxLinger: time.Millisecond, QueueDepth: 256}
+	load := Load{Concurrency: 32, Requests: 5_000, Seed: 5, Poisson: true}
+
+	rep, err := Simulate(backend, opts, load)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Offered != load.Requests || rep.Served != load.Requests {
+		t.Fatalf("offered %d served %d, want %d each", rep.Offered, rep.Served, load.Requests)
+	}
+	if rep.Rejected != 0 {
+		t.Fatalf("closed loop rejected %d requests", rep.Rejected)
+	}
+	if rep.Concurrency != load.Concurrency {
+		t.Fatalf("report concurrency %d, want %d", rep.Concurrency, load.Concurrency)
+	}
+	// At most K requests can ever be admitted-undispatched.
+	if rep.MaxQueueDepth > load.Concurrency {
+		t.Fatalf("queue depth reached %d with %d users", rep.MaxQueueDepth, load.Concurrency)
+	}
+	if rep.MaxQueueDepth == 0 || rep.P99 <= 0 || rep.ThroughputPerSec <= 0 {
+		t.Fatalf("degenerate closed-loop run: %+v", rep)
+	}
+	again, err := Simulate(backend, opts, load)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rep, again) {
+		t.Fatal("closed-loop Simulate is not deterministic")
+	}
+}
+
+// TestSimulateClosedLoopLatencyUnderAdmissionControl is the point of the
+// closed loop: with the population capped, queueing delay is bounded by
+// the population, so p99 stays a small multiple of the batch service
+// time — while the same backend under open-loop saturation backs up to
+// its queue-depth-bound latency.
+func TestSimulateClosedLoopLatencyUnderAdmissionControl(t *testing.T) {
+	sys := newSystem(t, 0)
+	m := neuralcache.InceptionV3()
+	backend := NewAnalyticBackend(sys, m)
+	opts := Options{MaxBatch: 8, MaxLinger: time.Millisecond, QueueDepth: 1 << 16}
+	st, err := backend.ServiceTime("", opts.MaxBatch, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	closed, err := Simulate(backend, opts,
+		Load{Concurrency: 64, Requests: 10_000, Seed: 5, Poisson: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	capacity := float64(sys.Replicas()*opts.MaxBatch) / st.Seconds()
+	open, err := Simulate(backend, opts,
+		Load{Rate: 2 * capacity, Requests: 10_000, Seed: 5, Poisson: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 64 in-flight requests over 28 replicas: every request waits at most
+	// a couple of service quanta, far below the open-loop backlog.
+	if closed.P99 >= open.P99 {
+		t.Fatalf("closed-loop p99 %v not below open-loop saturation p99 %v", closed.P99, open.P99)
+	}
+	if closed.P99 > 4*st {
+		t.Fatalf("closed-loop p99 %v exceeds 4 service times (%v) with a capped population", closed.P99, 4*st)
+	}
+	if closed.MeanQueueDepth > 64 {
+		t.Fatalf("closed-loop mean queue depth %.1f exceeds the population", closed.MeanQueueDepth)
+	}
+}
+
+// TestSimulateClosedLoopThinkTime: a think rate throttles the population
+// (lower throughput, emptier queue) relative to think-free resubmission,
+// and think-time draws respect the seed.
+func TestSimulateClosedLoopThinkTime(t *testing.T) {
+	sys := newSystem(t, 0)
+	m := neuralcache.InceptionV3()
+	backend := NewAnalyticBackend(sys, m)
+	opts := Options{MaxBatch: 8, MaxLinger: time.Millisecond, QueueDepth: 256}
+	noThink, err := Simulate(backend, opts,
+		Load{Concurrency: 16, Requests: 2_000, Seed: 5, Poisson: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each user thinks ~10 batch-service-times between requests.
+	st, err := backend.ServiceTime("", opts.MaxBatch, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	think, err := Simulate(backend, opts,
+		Load{Concurrency: 16, Requests: 2_000, Seed: 5, Poisson: true, Rate: 0.1 / st.Seconds()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if think.ThroughputPerSec >= noThink.ThroughputPerSec {
+		t.Fatalf("thinking users served %.1f/s, not below think-free %.1f/s",
+			think.ThroughputPerSec, noThink.ThroughputPerSec)
+	}
+	if think.Makespan <= noThink.Makespan {
+		t.Fatalf("thinking population finished in %v, not above think-free %v",
+			think.Makespan, noThink.Makespan)
+	}
+	otherSeed, err := Simulate(backend, opts,
+		Load{Concurrency: 16, Requests: 2_000, Seed: 6, Poisson: true, Rate: 0.1 / st.Seconds()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(think, otherSeed) {
+		t.Fatal("closed-loop think times ignore the seed")
+	}
+}
+
+// TestSimulateClosedLoopMix: mixed-model closed-loop traffic reaches
+// both models and keeps per-model accounting consistent.
+func TestSimulateClosedLoopMix(t *testing.T) {
+	sys := newSystem(t, 0)
+	backend := NewAnalyticBackend(sys, neuralcache.InceptionV3(), neuralcache.ResNet18())
+	rep, err := Simulate(backend, Options{MaxBatch: 8, MaxLinger: time.Millisecond, QueueDepth: 256},
+		Load{Concurrency: 32, Requests: 5_000, Seed: 9, Poisson: true,
+			Mix: []ModelShare{{Model: "inception_v3", Weight: 0.7}, {Model: "resnet_18", Weight: 0.3}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.PerModel) != 2 {
+		t.Fatalf("per-model rows %d", len(rep.PerModel))
+	}
+	servedSum := 0
+	for _, mu := range rep.PerModel {
+		if mu.Offered == 0 {
+			t.Fatalf("model %s starved by the closed-loop mix", mu.Model)
+		}
+		servedSum += mu.Served
+	}
+	if servedSum != rep.Served || rep.Served != 5_000 {
+		t.Fatalf("per-model served %d, total %d", servedSum, rep.Served)
+	}
+}
+
+// TestClosedLoopValidation: bad closed-loop parameters fail fast.
+func TestClosedLoopValidation(t *testing.T) {
+	sys := newSystem(t, 1)
+	backend := NewAnalyticBackend(sys, neuralcache.InceptionV3())
+	if _, err := Simulate(backend, Options{}, Load{Concurrency: -1, Requests: 1}); err == nil {
+		t.Fatal("negative concurrency accepted")
+	}
+	if _, err := Simulate(backend, Options{}, Load{Concurrency: 4, Rate: -1, Requests: 1}); err == nil {
+		t.Fatal("negative think rate accepted")
+	}
+	if _, err := Simulate(backend, Options{}, Load{Concurrency: 4}); err == nil {
+		t.Fatal("closed loop without Requests or Duration accepted")
+	}
+	// The population must fit the admission queue, or users could be
+	// rejected mid-loop.
+	if _, err := Simulate(backend, Options{QueueDepth: 16}, Load{Concurrency: 17, Requests: 100}); err == nil {
+		t.Fatal("Simulate accepted concurrency above queue depth")
+	}
+	srv, err := NewServer(backend, Options{QueueDepth: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	if _, err := LoadTest(srv, Load{Concurrency: 17, Requests: 100}, nil); err == nil {
+		t.Fatal("LoadTest accepted concurrency above queue depth")
+	}
+}
+
+// TestLoadTestClosedLoopWallClock drives the real server with a
+// fixed-concurrency population: everything offered is served, nothing
+// rejected, and the report carries the closed-loop marker.
+func TestLoadTestClosedLoopWallClock(t *testing.T) {
+	sys := newSystem(t, 0)
+	m := neuralcache.SmallCNN()
+	srv, err := NewServer(NewAnalyticBackend(sys, m),
+		Options{MaxBatch: 8, MaxLinger: 200 * time.Microsecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	rep, err := LoadTest(srv, Load{Concurrency: 8, Requests: 200, Seed: 5, Poisson: true}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Offered != 200 || rep.Served != 200 || rep.Rejected != 0 {
+		t.Fatalf("offered %d served %d rejected %d, want 200/200/0", rep.Offered, rep.Served, rep.Rejected)
+	}
+	if rep.Concurrency != 8 {
+		t.Fatalf("report concurrency %d", rep.Concurrency)
+	}
+	if rep.Virtual {
+		t.Fatal("LoadTest report marked virtual")
+	}
+	if rep.Makespan <= 0 || rep.ThroughputPerSec <= 0 {
+		t.Fatalf("degenerate closed-loop wall-clock run: makespan %v", rep.Makespan)
+	}
+	if rep.MaxQueueDepth > 8 {
+		t.Fatalf("queue high-water %d with 8 users", rep.MaxQueueDepth)
+	}
+}

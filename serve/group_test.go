@@ -1,0 +1,433 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"neuralcache"
+)
+
+// groupSystem builds a system with an explicit facade-level group size.
+func groupSystem(t testing.TB, groupSize int) *neuralcache.System {
+	t.Helper()
+	cfg := neuralcache.DefaultConfig()
+	cfg.GroupSize = groupSize
+	sys, err := neuralcache.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+// TestSimulateK1GoldenByteIdentical locks the refactor's compatibility
+// contract: with single-slice groups (the default), Simulate must
+// produce a LoadReport whose JSON is byte-identical to the one the
+// pre-group-refactor code emitted (testdata/golden_sim_k1_*.json,
+// captured from the seed implementation).
+func TestSimulateK1GoldenByteIdentical(t *testing.T) {
+	sys := newSystem(t, 0)
+	cases := []struct {
+		golden  string
+		backend *AnalyticBackend
+		load    Load
+	}{
+		{
+			golden:  "golden_sim_k1_single.json",
+			backend: NewAnalyticBackend(sys, neuralcache.InceptionV3()),
+			load:    Load{Rate: 5000, Requests: 20000, Seed: 7, Poisson: true},
+		},
+		{
+			golden:  "golden_sim_k1_mix.json",
+			backend: NewAnalyticBackend(sys, neuralcache.InceptionV3(), neuralcache.ResNet18()),
+			load: Load{Rate: 4000, Requests: 20000, Seed: 7, Poisson: true,
+				Mix: []ModelShare{{Model: "inception_v3", Weight: 0.7}, {Model: "resnet_18", Weight: 0.3}}},
+		},
+	}
+	for _, tc := range cases {
+		rep, err := Simulate(tc.backend,
+			Options{MaxBatch: 8, MaxLinger: 500 * time.Microsecond, QueueDepth: 4096}, tc.load)
+		if err != nil {
+			t.Fatal(err)
+		}
+		blob, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		blob = append(blob, '\n')
+		want, err := os.ReadFile(filepath.Join("testdata", tc.golden))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(blob, want) {
+			t.Errorf("%s: k=1 LoadReport JSON diverged from the pre-refactor golden", tc.golden)
+		}
+		// An explicit GroupSize of 1 must behave like the default.
+		rep1, err := Simulate(tc.backend,
+			Options{MaxBatch: 8, MaxLinger: 500 * time.Microsecond, QueueDepth: 4096, GroupSize: 1}, tc.load)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(rep, rep1) {
+			t.Errorf("%s: explicit GroupSize=1 differs from default", tc.golden)
+		}
+	}
+}
+
+// TestSimulateGroupThroughputBound: for k ∈ {1, 2, 7}, saturated
+// throughput must converge to the analytic replica-group bound —
+// ReplicaGroups(k) × MaxBatch / EstimateReplicaGroup(k) latency — within
+// 5%, and the report's capacity must equal that bound exactly.
+func TestSimulateGroupThroughputBound(t *testing.T) {
+	sys := newSystem(t, 0)
+	m := neuralcache.InceptionV3()
+	backend := NewAnalyticBackend(sys, m)
+	for _, k := range []int{1, 2, 7} {
+		opts := Options{MaxBatch: 16, MaxLinger: time.Millisecond, QueueDepth: 1 << 20, GroupSize: k}
+		est, err := sys.EstimateReplicaGroup(m, opts.MaxBatch, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The backend's clock is the facade estimate rounded to whole
+		// nanoseconds; build the bound from the clock so the capacity
+		// comparison below is exact.
+		st, err := backend.ServiceTime("", opts.MaxBatch, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if diff := st.Seconds() - est.LatencySeconds; diff > 1e-9 || diff < -1e-9 {
+			t.Fatalf("k=%d: ServiceTime %v vs EstimateReplicaGroup %gs", k, st, est.LatencySeconds)
+		}
+		groups := sys.Replicas() / k
+		bound := float64(groups*opts.MaxBatch) / st.Seconds()
+		rep, err := Simulate(backend, opts,
+			Load{Rate: 2 * bound, Requests: 50_000, Seed: 42, Poisson: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Replicas != groups {
+			t.Fatalf("k=%d: scheduled %d groups, want %d", k, rep.Replicas, groups)
+		}
+		if rel := (rep.ThroughputPerSec - bound) / bound; rel > 0.01 || rel < -0.05 {
+			t.Fatalf("k=%d: throughput %.1f/s vs group bound %.1f/s: off by %.2f%%",
+				k, rep.ThroughputPerSec, bound, rel*100)
+		}
+		if rep.CapacityPerSec != bound {
+			t.Fatalf("k=%d: reported capacity %.3f, want %.3f", k, rep.CapacityPerSec, bound)
+		}
+		if got := rep.groupSize(); got != k {
+			t.Fatalf("k=%d: report group size %d", k, got)
+		}
+		// Every group shard carried traffic and is named by its slice run.
+		for i, u := range rep.PerShard {
+			if u.Requests == 0 {
+				t.Fatalf("k=%d: group %s served nothing under saturation", k, u.Shard)
+			}
+			want := shardFor(i, sys.Config().Slices, k)
+			if u.Shard != want {
+				t.Fatalf("k=%d: shard %d is %+v, want %+v", k, i, u.Shard, want)
+			}
+		}
+	}
+}
+
+// TestGroupServiceAndReloadScaling pins the two levers the group knob
+// pulls: intra-group parallelism shortens per-batch service time
+// strictly as k grows, while the DRAM-bound reload cost stays flat — one
+// reload warms the whole group.
+func TestGroupServiceAndReloadScaling(t *testing.T) {
+	sys := newSystem(t, 0)
+	m := neuralcache.InceptionV3()
+	backend := NewAnalyticBackend(sys, m)
+	var lastSvc time.Duration
+	var reload time.Duration
+	for i, k := range []int{1, 2, 7, 14} {
+		svc, err := backend.ServiceTime("", 16, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rel, err := backend.ReloadTime("", k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			reload = rel
+		} else {
+			if svc >= lastSvc {
+				t.Fatalf("k=%d: batch service %v not below k=%d's %v", k, svc, []int{1, 2, 7, 14}[i-1], lastSvc)
+			}
+			if rel != reload {
+				t.Fatalf("k=%d: reload %v changed from %v; the filter stream is DRAM-bound", k, rel, reload)
+			}
+		}
+		lastSvc = svc
+	}
+}
+
+// TestGroupColdDispatchesMonotone: under two-model churn at moderate
+// load, bigger groups mean fewer shards for each model to stage and less
+// concurrent overlap per model, so cold dispatches fall monotonically in
+// k. The regime matters: the groups must still outnumber the two models'
+// working sets (k=14 leaves two groups for two models and overlap
+// ping-pongs weights instead — the frontier's far edge, not tested
+// here), and batches must coalesce so overlap tracks service time.
+func TestGroupColdDispatchesMonotone(t *testing.T) {
+	sys := newSystem(t, 0)
+	backend := NewAnalyticBackend(sys, neuralcache.InceptionV3(), neuralcache.ResNet18())
+	load := Load{Rate: 400, Requests: 20_000, Seed: 11, Poisson: true,
+		Mix: []ModelShare{{Model: "inception_v3", Weight: 1}, {Model: "resnet_18", Weight: 1}}}
+	lastCold := -1
+	for _, k := range []int{1, 2, 7} {
+		rep, err := Simulate(backend,
+			Options{MaxBatch: 16, MaxLinger: 20 * time.Millisecond, QueueDepth: 1 << 20, GroupSize: k}, load)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.ColdDispatches == 0 {
+			t.Fatalf("k=%d: two-model churn produced no cold dispatches", k)
+		}
+		if lastCold >= 0 && rep.ColdDispatches >= lastCold {
+			t.Fatalf("k=%d: %d cold dispatches, not below smaller-group %d — grouping must cut reloads",
+				k, rep.ColdDispatches, lastCold)
+		}
+		lastCold = rep.ColdDispatches
+		reloads := 0
+		for _, u := range rep.PerShard {
+			reloads += u.Reloads
+		}
+		if reloads != rep.ColdDispatches {
+			t.Fatalf("k=%d: per-shard reloads %d != cold dispatches %d", k, reloads, rep.ColdDispatches)
+		}
+	}
+}
+
+// TestGroupSizeErrors covers the k-does-not-divide-Slices error paths at
+// every layer: facade construction, per-call estimates, server options
+// and the simulator.
+func TestGroupSizeErrors(t *testing.T) {
+	// Facade: Config.GroupSize must divide Slices.
+	cfg := neuralcache.DefaultConfig() // 14 slices
+	cfg.GroupSize = 3
+	if _, err := neuralcache.New(cfg); err == nil {
+		t.Fatal("New accepted group size 3 over 14 slices")
+	}
+	cfg.GroupSize = -1
+	if _, err := neuralcache.New(cfg); err == nil {
+		t.Fatal("New accepted a negative group size")
+	}
+
+	sys := newSystem(t, 1)
+	m := neuralcache.InceptionV3()
+	if _, err := sys.EstimateReplicaGroup(m, 1, 3); err == nil {
+		t.Fatal("EstimateReplicaGroup accepted a non-divisor group size")
+	}
+	if _, err := sys.EstimateReloadGroup(m, 0); err == nil {
+		t.Fatal("EstimateReloadGroup accepted group size 0")
+	}
+
+	backend := NewAnalyticBackend(sys, m)
+	for _, o := range []Options{
+		{GroupSize: 3},
+		{GroupSize: -2},
+		{GroupSize: 28},               // exceeds the 14 slices of one socket
+		{GroupSize: 7, Replicas: 5},   // only 4 seven-slice groups exist
+		{GroupSize: 14, Replicas: 28}, // replicas counted in groups, not slices
+	} {
+		if _, err := Simulate(backend, o, Load{Rate: 1, Requests: 1}); err == nil {
+			t.Fatalf("Simulate accepted %+v", o)
+		}
+		if _, err := NewServer(backend, o); err == nil {
+			t.Fatalf("NewServer accepted %+v", o)
+		}
+	}
+	if _, err := SweepGroups(backend, Options{}, Load{Rate: 1, Requests: 1}, nil); err == nil {
+		t.Fatal("SweepGroups accepted an empty sweep")
+	}
+	if _, err := SweepGroups(backend, Options{}, Load{Rate: 1, Requests: 1}, []int{1, 1}); err == nil {
+		t.Fatal("SweepGroups accepted a repeated group size")
+	}
+	if _, err := SweepGroups(backend, Options{}, Load{Rate: 1, Requests: 1}, []int{5}); err == nil {
+		t.Fatal("SweepGroups accepted a non-divisor group size")
+	}
+}
+
+// TestShardForGroups pins the group-shard naming: groups tile each
+// socket's slices in k-sized runs, single-slice shards keep the
+// historical zero-Width schema, and String renders the slice span.
+func TestShardForGroups(t *testing.T) {
+	if got := shardFor(3, 14, 1); got != (Shard{Socket: 0, Slice: 3}) {
+		t.Fatalf("k=1 ordinal 3: %+v", got)
+	}
+	if got := shardFor(15, 14, 1); got != (Shard{Socket: 1, Slice: 1}) {
+		t.Fatalf("k=1 ordinal 15: %+v", got)
+	}
+	if got := shardFor(1, 14, 7); got != (Shard{Socket: 0, Slice: 7, Width: 7}) {
+		t.Fatalf("k=7 ordinal 1: %+v", got)
+	}
+	if got := shardFor(2, 14, 7); got != (Shard{Socket: 1, Slice: 0, Width: 7}) {
+		t.Fatalf("k=7 ordinal 2: %+v", got)
+	}
+	if got := (Shard{Socket: 0, Slice: 3}).String(); got != "s0/slice3" {
+		t.Fatalf("single-slice shard renders %q", got)
+	}
+	if got := (Shard{Socket: 1, Slice: 7, Width: 7}).String(); got != "s1/slice7-13" {
+		t.Fatalf("group shard renders %q", got)
+	}
+	if got := NoShard.String(); got != "none" {
+		t.Fatalf("NoShard renders %q", got)
+	}
+	// Width stays out of single-slice JSON: the historical schema.
+	blob, err := json.Marshal(Shard{Socket: 0, Slice: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(blob) != `{"Socket":0,"Slice":3}` {
+		t.Fatalf("single-slice shard JSON %s", blob)
+	}
+}
+
+// TestServerGroupSize runs the real asynchronous server on seven-slice
+// groups: four group shards exist, every response names a width-7 shard,
+// and the system-level Config.GroupSize default feeds Options.
+func TestServerGroupSize(t *testing.T) {
+	sys := groupSystem(t, 7)
+	if sys.GroupSize() != 7 || sys.ReplicaGroups() != 4 {
+		t.Fatalf("GroupSize %d ReplicaGroups %d, want 7 and 4", sys.GroupSize(), sys.ReplicaGroups())
+	}
+	m := neuralcache.SmallCNN()
+	srv, err := NewServer(NewAnalyticBackend(sys, m),
+		Options{MaxBatch: 4, MaxLinger: NoLinger})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	if got := srv.Options().GroupSize; got != 7 {
+		t.Fatalf("server inherited group size %d from the system, want 7", got)
+	}
+	if got := srv.Options().Replicas; got != 4 {
+		t.Fatalf("server scheduled %d groups, want 4", got)
+	}
+	rep, err := LoadTest(srv, Load{Rate: 10_000, Requests: 64, Seed: 3, Poisson: true}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Served == 0 {
+		t.Fatal("grouped server served nothing")
+	}
+	if rep.groupSize() != 7 {
+		t.Fatalf("LoadTest report group size %d", rep.groupSize())
+	}
+	if len(rep.PerShard) != 4 {
+		t.Fatalf("%d group shards reported, want 4", len(rep.PerShard))
+	}
+	for i, u := range rep.PerShard {
+		if u.Shard.Width != 7 {
+			t.Fatalf("group shard %d width %d, want 7", i, u.Shard.Width)
+		}
+	}
+}
+
+// TestSweepGroupsFrontier is the acceptance sweep: across k the
+// per-image (batch) service time strictly falls, cold dispatches fall
+// monotonically, throughput stays within 5% of the per-k analytic
+// capacity bound — and the whole sweep is deterministic.
+func TestSweepGroupsFrontier(t *testing.T) {
+	sys := newSystem(t, 0)
+	m := neuralcache.InceptionV3()
+	backend := NewAnalyticBackend(sys, m)
+	opts := Options{MaxBatch: 16, MaxLinger: time.Millisecond, QueueDepth: 1 << 20}
+	st, err := backend.ServiceTime("", opts.MaxBatch, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	load := Load{Rate: 2 * float64(sys.Replicas()*opts.MaxBatch) / st.Seconds(),
+		Requests: 30_000, Seed: 42, Poisson: true}
+	ks := []int{1, 2, 7, 14}
+	points, err := SweepGroups(backend, opts, load, ks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != len(ks) {
+		t.Fatalf("%d points for %d group sizes", len(points), len(ks))
+	}
+	for i, p := range points {
+		if p.GroupSize != ks[i] || p.Groups != sys.Replicas()/ks[i] {
+			t.Fatalf("point %d: k=%d groups=%d", i, p.GroupSize, p.Groups)
+		}
+		if rel := (p.ThroughputPerSec - p.CapacityPerSec) / p.CapacityPerSec; rel > 0.01 || rel < -0.05 {
+			t.Fatalf("k=%d: throughput %.1f/s off the %.1f/s bound by %.2f%%",
+				p.GroupSize, p.ThroughputPerSec, p.CapacityPerSec, rel*100)
+		}
+		if i == 0 {
+			continue
+		}
+		prev := points[i-1]
+		if p.BatchServiceTime >= prev.BatchServiceTime {
+			t.Fatalf("k=%d: batch service %v not below k=%d's %v",
+				p.GroupSize, p.BatchServiceTime, prev.GroupSize, prev.BatchServiceTime)
+		}
+		if p.ColdDispatches > prev.ColdDispatches {
+			t.Fatalf("k=%d: %d cold dispatches exceed k=%d's %d",
+				p.GroupSize, p.ColdDispatches, prev.GroupSize, prev.ColdDispatches)
+		}
+		if p.ReloadTime != prev.ReloadTime {
+			t.Fatalf("reload time varies with k: %v vs %v", p.ReloadTime, prev.ReloadTime)
+		}
+	}
+	again, err := SweepGroups(backend, opts, load, ks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(points, again) {
+		t.Fatal("SweepGroups is not deterministic")
+	}
+	if SweepTable(points) == "" {
+		t.Fatal("empty sweep table rendering")
+	}
+}
+
+// TestServerBitExactGrouped: grouping is a placement choice, not a
+// numeric one — outputs served on two-slice groups stay byte-identical
+// to direct System.Run.
+func TestServerBitExactGrouped(t *testing.T) {
+	const n = 6
+	m := neuralcache.SmallCNN()
+	m.InitWeights(7)
+	ref := newSystem(t, 0)
+	sys := newSystem(t, 0)
+	srv, err := NewServer(NewBitExactBackend(sys, m),
+		Options{MaxBatch: 2, MaxLinger: 2 * time.Millisecond, QueueDepth: 64, GroupSize: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	chans := make([]<-chan *Response, n)
+	for i := 0; i < n; i++ {
+		ch, err := srv.TrySubmit(context.Background(), randomInput(m, 99, i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		chans[i] = ch
+	}
+	for i, ch := range chans {
+		r := <-ch
+		if r.Err != nil {
+			t.Fatalf("request %d: %v", i, r.Err)
+		}
+		want, err := ref.Run(m, randomInput(m, 99, i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(r.Result.Output.Data, want.Output.Data) {
+			t.Fatalf("request %d: grouped serving changed the output bytes", i)
+		}
+		if r.Shard.Width != 2 {
+			t.Fatalf("request %d served on %v, want a width-2 group", i, r.Shard)
+		}
+	}
+}

@@ -2,21 +2,97 @@ package serve
 
 import (
 	"context"
+	"fmt"
+	"math/rand"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"neuralcache"
 )
 
-// LoadTest drives a freshly started Server with the open-loop arrival
-// process described by load, in wall-clock time: arrivals that find the
-// admission queue full are rejected and counted, exactly like
-// Simulate's, and each arrival targets the model drawn from load.Mix
-// ("" or an empty mix = the backend's default). inputs, when non-nil,
-// supplies the tensor for the i-th arrival (0-based) of the named model
-// — required for a bit-exact backend; nil submits input-less requests,
-// which the analytic backend serves on modeled time. LoadTest waits for
-// every admitted request to complete and leaves the server running.
+// loadResults is the wall-clock accounting both LoadTest drivers (open-
+// and closed-loop) fill: arrival and completion tallies, latency samples
+// and the makespan endpoints, all guarded by mu.
+type loadResults struct {
+	mu           sync.Mutex
+	latencies    []time.Duration
+	perModelLat  map[string][]time.Duration
+	perModel     map[string]*ModelUsage
+	offered      int
+	rejected     int
+	firstArrival time.Time
+	lastDone     time.Time
+}
+
+func newLoadResults() *loadResults {
+	return &loadResults{
+		perModelLat: make(map[string][]time.Duration),
+		perModel:    make(map[string]*ModelUsage),
+	}
+}
+
+// usage returns the (lazily created) per-model row; callers hold mu.
+func (lr *loadResults) usage(model string) *ModelUsage {
+	u := lr.perModel[model]
+	if u == nil {
+		u = &ModelUsage{Model: model}
+		lr.perModel[model] = u
+	}
+	return u
+}
+
+// arrival records one offered request of the model at time now.
+func (lr *loadResults) arrival(model string, now time.Time) {
+	lr.mu.Lock()
+	defer lr.mu.Unlock()
+	if lr.firstArrival.IsZero() {
+		lr.firstArrival = now
+	}
+	lr.offered++
+	lr.usage(model).Offered++
+}
+
+// reject records one queue-full rejection of the model (open-loop only).
+func (lr *loadResults) reject(model string) {
+	lr.mu.Lock()
+	defer lr.mu.Unlock()
+	lr.rejected++
+	lr.usage(model).Rejected++
+}
+
+// done records a completed response's latency sample (failures carry no
+// sample, matching the simulator's served accounting).
+func (lr *loadResults) done(r *Response) {
+	lr.mu.Lock()
+	defer lr.mu.Unlock()
+	if r.Err != nil {
+		return
+	}
+	lr.latencies = append(lr.latencies, r.Latency)
+	lr.perModelLat[r.Model] = append(lr.perModelLat[r.Model], r.Latency)
+	if done := time.Now(); done.After(lr.lastDone) {
+		lr.lastDone = done
+	}
+}
+
+// LoadTest drives a freshly started Server with the arrival process
+// described by load, in wall-clock time.
+//
+// Open-loop (the default): arrivals follow their own schedule; ones that
+// find the admission queue full are rejected and counted, exactly like
+// Simulate's. Closed-loop (Load.Concurrency > 0): that many user
+// goroutines each keep one request in flight, blocking in Submit and
+// thinking a mean 1/Rate between completion and resubmission (0 = no
+// think), so nothing is ever rejected — the regime that measures latency
+// under admission control rather than saturation.
+//
+// Each arrival targets the model drawn from load.Mix ("" or an empty mix
+// = the backend's default). inputs, when non-nil, supplies the tensor
+// for the i-th arrival (0-based) of the named model — required for a
+// bit-exact backend; nil submits input-less requests, which the analytic
+// backend serves on modeled time. LoadTest waits for every admitted
+// request to complete and leaves the server running.
 func LoadTest(srv *Server, load Load, inputs func(i int, model string) *neuralcache.Tensor) (*LoadReport, error) {
 	if err := load.validate(); err != nil {
 		return nil, err
@@ -27,40 +103,100 @@ func LoadTest(srv *Server, load Load, inputs func(i int, model string) *neuralca
 			return nil, err
 		}
 	}
-	gen := load.arrivals()
 	o := srv.Options()
-	before := srv.Stats()
-
-	var (
-		mu           sync.Mutex
-		latencies    []time.Duration
-		perModelLat  = make(map[string][]time.Duration)
-		wg           sync.WaitGroup
-		lastDone     time.Time
-		firstArrival time.Time
-	)
-	offered, rejected := 0, 0
-	perModel := make(map[string]*ModelUsage)
-	usage := func(model string) *ModelUsage {
-		u := perModel[model]
-		if u == nil {
-			u = &ModelUsage{Model: model}
-			perModel[model] = u
-		}
-		return u
+	if load.closed() && load.Concurrency > o.QueueDepth {
+		return nil, fmt.Errorf("serve: closed-loop concurrency %d exceeds queue depth %d",
+			load.Concurrency, o.QueueDepth)
 	}
+	before := srv.Stats()
+	results := newLoadResults()
+	var err error
+	if load.closed() {
+		err = closedLoop(srv, load, inputs, results)
+	} else {
+		err = openLoop(srv, load, inputs, results)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	after := srv.Stats()
+	rep := &LoadReport{
+		Backend:     srv.backend.Name(),
+		Model:       modelList(srv.backend),
+		Replicas:    o.Replicas,
+		MaxBatch:    o.MaxBatch,
+		MaxLinger:   o.MaxLinger,
+		QueueDepth:  o.QueueDepth,
+		Concurrency: load.Concurrency,
+		Offered:     results.offered,
+		Served:      len(results.latencies),
+		Rejected:    results.rejected,
+		Batches:     int(after.Batches - before.Batches),
+
+		WarmDispatches: int(after.WarmBatches - before.WarmBatches),
+		ColdDispatches: int(after.ColdBatches - before.ColdBatches),
+
+		// MaxQueueDepth is the server-lifetime high-water (a max cannot
+		// be windowed); the mean is differenced to this run's admissions.
+		MaxQueueDepth: after.QueueHighWater,
+	}
+	if o.GroupSize > 1 {
+		rep.GroupSize = o.GroupSize
+	}
+	if n := after.DepthSamples - before.DepthSamples; n > 0 {
+		rep.MeanQueueDepth = float64(after.DepthSum-before.DepthSum) / float64(n)
+	}
+	if rep.Batches > 0 {
+		rep.MeanBatch = float64(rep.Served) / float64(rep.Batches)
+	}
+	if !results.lastDone.IsZero() {
+		rep.Makespan = results.lastDone.Sub(results.firstArrival)
+	}
+	if rep.Makespan > 0 {
+		rep.ThroughputPerSec = float64(rep.Served) / rep.Makespan.Seconds()
+	}
+	// One per-model row per registered model in registration order,
+	// zero-traffic residents included — the same inclusion rule as
+	// Simulate, so JSON consumers can index rows identically.
+	for _, m := range srv.backend.Models() {
+		u := results.perModel[m.Name()]
+		if u == nil {
+			u = &ModelUsage{Model: m.Name()}
+		}
+		u.Served = len(results.perModelLat[m.Name()])
+		bc, ac := before.PerModel[m.Name()], after.PerModel[m.Name()]
+		u.Batches = int(ac.Batches - bc.Batches)
+		u.WarmBatches = int(ac.WarmBatches - bc.WarmBatches)
+		u.ColdBatches = int(ac.ColdBatches - bc.ColdBatches)
+		rep.PerModel = append(rep.PerModel, *u)
+	}
+	rep.PerShard = diffShards(before.PerShard, after.PerShard)
+	if err := rep.finish(srv.backend, results.latencies, results.perModelLat, rep.Makespan); err != nil {
+		return nil, err
+	}
+	return rep, nil
+}
+
+// openLoop replays the open-loop schedule against the server in wall
+// clock: sleep to each generated arrival offset, TrySubmit (full queue =
+// counted rejection), collect completions asynchronously.
+func openLoop(srv *Server, load Load, inputs func(i int, model string) *neuralcache.Tensor, results *loadResults) error {
+	gen := load.arrivals()
 	start := time.Now()
 	ctx := context.Background()
+	var wg sync.WaitGroup
+	defer wg.Wait()
 	for i := 0; ; i++ {
 		at, model, ok := gen.next()
 		if !ok {
-			break
+			return nil
 		}
 		// Canonicalize "" to the default model's registered name so
 		// per-model accounting lines up with Response.Model.
 		m, err := srv.backend.Lookup(model)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		name := m.Name()
 		if d := time.Until(start.Add(at)); d > 0 {
@@ -70,90 +206,95 @@ func LoadTest(srv *Server, load Load, inputs func(i int, model string) *neuralca
 		if inputs != nil {
 			in = inputs(i, name)
 		}
-		now := time.Now()
-		if firstArrival.IsZero() {
-			firstArrival = now
-		}
-		offered++
-		usage(name).Offered++
+		results.arrival(name, time.Now())
 		ch, err := srv.TrySubmitModel(ctx, name, in)
 		if err == ErrQueueFull {
-			rejected++
-			usage(name).Rejected++
+			results.reject(name)
 			continue
 		}
 		if err != nil {
-			return nil, err
+			return err
 		}
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			r := <-ch
-			mu.Lock()
-			defer mu.Unlock()
-			if r.Err == nil {
-				latencies = append(latencies, r.Latency)
-				perModelLat[r.Model] = append(perModelLat[r.Model], r.Latency)
-				if done := time.Now(); done.After(lastDone) {
-					lastDone = done
-				}
-			}
+			results.done(<-ch)
 		}()
 	}
+}
+
+// closedLoop runs Load.Concurrency user goroutines against the server,
+// each keeping exactly one request in flight: think (Load.think), draw a
+// model from the mix, Submit (blocking — admission control is the
+// population cap, so nothing is rejected), wait for completion, repeat.
+// A shared atomic counter meters the Requests budget; Duration bounds
+// the submission window otherwise. Each user owns a seeded generator, so
+// the wall-clock run is as reproducible as real sleeps allow.
+func closedLoop(srv *Server, load Load, inputs func(i int, model string) *neuralcache.Tensor, results *loadResults) error {
+	mix := newModelMix(load.Mix)
+	start := time.Now()
+	var arrivals atomic.Int64
+	var failed atomic.Bool
+	errs := make(chan error, load.Concurrency)
+	var wg sync.WaitGroup
+	ctx := context.Background()
+	for u := 0; u < load.Concurrency; u++ {
+		wg.Add(1)
+		go func(user int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(load.Seed + 0x636c6f73 + int64(user)))
+			for {
+				// One user's failure ends the whole run (matching the
+				// open-loop driver's first-error abort) instead of the
+				// surviving users burning the remaining budget.
+				if failed.Load() {
+					return
+				}
+				// Take the budget ticket before thinking — the sim's
+				// nextClosed order — so spent budgets end the run without
+				// one last dead think sleep per user.
+				n := arrivals.Add(1)
+				if load.Requests > 0 && n > int64(load.Requests) {
+					return
+				}
+				if d := load.think(rng); d > 0 {
+					time.Sleep(d)
+				}
+				if load.Requests == 0 && time.Since(start) > load.Duration {
+					return
+				}
+				m, err := srv.backend.Lookup(mix.draw(rng))
+				if err != nil {
+					failed.Store(true)
+					errs <- err
+					return
+				}
+				name := m.Name()
+				var in *neuralcache.Tensor
+				if inputs != nil {
+					in = inputs(int(n-1), name)
+				}
+				results.arrival(name, time.Now())
+				r, err := srv.SubmitModel(ctx, name, in)
+				if r == nil {
+					// Admission-level failure (closed server, bad input);
+					// a served response with a batch error still counts
+					// as this user's turn.
+					failed.Store(true)
+					errs <- err
+					return
+				}
+				results.done(r)
+			}
+		}(u)
+	}
 	wg.Wait()
-
-	after := srv.Stats()
-	rep := &LoadReport{
-		Backend:    srv.backend.Name(),
-		Model:      modelList(srv.backend),
-		Replicas:   o.Replicas,
-		MaxBatch:   o.MaxBatch,
-		MaxLinger:  o.MaxLinger,
-		QueueDepth: o.QueueDepth,
-		Offered:    offered,
-		Served:     len(latencies),
-		Rejected:   rejected,
-		Batches:    int(after.Batches - before.Batches),
-
-		WarmDispatches: int(after.WarmBatches - before.WarmBatches),
-		ColdDispatches: int(after.ColdBatches - before.ColdBatches),
-
-		// MaxQueueDepth is the server-lifetime high-water (a max cannot
-		// be windowed); the mean is differenced to this run's admissions.
-		MaxQueueDepth: after.QueueHighWater,
+	select {
+	case err := <-errs:
+		return err
+	default:
+		return nil
 	}
-	if n := after.DepthSamples - before.DepthSamples; n > 0 {
-		rep.MeanQueueDepth = float64(after.DepthSum-before.DepthSum) / float64(n)
-	}
-	if rep.Batches > 0 {
-		rep.MeanBatch = float64(rep.Served) / float64(rep.Batches)
-	}
-	if !lastDone.IsZero() {
-		rep.Makespan = lastDone.Sub(firstArrival)
-	}
-	if rep.Makespan > 0 {
-		rep.ThroughputPerSec = float64(rep.Served) / rep.Makespan.Seconds()
-	}
-	// One per-model row per registered model in registration order,
-	// zero-traffic residents included — the same inclusion rule as
-	// Simulate, so JSON consumers can index rows identically.
-	for _, m := range srv.backend.Models() {
-		u := perModel[m.Name()]
-		if u == nil {
-			u = &ModelUsage{Model: m.Name()}
-		}
-		u.Served = len(perModelLat[m.Name()])
-		bc, ac := before.PerModel[m.Name()], after.PerModel[m.Name()]
-		u.Batches = int(ac.Batches - bc.Batches)
-		u.WarmBatches = int(ac.WarmBatches - bc.WarmBatches)
-		u.ColdBatches = int(ac.ColdBatches - bc.ColdBatches)
-		rep.PerModel = append(rep.PerModel, *u)
-	}
-	rep.PerShard = diffShards(before.PerShard, after.PerShard)
-	if err := rep.finish(srv.backend, latencies, perModelLat, rep.Makespan); err != nil {
-		return nil, err
-	}
-	return rep, nil
 }
 
 // diffShards subtracts a prior occupancy snapshot so a LoadTest on a

@@ -36,11 +36,20 @@ type LoadReport struct {
 	Backend string `json:"backend"`
 	// Model lists the registered models, comma-joined in registration
 	// order; per-model accounting is in PerModel.
-	Model      string        `json:"model"`
-	Replicas   int           `json:"replicas"`
-	MaxBatch   int           `json:"max_batch"`
-	MaxLinger  time.Duration `json:"max_linger_ns"`
-	QueueDepth int           `json:"queue_depth"`
+	Model string `json:"model"`
+	// Replicas is the number of replica groups scheduled on; each group
+	// is GroupSize slices of one socket.
+	Replicas int `json:"replicas"`
+	// GroupSize is the slices per replica group. 0 (omitted in JSON)
+	// means 1 — the paper's single-slice replication — keeping k=1
+	// reports identical to the historical schema.
+	GroupSize int `json:"group_size,omitempty"`
+	// Concurrency echoes Load.Concurrency: 0 for open-loop runs, the
+	// closed-loop user population otherwise.
+	Concurrency int           `json:"concurrency,omitempty"`
+	MaxBatch    int           `json:"max_batch"`
+	MaxLinger   time.Duration `json:"max_linger_ns"`
+	QueueDepth  int           `json:"queue_depth"`
 	// Virtual marks a virtual-clock (Simulate) run; false means
 	// wall-clock (LoadTest).
 	Virtual bool `json:"virtual"`
@@ -60,9 +69,9 @@ type LoadReport struct {
 	// Makespan spans first arrival to last completion.
 	Makespan         time.Duration `json:"makespan_ns"`
 	ThroughputPerSec float64       `json:"throughput_per_sec"`
-	// CapacityPerSec is the Estimate-derived slice-replica bound the
+	// CapacityPerSec is the Estimate-derived replica-group bound the
 	// scheduler cannot beat: Replicas × MaxBatch over the served-share
-	// weighted mean warm ServiceTime(MaxBatch).
+	// weighted mean warm ServiceTime(MaxBatch, GroupSize).
 	CapacityPerSec float64 `json:"capacity_per_sec"`
 
 	P50 time.Duration `json:"p50_ns"`
@@ -132,10 +141,19 @@ func (r *LoadReport) finish(backend Backend, latencies []time.Duration, perModel
 	return nil
 }
 
-// capacity computes the replica throughput bound. With one model (or no
-// served traffic) it is Replicas × MaxBatch / ServiceTime(MaxBatch); a
-// multi-model run weights each model's warm service time by its served
-// share.
+// groupSize returns the effective slices per replica group (the zero
+// field means the single-slice default).
+func (r *LoadReport) groupSize() int {
+	if r.GroupSize <= 0 {
+		return 1
+	}
+	return r.GroupSize
+}
+
+// capacity computes the replica-group throughput bound. With one model
+// (or no served traffic) it is Replicas × MaxBatch /
+// ServiceTime(MaxBatch, GroupSize); a multi-model run weights each
+// model's warm service time by its served share.
 func (r *LoadReport) capacity(backend Backend) error {
 	totalServed := 0
 	for _, mu := range r.PerModel {
@@ -143,7 +161,7 @@ func (r *LoadReport) capacity(backend Backend) error {
 	}
 	var meanSec float64
 	if totalServed == 0 {
-		st, err := backend.ServiceTime("", r.MaxBatch)
+		st, err := backend.ServiceTime("", r.MaxBatch, r.groupSize())
 		if err != nil {
 			return err
 		}
@@ -153,7 +171,7 @@ func (r *LoadReport) capacity(backend Backend) error {
 			if mu.Served == 0 {
 				continue
 			}
-			st, err := backend.ServiceTime(mu.Model, r.MaxBatch)
+			st, err := backend.ServiceTime(mu.Model, r.MaxBatch, r.groupSize())
 			if err != nil {
 				return err
 			}
@@ -229,8 +247,15 @@ func (r *LoadReport) String() string {
 	if r.Virtual {
 		clock = "virtual"
 	}
-	fmt.Fprintf(&b, "%s serve of %s: %d slice replicas, batch ≤%d, linger %v, queue %d\n",
-		r.Backend, r.Model, r.Replicas, r.MaxBatch, r.MaxLinger, r.QueueDepth)
+	unit := "1 slice"
+	if k := r.groupSize(); k > 1 {
+		unit = fmt.Sprintf("%d slices", k)
+	}
+	fmt.Fprintf(&b, "%s serve of %s: %d replica groups of %s each, batch ≤%d, linger %v, queue %d\n",
+		r.Backend, r.Model, r.Replicas, unit, r.MaxBatch, r.MaxLinger, r.QueueDepth)
+	if r.Concurrency > 0 {
+		fmt.Fprintf(&b, "closed loop: %d users, one request in flight each\n", r.Concurrency)
+	}
 	fmt.Fprintf(&b, "offered %d  served %d  rejected %d  batches %d (mean %.2f, %d warm / %d cold)\n",
 		r.Offered, r.Served, r.Rejected, r.Batches, r.MeanBatch,
 		r.WarmDispatches, r.ColdDispatches)
@@ -265,7 +290,7 @@ func (r *LoadReport) String() string {
 		b.WriteByte('\n')
 	}
 	if len(r.PerShard) > 0 {
-		t := report.NewTable("Slice utilization", "Shard", "Batches", "Requests", "Reloads", "Busy", "Util")
+		t := report.NewTable("Replica-group utilization", "Group", "Batches", "Requests", "Reloads", "Busy", "Util")
 		for _, u := range r.PerShard {
 			t.Add(u.Shard.String(), fmt.Sprint(u.Batches), fmt.Sprint(u.Requests),
 				fmt.Sprint(u.Reloads),

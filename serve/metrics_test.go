@@ -135,11 +135,11 @@ func TestFinishDegenerateWindows(t *testing.T) {
 // bounds, landing strictly between them.
 func TestCapacityWeightsByServedShare(t *testing.T) {
 	backend := twoModelBackend(t, 1)
-	stI, err := backend.ServiceTime("inception_v3", 4)
+	stI, err := backend.ServiceTime("inception_v3", 4, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	stR, err := backend.ServiceTime("resnet_18", 4)
+	stR, err := backend.ServiceTime("resnet_18", 4, 1)
 	if err != nil {
 		t.Fatal(err)
 	}

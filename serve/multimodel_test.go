@@ -74,7 +74,7 @@ func TestSimulateTwoModelDeterministic(t *testing.T) {
 func TestSimulateWarmTrafficMatchesSingleModelBound(t *testing.T) {
 	backend := twoModelBackend(t, 0)
 	opts := Options{MaxBatch: 16, MaxLinger: time.Millisecond, QueueDepth: 1 << 20}
-	st, err := backend.ServiceTime("inception_v3", opts.MaxBatch)
+	st, err := backend.ServiceTime("inception_v3", opts.MaxBatch, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -115,7 +115,7 @@ func TestSimulateWarmTrafficMatchesSingleModelBound(t *testing.T) {
 func TestSimulateModelChurnPaysReload(t *testing.T) {
 	backend := twoModelBackend(t, 0)
 	opts := Options{MaxBatch: 1, MaxLinger: NoLinger, QueueDepth: 1 << 16, Replicas: 1}
-	st, err := backend.ServiceTime("inception_v3", 1)
+	st, err := backend.ServiceTime("inception_v3", 1, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -135,11 +135,11 @@ func TestSimulateModelChurnPaysReload(t *testing.T) {
 	// busy time decomposes into per-model service plus per-cold reload.
 	var wantBusy time.Duration
 	for _, mu := range rep.PerModel {
-		svc, err := backend.ServiceTime(mu.Model, 1)
+		svc, err := backend.ServiceTime(mu.Model, 1, 1)
 		if err != nil {
 			t.Fatal(err)
 		}
-		rel, err := backend.ReloadTime(mu.Model)
+		rel, err := backend.ReloadTime(mu.Model, 1)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -167,7 +167,7 @@ func TestSimulateModelChurnPaysReload(t *testing.T) {
 func TestSimulateWarmFirstAffinity(t *testing.T) {
 	backend := twoModelBackend(t, 0)
 	opts := Options{MaxBatch: 1, MaxLinger: NoLinger, QueueDepth: 1 << 16}
-	st, err := backend.ServiceTime("inception_v3", 1)
+	st, err := backend.ServiceTime("inception_v3", 1, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -308,16 +308,16 @@ func newGateBackend(t testing.TB) *gateBackend {
 	}
 }
 
-func (b *gateBackend) ServiceTime(model string, n int) (time.Duration, error) {
+func (b *gateBackend) ServiceTime(model string, n, groupSize int) (time.Duration, error) {
 	if n <= 0 {
 		return 0, fmt.Errorf("serve: service time for batch of %d", n)
 	}
 	return time.Millisecond, nil
 }
 
-func (b *gateBackend) ReloadTime(model string) (time.Duration, error) { return 0, nil }
+func (b *gateBackend) ReloadTime(model string, groupSize int) (time.Duration, error) { return 0, nil }
 
-func (b *gateBackend) Execute(ctx context.Context, model string, inputs []*neuralcache.Tensor, cold bool) ([]*neuralcache.InferenceResult, error) {
+func (b *gateBackend) Execute(ctx context.Context, model string, inputs []*neuralcache.Tensor, cold bool, groupSize int) ([]*neuralcache.InferenceResult, error) {
 	b.started <- struct{}{}
 	select {
 	case <-b.gate:
@@ -507,7 +507,7 @@ func TestLoadTestBatchesUnderBacklog(t *testing.T) {
 	m := neuralcache.SmallCNN()
 	backend := NewAnalyticBackend(sys, m)
 	opts := Options{MaxBatch: 16, MaxLinger: 2 * time.Millisecond, QueueDepth: 256, Replicas: 4}
-	st, err := backend.ServiceTime("", opts.MaxBatch)
+	st, err := backend.ServiceTime("", opts.MaxBatch, 1)
 	if err != nil {
 		t.Fatal(err)
 	}

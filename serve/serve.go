@@ -1,20 +1,26 @@
 // Package serve turns a neuralcache.System into a long-running inference
 // service with admission control, dynamic micro-batching, multi-model
-// residency and slice-shard scheduling.
+// residency and replica-group scheduling.
 //
 // The paper's throughput headline (§VI-B) comes from replicating the
 // network across LLC slices: each slice processes one image, and
-// throughput scales with slices × sockets. This package models exactly
-// that execution style as a serving system. Requests enter a bounded
-// admission queue (backpressure: TrySubmit rejects with ErrQueueFull when
-// the queue is full, Submit blocks until space or context cancellation).
-// A dynamic micro-batcher groups queued requests into batches of at most
-// Options.MaxBatch, waiting at most Options.MaxLinger for a fuller batch
-// — batching amortizes per-layer filter loading exactly as §IV-E batches
-// amortize it in the analytic model. A slice-shard scheduler dispatches
-// each batch to a free replica — one LLC slice of one socket — and tracks
-// per-shard occupancy, so utilization reports show which slices carried
-// the traffic.
+// throughput scales with slices × sockets. This package generalizes that
+// execution style into a serving system whose unit is the replica group —
+// Options.GroupSize consecutive LLC slices of one socket cooperating on
+// one batch. GroupSize 1 is the paper's literal one-image-per-slice
+// replication; larger groups walk Table IV's latency/capacity trade-off:
+// the k slices parallelize each batch (service time falls), the socket
+// holds Slices/k groups (capacity falls sub-linearly), and one §IV-E
+// weight reload warms k slices at once (model churn cheapens). Requests
+// enter a bounded admission queue (backpressure: TrySubmit rejects with
+// ErrQueueFull when the queue is full, Submit blocks until space or
+// context cancellation). A dynamic micro-batcher groups queued requests
+// into batches of at most Options.MaxBatch, waiting at most
+// Options.MaxLinger for a fuller batch — batching amortizes per-layer
+// filter loading exactly as §IV-E batches amortize it in the analytic
+// model. The group-shard scheduler dispatches each batch to a free
+// replica group and tracks per-group occupancy, so utilization reports
+// show which groups carried the traffic.
 //
 // # Multi-model residency
 //
@@ -22,13 +28,13 @@
 // Requests name their model (Server.SubmitModel / TrySubmitModel, or
 // Load.Mix for generated traffic), the batcher forms per-model
 // micro-batches, and the scheduler tracks which model's weights each
-// replica has staged. Dispatch is warm-first: a free replica already
+// replica group has staged. Dispatch is warm-first: a free group already
 // staging the batch's model wins over an unstaged one, which wins over
-// evicting another model's weights. A cold dispatch — the replica's
-// staged model changed, or it is the replica's first — pays the modeled
-// §IV-E weight reload (System.EstimateReload: the filter footprint
-// streamed from DRAM at effective bandwidth plus the transpose-gateway
-// pass), charged by both the analytic backend's wall-clock sleep and the
+// evicting another model's weights. A cold dispatch — the group's staged
+// model changed, or it is the group's first — pays the modeled §IV-E
+// weight reload (System.EstimateReload: the filter footprint streamed
+// from DRAM at effective bandwidth plus the transpose-gateway pass),
+// charged by both the analytic backend's wall-clock sleep and the
 // virtual-clock simulator. LoadReport splits dispatches into warm/cold
 // counts and carries per-model latency percentiles and throughput.
 //
@@ -39,9 +45,10 @@
 //     directly, for any batching, shard assignment, model mix or worker
 //     count.
 //   - NewAnalyticBackend services requests on service times priced by
-//     System.EstimateReplica — the cost of the batch on a single-slice,
-//     single-socket replica of the cache — plus System.EstimateReload on
-//     cold dispatches.
+//     System.EstimateReplicaGroup — the cost of the batch on a k-slice,
+//     single-socket shard of the cache — plus the matching reload
+//     estimate on cold dispatches. Both are memoized per (model, batch,
+//     group size).
 //
 // Two drivers consume a Backend:
 //
@@ -51,12 +58,19 @@
 //     clock: it pushes hundreds of thousands of simulated requests
 //     through the same admission/batching/scheduling policy in a few
 //     real seconds and reports p50/p95/p99 latency, throughput, queue
-//     depth and per-shard utilization. Same seed, same Load, same
+//     depth and per-group utilization. Same seed, same Load, same
 //     Options ⇒ identical LoadReport, every run.
 //
-// LoadTest drives a running Server with the same open-loop arrival
-// process Simulate uses, so wall-clock and virtual-clock results are
-// directly comparable.
+// LoadTest drives a running Server with the same arrival process
+// Simulate uses, so wall-clock and virtual-clock results are directly
+// comparable. Both drivers accept open-loop traffic (Load.Rate arrivals
+// on their own schedule, the regime that exposes queueing and rejection)
+// and closed-loop traffic (Load.Concurrency fixed in-flight users, the
+// regime that exposes latency under admission control).
+//
+// SweepGroups runs the same load at several group sizes and returns the
+// Table IV-style latency/throughput/reload frontier; cmd/ncserve exposes
+// it as -sweep-groups.
 package serve
 
 import (
@@ -99,9 +113,15 @@ type Options struct {
 	// the first request arrives. 0 means the 2ms default; NoLinger (any
 	// negative value) dispatches immediately.
 	MaxLinger time.Duration
-	// Replicas is the number of slice shards to schedule on, at most
-	// System.Replicas() (= Slices × Sockets). 0 means all of them; fewer
-	// models reserving slices for the host workload.
+	// GroupSize is the number of consecutive LLC slices forming one
+	// replica group — the scheduling unit. 0 means the system's
+	// configured group size (neuralcache.Config.GroupSize, itself
+	// defaulting to the paper's one-image-per-slice 1). Must divide the
+	// system's Slices.
+	GroupSize int
+	// Replicas is the number of replica groups to schedule on, at most
+	// Slices × Sockets / GroupSize. 0 means all of them; fewer models
+	// reserving cache capacity for the host workload.
 	Replicas int
 }
 
@@ -109,9 +129,9 @@ type Options struct {
 // soon as a replica is free, however small it is.
 const NoLinger time.Duration = -1
 
-// withDefaults fills zero fields and validates against the backend's
-// replica budget.
-func (o Options) withDefaults(totalReplicas int) (Options, error) {
+// withDefaults fills zero fields and validates against the system's
+// slice and replica-group budget.
+func (o Options) withDefaults(sys *neuralcache.System) (Options, error) {
 	if o.QueueDepth == 0 {
 		o.QueueDepth = 1024
 	}
@@ -124,52 +144,83 @@ func (o Options) withDefaults(totalReplicas int) (Options, error) {
 	case o.MaxLinger < 0:
 		o.MaxLinger = 0
 	}
+	if o.GroupSize == 0 {
+		o.GroupSize = sys.GroupSize()
+	}
+	slices := sys.Config().Slices
+	if o.GroupSize < 0 {
+		return o, fmt.Errorf("serve: replica group of %d slices", o.GroupSize)
+	}
+	if slices%o.GroupSize != 0 {
+		return o, fmt.Errorf("serve: replica group of %d slices does not divide the %d-slice cache",
+			o.GroupSize, slices)
+	}
+	totalGroups := slices * sys.Config().Sockets / o.GroupSize
 	if o.Replicas == 0 {
-		o.Replicas = totalReplicas
+		o.Replicas = totalGroups
 	}
 	switch {
 	case o.QueueDepth < 0:
 		return o, fmt.Errorf("serve: queue depth %d", o.QueueDepth)
 	case o.MaxBatch < 0:
 		return o, fmt.Errorf("serve: max batch %d", o.MaxBatch)
-	case o.Replicas < 0 || o.Replicas > totalReplicas:
-		return o, fmt.Errorf("serve: %d replicas, system has %d", o.Replicas, totalReplicas)
+	case o.Replicas < 0 || o.Replicas > totalGroups:
+		return o, fmt.Errorf("serve: %d replica groups, system has %d (%d slices × %d sockets / group of %d)",
+			o.Replicas, totalGroups, slices, sys.Config().Sockets, o.GroupSize)
 	case o.QueueDepth < o.MaxBatch:
 		return o, fmt.Errorf("serve: queue depth %d below max batch %d", o.QueueDepth, o.MaxBatch)
 	}
 	return o, nil
 }
 
-// Shard identifies one slice replica: a single LLC slice of a single
-// socket, the unit of the paper's §VI-B throughput model.
+// Shard identifies one replica group: Width consecutive LLC slices of a
+// single socket starting at Slice. A zero Width means a single slice —
+// the paper's §VI-B one-image-per-slice unit — keeping single-slice
+// reports identical to the historical schema.
 type Shard struct {
 	Socket int
 	Slice  int
+	// Width is the slice count of the replica group; 0 (omitted in JSON)
+	// means 1, the single-slice replica.
+	Width int `json:",omitempty"`
 }
 
 // NoShard marks a Response that never reached a replica: the request
 // was canceled while queued and dropped at dispatch.
 var NoShard = Shard{Socket: -1, Slice: -1}
 
-// String formats the shard like s0/slice3 (or "none" for NoShard).
+// String formats a single-slice shard like s0/slice3, a wider group like
+// s0/slice4-6 (or "none" for NoShard).
 func (s Shard) String() string {
 	if s.Socket < 0 || s.Slice < 0 {
 		return "none"
 	}
+	if s.Width > 1 {
+		return fmt.Sprintf("s%d/slice%d-%d", s.Socket, s.Slice, s.Slice+s.Width-1)
+	}
 	return fmt.Sprintf("s%d/slice%d", s.Socket, s.Slice)
 }
 
-// shardFor maps a dense replica ordinal to its shard coordinates.
-func shardFor(id, slicesPerSocket int) Shard {
-	return Shard{Socket: id / slicesPerSocket, Slice: id % slicesPerSocket}
+// shardFor maps a dense replica-group ordinal to its shard coordinates:
+// groups tile each socket's slices in k-sized runs.
+func shardFor(id, slicesPerSocket, groupSize int) Shard {
+	groupsPerSocket := slicesPerSocket / groupSize
+	sh := Shard{
+		Socket: id / groupsPerSocket,
+		Slice:  id % groupsPerSocket * groupSize,
+	}
+	if groupSize > 1 {
+		sh.Width = groupSize
+	}
+	return sh
 }
 
-// pickShard is the warm-first replica-selection policy shared by the
-// real Server's shard pool and the simulator: lowest-ordinal free
-// replica already staging the wanted model (warm), else lowest-ordinal
+// pickShard is the warm-first group-selection policy shared by the real
+// Server's shard pool and the simulator: lowest-ordinal free replica
+// group already staging the wanted model (warm), else lowest-ordinal
 // never-staged (empty) free one, else lowest-ordinal free one. Returns
-// -1 when no replica is free; the caller marks the claim and restages
-// on cold.
+// -1 when no group is free; the caller marks the claim and restages on
+// cold.
 func pickShard[T comparable](free []bool, staged []T, want, empty T) (id int, warm bool) {
 	bestFree, bestEmpty := -1, -1
 	for i, f := range free {
@@ -192,15 +243,16 @@ func pickShard[T comparable](free []bool, staged []T, want, empty T) (id int, wa
 	return bestFree, false
 }
 
-// ShardUsage is one replica's occupancy accounting.
+// ShardUsage is one replica group's occupancy accounting.
 type ShardUsage struct {
 	Shard    Shard         `json:"shard"`
 	Batches  int           `json:"batches"`
 	Requests int           `json:"requests"`
 	Busy     time.Duration `json:"busy_ns"`
 	// Reloads counts cold dispatches: batches that paid the §IV-E
-	// weight-reload cost because this replica's staged model changed
-	// (including its first dispatch ever).
+	// weight-reload cost because this group's staged model changed
+	// (including its first dispatch ever). One reload warms the whole
+	// group.
 	Reloads int `json:"reloads"`
 	// Utilization is Busy over the observation window.
 	Utilization float64 `json:"utilization"`

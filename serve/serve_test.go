@@ -45,7 +45,7 @@ func TestSimulateSaturationConvergesToReplicaBound(t *testing.T) {
 	backend := NewAnalyticBackend(sys, m)
 	opts := Options{MaxBatch: 16, MaxLinger: time.Millisecond, QueueDepth: 1 << 20}
 
-	st, err := backend.ServiceTime("", opts.MaxBatch)
+	st, err := backend.ServiceTime("", opts.MaxBatch, 1)
 	if err != nil {
 		t.Fatal(err)
 	}

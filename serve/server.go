@@ -22,8 +22,8 @@ type Response struct {
 	// Err is the failure, if any. A batch-level execution failure fails
 	// every request of the batch.
 	Err error
-	// Shard is the slice replica that served the request. A request
-	// canceled before dispatch never reached a replica: its Shard is
+	// Shard is the replica group that served the request. A request
+	// canceled before dispatch never reached a group: its Shard is
 	// NoShard and its BatchSize is 0.
 	Shard Shard
 	// BatchSize is the size of the micro-batch the request rode in; 0
@@ -50,9 +50,9 @@ type request struct {
 	resp     chan *Response // buffered, capacity 1
 }
 
-// shardPool tracks the free replicas and which model's weights each one
-// has staged. Acquisition is warm-first: a free replica already staging
-// the requested model wins over an unstaged one, which wins over
+// shardPool tracks the free replica groups and which model's weights
+// each one has staged. Acquisition is warm-first: a free group already
+// staging the requested model wins over an unstaged one, which wins over
 // evicting another model's weights. Only the batcher acquires (single
 // consumer); executor goroutines release.
 type shardPool struct {
@@ -71,10 +71,9 @@ func newShardPool(n int) *shardPool {
 	return p
 }
 
-// acquire blocks until a replica is free and claims the best one for
-// model per the shared warm-first policy (pickShard). It reports
-// whether the claim was warm; a cold claim restages the replica to
-// model.
+// acquire blocks until a replica group is free and claims the best one
+// for model per the shared warm-first policy (pickShard). It reports
+// whether the claim was warm; a cold claim restages the group to model.
 func (p *shardPool) acquire(model string) (id int, warm bool) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
@@ -99,12 +98,13 @@ func (p *shardPool) release(id int) {
 
 // Server is the asynchronous inference service: a bounded admission
 // queue feeding a dynamic micro-batcher that forms per-model batches and
-// dispatches them to free slice replicas, warm-first. Create with
+// dispatches them to free replica groups, warm-first. Create with
 // NewServer, stop with Close.
 type Server struct {
-	backend Backend
-	opts    Options
-	slices  int // slices per socket, for shard naming
+	backend   Backend
+	opts      Options
+	slices    int // slices per socket, for shard naming
+	groupSize int // slices per replica group
 
 	queue chan *request
 	pool  *shardPool
@@ -160,7 +160,7 @@ func (st *serverStats) model(name string) *ModelCounters {
 // accepting requests; call Close to drain and stop it.
 func NewServer(backend Backend, opts Options) (*Server, error) {
 	sys := backend.System()
-	o, err := opts.withDefaults(sys.Replicas())
+	o, err := opts.withDefaults(sys)
 	if err != nil {
 		return nil, err
 	}
@@ -168,6 +168,7 @@ func NewServer(backend Backend, opts Options) (*Server, error) {
 		backend:     backend,
 		opts:        o,
 		slices:      sys.Config().Slices,
+		groupSize:   o.GroupSize,
 		queue:       make(chan *request, o.QueueDepth),
 		pool:        newShardPool(o.Replicas),
 		closing:     make(chan struct{}),
@@ -178,7 +179,7 @@ func NewServer(backend Backend, opts Options) (*Server, error) {
 	s.stats.perModel = make(map[string]*ModelCounters)
 	s.stats.perShard = make([]ShardUsage, o.Replicas)
 	for i := 0; i < o.Replicas; i++ {
-		s.stats.perShard[i].Shard = shardFor(i, s.slices)
+		s.stats.perShard[i].Shard = shardFor(i, s.slices, s.groupSize)
 	}
 	go s.batcher()
 	return s, nil
@@ -448,11 +449,11 @@ func (s *Server) flush(pending map[string][]*request) {
 	}
 }
 
-// dispatch drops canceled requests, claims the best free replica for the
-// model (blocking the batcher while all replicas are busy — the queue
-// buffer keeps admitting meanwhile) and executes the batch on its own
-// goroutine, charging the backend's reload cost when the replica was not
-// already staging this model.
+// dispatch drops canceled requests, claims the best free replica group
+// for the model (blocking the batcher while all groups are busy — the
+// queue buffer keeps admitting meanwhile) and executes the batch on its
+// own goroutine, charging the backend's reload cost when the group was
+// not already staging this model.
 func (s *Server) dispatch(model string, batch []*request) {
 	live := batch[:0]
 	for _, r := range batch {
@@ -485,9 +486,9 @@ func (s *Server) dispatch(model string, batch []*request) {
 			inputs[i] = r.input
 		}
 		// The batch runs under the server's lifetime, not any one
-		// request's ctx: replicas share one staged weight set, so a
-		// single submitter's cancellation must not fail its batchmates.
-		results, err := s.backend.Execute(context.Background(), model, inputs, !warm)
+		// request's ctx: a replica group shares one staged weight set, so
+		// a single submitter's cancellation must not fail its batchmates.
+		results, err := s.backend.Execute(context.Background(), model, inputs, !warm, s.groupSize)
 		done := time.Now()
 		// Update counters before delivering responses: a caller that has
 		// drained its response channels must see this batch in Stats().
@@ -522,7 +523,7 @@ func (s *Server) dispatch(model string, batch []*request) {
 			resp := &Response{
 				ID:        r.id,
 				Model:     model,
-				Shard:     shardFor(id, s.slices),
+				Shard:     shardFor(id, s.slices, s.groupSize),
 				BatchSize: len(live),
 				Cold:      !warm,
 				Queued:    dispatched.Sub(r.enqueued),

@@ -17,11 +17,19 @@ type ModelShare struct {
 	Weight float64 `json:"weight"`
 }
 
-// Load describes an open-loop arrival process: requests arrive on their
-// own schedule regardless of service progress, the regime the paper's
-// throughput evaluation implies and the one that exposes queueing.
+// Load describes a generated arrival process. The default (Concurrency
+// 0) is open-loop: requests arrive on their own schedule regardless of
+// service progress, the regime the paper's throughput evaluation implies
+// and the one that exposes queueing and rejection. Concurrency > 0
+// switches to closed-loop: a fixed population of users each keeps
+// exactly one request in flight, submitting the next one a think time
+// after the previous completes — the regime that exposes latency under
+// admission control rather than saturation.
 type Load struct {
-	// Rate is the mean arrival rate in requests per second.
+	// Rate is the mean arrival rate in requests per second (open-loop).
+	// In closed-loop runs it is the per-user think rate: each user waits
+	// a mean 1/Rate between completing one request and submitting the
+	// next; 0 means no think time (users resubmit immediately).
 	Rate float64
 	// Requests is the number of arrivals to generate. When 0, arrivals
 	// are generated for Duration instead.
@@ -33,16 +41,50 @@ type Load struct {
 	// exactly.
 	Seed int64
 	// Poisson draws exponential interarrival times (a Poisson process)
-	// instead of uniform spacing.
+	// instead of uniform spacing; in closed-loop runs it draws
+	// exponential think times instead of constant 1/Rate.
 	Poisson bool
+	// Concurrency, when positive, makes the load closed-loop with that
+	// many users. All users issue their first request at t = 0 (after an
+	// initial think when Rate > 0). Must not exceed Options.QueueDepth,
+	// so a user's submission can never be rejected.
+	Concurrency int
 	// Mix assigns each arrival a model, drawn independently with the
 	// given weights from the seeded generator. Empty means every arrival
 	// targets the backend's default model.
 	Mix []ModelShare
 }
 
+// closed reports whether the load is closed-loop.
+func (l Load) closed() bool { return l.Concurrency > 0 }
+
+// think draws one closed-loop think time: mean 1/Rate, exponential when
+// Poisson, constant otherwise; zero when Rate is 0. Shared by the
+// virtual-clock and wall-clock drivers so both sample the same
+// distribution (rng is only consulted under Poisson).
+func (l Load) think(rng *rand.Rand) time.Duration {
+	if l.Rate <= 0 {
+		return 0
+	}
+	t := 1 / l.Rate
+	if l.Poisson {
+		t = rng.ExpFloat64() / l.Rate
+	}
+	return time.Duration(t * float64(time.Second))
+}
+
 func (l Load) validate() error {
-	if l.Rate <= 0 || math.IsNaN(l.Rate) || math.IsInf(l.Rate, 0) {
+	if l.Concurrency < 0 {
+		return fmt.Errorf("serve: closed-loop concurrency %d", l.Concurrency)
+	}
+	if math.IsNaN(l.Rate) || math.IsInf(l.Rate, 0) {
+		return fmt.Errorf("serve: arrival rate %v", l.Rate)
+	}
+	if l.closed() {
+		if l.Rate < 0 {
+			return fmt.Errorf("serve: closed-loop think rate %v", l.Rate)
+		}
+	} else if l.Rate <= 0 {
 		return fmt.Errorf("serve: arrival rate %v", l.Rate)
 	}
 	if l.Requests < 0 {
@@ -64,36 +106,71 @@ func (l Load) validate() error {
 	return nil
 }
 
+// modelMix draws model names from a weighted Load.Mix via its
+// cumulative-weight table. The zero value (empty mix) always draws ""
+// (the backend's default). Shared by the open-loop/closed-loop virtual
+// generators and the wall-clock closed loop, so every driver samples
+// the same distribution for the same mix.
+type modelMix struct {
+	mix []ModelShare
+	cum []float64
+}
+
+func newModelMix(mix []ModelShare) modelMix {
+	m := modelMix{mix: mix}
+	total := 0.0
+	m.cum = make([]float64, len(mix))
+	for i, ms := range mix {
+		total += ms.Weight
+		m.cum[i] = total
+	}
+	return m
+}
+
+// draw picks a model name with the mix's weights from rng (unused when
+// the mix has fewer than two entries).
+func (m modelMix) draw(rng *rand.Rand) string {
+	switch len(m.mix) {
+	case 0:
+		return ""
+	case 1:
+		return m.mix[0].Model
+	}
+	x := rng.Float64() * m.cum[len(m.cum)-1]
+	for i, c := range m.cum {
+		if x < c {
+			return m.mix[i].Model
+		}
+	}
+	return m.mix[len(m.mix)-1].Model
+}
+
 // arrivalGen yields a deterministic, monotone sequence of arrival
 // offsets from t=0, each tagged with its mix-drawn model name.
 type arrivalGen struct {
 	load   Load
 	rng    *rand.Rand // interarrival draws (Poisson only)
 	mixRNG *rand.Rand // model-mix draws, independent of arrival times
-	cum    []float64  // cumulative mix weights
+	mix    modelMix
 	count  int
 	t      float64 // seconds
 }
 
 func (l Load) arrivals() *arrivalGen {
-	g := &arrivalGen{load: l}
+	g := &arrivalGen{load: l, mix: newModelMix(l.Mix)}
 	if l.Poisson {
 		g.rng = rand.New(rand.NewSource(l.Seed))
 	}
+	// rng draws interarrival times open-loop and think times closed-loop;
+	// non-Poisson spacing is deterministic and needs no generator.
 	if len(l.Mix) > 0 {
 		g.mixRNG = rand.New(rand.NewSource(l.Seed ^ 0x6d69780a)) // "mix" salt
-		total := 0.0
-		g.cum = make([]float64, len(l.Mix))
-		for i, ms := range l.Mix {
-			total += ms.Weight
-			g.cum[i] = total
-		}
 	}
 	return g
 }
 
-// next returns the next arrival offset and its model name ("" = the
-// backend's default), or false when the load is exhausted.
+// next returns the next open-loop arrival offset and its model name
+// ("" = the backend's default), or false when the load is exhausted.
 func (g *arrivalGen) next() (time.Duration, string, bool) {
 	g.count++
 	if g.load.Requests > 0 && g.count > g.load.Requests {
@@ -111,21 +188,26 @@ func (g *arrivalGen) next() (time.Duration, string, bool) {
 	return at, g.model(), true
 }
 
+// nextClosed returns a closed-loop user's next arrival: the think time
+// after its completion at now (zero when Rate is 0), tagged with the
+// mix-drawn model, or false when the request or duration budget is
+// spent. Draw order follows completion-event order, which the virtual
+// clock makes deterministic.
+func (g *arrivalGen) nextClosed(now time.Duration) (time.Duration, string, bool) {
+	g.count++
+	if g.load.Requests > 0 && g.count > g.load.Requests {
+		return 0, "", false
+	}
+	at := now + g.load.think(g.rng)
+	if g.load.Requests == 0 && at > g.load.Duration {
+		return 0, "", false
+	}
+	return at, g.model(), true
+}
+
 // model draws the arrival's model from the mix.
 func (g *arrivalGen) model() string {
-	switch len(g.load.Mix) {
-	case 0:
-		return ""
-	case 1:
-		return g.load.Mix[0].Model
-	}
-	x := g.mixRNG.Float64() * g.cum[len(g.cum)-1]
-	for i, c := range g.cum {
-		if x < c {
-			return g.load.Mix[i].Model
-		}
-	}
-	return g.load.Mix[len(g.load.Mix)-1].Model
+	return g.mix.draw(g.mixRNG)
 }
 
 // Event kinds of the discrete-event simulator.
@@ -142,9 +224,11 @@ type event struct {
 	kind int
 	// arrival / completion fields
 	model int
+	user  int // closed-loop user issuing the arrival; -1 open-loop
 	// completion-only fields
 	shard    int
 	arrivals []time.Duration
+	users    []int // closed-loop users of the batch, parallel to arrivals
 }
 
 type eventHeap []*event
@@ -162,9 +246,10 @@ func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h 
 
 // simModel is one registered model's queue and accounting inside a run.
 type simModel struct {
-	name string
-	at   []time.Duration // arrival times of admitted, undispatched requests
-	head int
+	name  string
+	at    []time.Duration // arrival times of admitted, undispatched requests
+	users []int           // closed-loop users, parallel to at; nil open-loop
+	head  int
 
 	offered, served, rejected int
 	batches, warm, cold       int
@@ -174,11 +259,13 @@ type simModel struct {
 func (m *simModel) qlen() int { return len(m.at) - m.head }
 
 // sim is the state of one Simulate run: the same admission queue,
-// per-model micro-batching policy and warm-first shard scheduling the
+// per-model micro-batching policy and warm-first group scheduling the
 // real Server applies, driven by events on a virtual clock.
 type sim struct {
-	backend Backend
-	opts    Options
+	backend   Backend
+	opts      Options
+	groupSize int  // slices per replica group
+	closed    bool // closed-loop load (Load.Concurrency users)
 
 	events eventHeap
 	seq    uint64
@@ -188,7 +275,7 @@ type sim struct {
 	index  map[string]int
 
 	freeShard []bool
-	staged    []int // model index staged per shard; -1 = never staged
+	staged    []int // model index staged per group shard; -1 = never staged
 	freeCount int
 
 	lastLinger time.Duration
@@ -209,25 +296,31 @@ type sim struct {
 	lastDepthT time.Duration
 }
 
-// Simulate runs the serving policy against an open-loop load on a
+// Simulate runs the serving policy against a generated load on a
 // deterministic virtual clock. No goroutines, no wall-clock sleeps:
-// service times come from Backend.ServiceTime (the analytic replica
-// estimate) plus Backend.ReloadTime on cold dispatches, so hundreds of
-// thousands of Inception-scale requests simulate in a few real seconds.
-// The same backend, options and load produce an identical LoadReport on
-// every run.
+// service times come from Backend.ServiceTime (the analytic
+// replica-group estimate) plus Backend.ReloadTime on cold dispatches, so
+// hundreds of thousands of Inception-scale requests simulate in a few
+// real seconds. The same backend, options and load produce an identical
+// LoadReport on every run.
 func Simulate(backend Backend, opts Options, load Load) (*LoadReport, error) {
-	o, err := opts.withDefaults(backend.System().Replicas())
+	o, err := opts.withDefaults(backend.System())
 	if err != nil {
 		return nil, err
 	}
 	if err := load.validate(); err != nil {
 		return nil, err
 	}
+	if load.closed() && load.Concurrency > o.QueueDepth {
+		return nil, fmt.Errorf("serve: closed-loop concurrency %d exceeds queue depth %d",
+			load.Concurrency, o.QueueDepth)
+	}
 	registered := backend.Models()
 	s := &sim{
 		backend:    backend,
 		opts:       o,
+		groupSize:  o.GroupSize,
+		closed:     load.closed(),
 		gen:        load.arrivals(),
 		index:      make(map[string]int, len(registered)),
 		freeShard:  make([]bool, o.Replicas),
@@ -251,14 +344,22 @@ func Simulate(backend Backend, opts Options, load Load) (*LoadReport, error) {
 	for i := range s.freeShard {
 		s.freeShard[i] = true
 		s.staged[i] = -1
-		s.shardUse[i].Shard = shardFor(i, slices)
+		s.shardUse[i].Shard = shardFor(i, slices, s.groupSize)
 	}
-	if at, model, ok := s.gen.next(); ok {
+	if s.closed {
+		// Seed the user population: every user issues its first request
+		// from t = 0 (after an initial think when Rate > 0).
+		for u := 0; u < load.Concurrency; u++ {
+			if err := s.scheduleUser(u, 0); err != nil {
+				return nil, err
+			}
+		}
+	} else if at, model, ok := s.gen.next(); ok {
 		mi, err := s.resolve(model)
 		if err != nil {
 			return nil, err
 		}
-		s.push(&event{at: at, kind: evArrival, model: mi})
+		s.push(&event{at: at, kind: evArrival, model: mi, user: -1})
 	}
 	for len(s.events) > 0 {
 		e := heap.Pop(&s.events).(*event)
@@ -269,13 +370,31 @@ func Simulate(backend Backend, opts Options, load Load) (*LoadReport, error) {
 				return nil, err
 			}
 		case evCompletion:
-			s.onCompletion(e)
+			if err := s.onCompletion(e); err != nil {
+				return nil, err
+			}
 		}
 		if err := s.tryDispatch(); err != nil {
 			return nil, err
 		}
 	}
 	return s.report(backend, load)
+}
+
+// scheduleUser pushes a closed-loop user's next arrival, drawn from the
+// think-time generator relative to `from`; exhausting the budget retires
+// the user.
+func (s *sim) scheduleUser(user int, from time.Duration) error {
+	at, model, ok := s.gen.nextClosed(from)
+	if !ok {
+		return nil
+	}
+	mi, err := s.resolve(model)
+	if err != nil {
+		return err
+	}
+	s.push(&event{at: at, kind: evArrival, model: mi, user: user})
+	return nil
 }
 
 // resolve maps a load-mix model name ("" = default) to its registry
@@ -313,27 +432,35 @@ func (s *sim) onArrival(e *event) error {
 		s.firstArrival = s.now
 	}
 	if s.depth >= s.opts.QueueDepth {
+		// Unreachable closed-loop: concurrency is validated against the
+		// queue depth, so the population can never overfill it.
 		s.rejected++
 		m.rejected++
 	} else {
 		s.syncDepth()
 		m.at = append(m.at, s.now)
+		if s.closed {
+			m.users = append(m.users, e.user)
+		}
 		s.depth++
 		if s.depth > s.maxDepth {
 			s.maxDepth = s.depth
 		}
+	}
+	if s.closed {
+		return nil // the next arrival chains off this request's completion
 	}
 	if at, model, ok := s.gen.next(); ok {
 		mi, err := s.resolve(model)
 		if err != nil {
 			return err
 		}
-		s.push(&event{at: at, kind: evArrival, model: mi})
+		s.push(&event{at: at, kind: evArrival, model: mi, user: -1})
 	}
 	return nil
 }
 
-func (s *sim) onCompletion(e *event) {
+func (s *sim) onCompletion(e *event) error {
 	s.freeShard[e.shard] = true
 	s.freeCount++
 	m := s.models[e.model]
@@ -344,6 +471,15 @@ func (s *sim) onCompletion(e *event) {
 		s.latencies = append(s.latencies, s.now-at)
 		m.latencies = append(m.latencies, s.now-at)
 	}
+	if s.closed {
+		// Each finished user thinks, then submits its next request.
+		for _, u := range e.users {
+			if err := s.scheduleUser(u, s.now); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
 }
 
 // tryDispatch applies the per-model micro-batching policy: a model is
@@ -381,28 +517,38 @@ func (s *sim) tryDispatch() error {
 		m := s.models[best]
 		n := min(m.qlen(), s.opts.MaxBatch)
 		batch := append([]time.Duration(nil), m.at[m.head:m.head+n]...)
+		var users []int
+		if s.closed {
+			users = append([]int(nil), m.users[m.head:m.head+n]...)
+		}
 		s.syncDepth()
 		m.head += n
 		s.depth -= n
 		if m.head == len(m.at) {
 			m.at, m.head = m.at[:0], 0
+			if s.closed {
+				m.users = m.users[:0]
+			}
 		} else if m.head > 4096 && m.head > len(m.at)/2 {
 			m.at = append(m.at[:0], m.at[m.head:]...)
+			if s.closed {
+				m.users = append(m.users[:0], m.users[m.head:]...)
+			}
 			m.head = 0
 		}
 		shard, warmHit := s.takeShard(best)
-		st, err := s.backend.ServiceTime(m.name, n)
+		st, err := s.backend.ServiceTime(m.name, n, s.groupSize)
 		if err != nil {
 			return err
 		}
 		if !warmHit {
-			rel, err := s.backend.ReloadTime(m.name)
+			rel, err := s.backend.ReloadTime(m.name, s.groupSize)
 			if err != nil {
 				return err
 			}
 			st += rel
 		}
-		s.push(&event{at: s.now + st, kind: evCompletion, shard: shard, model: best, arrivals: batch})
+		s.push(&event{at: s.now + st, kind: evCompletion, shard: shard, model: best, arrivals: batch, users: users})
 		s.batches++
 		s.batched += n
 		m.batches++
@@ -424,9 +570,9 @@ func (s *sim) tryDispatch() error {
 	return nil
 }
 
-// takeShard claims the best free replica for the model via the same
-// warm-first policy the Server's pool applies (pickShard); a cold claim
-// restages the replica.
+// takeShard claims the best free replica group for the model via the
+// same warm-first policy the Server's pool applies (pickShard); a cold
+// claim restages the group.
 func (s *sim) takeShard(model int) (int, bool) {
 	id, warm := pickShard(s.freeShard, s.staged, model, -1)
 	if id < 0 {
@@ -442,23 +588,27 @@ func (s *sim) takeShard(model int) (int, bool) {
 
 func (s *sim) report(backend Backend, load Load) (*LoadReport, error) {
 	r := &LoadReport{
-		Backend:    backend.Name(),
-		Model:      modelList(backend),
-		Replicas:   s.opts.Replicas,
-		MaxBatch:   s.opts.MaxBatch,
-		MaxLinger:  s.opts.MaxLinger,
-		QueueDepth: s.opts.QueueDepth,
-		Virtual:    true,
-		Offered:    s.offered,
-		Served:     s.served,
-		Rejected:   s.rejected,
-		Batches:    s.batches,
+		Backend:     backend.Name(),
+		Model:       modelList(backend),
+		Replicas:    s.opts.Replicas,
+		MaxBatch:    s.opts.MaxBatch,
+		MaxLinger:   s.opts.MaxLinger,
+		QueueDepth:  s.opts.QueueDepth,
+		Concurrency: load.Concurrency,
+		Virtual:     true,
+		Offered:     s.offered,
+		Served:      s.served,
+		Rejected:    s.rejected,
+		Batches:     s.batches,
 
 		WarmDispatches: s.warm,
 		ColdDispatches: s.cold,
 
 		MaxQueueDepth: s.maxDepth,
 		PerShard:      s.shardUse,
+	}
+	if s.groupSize > 1 {
+		r.GroupSize = s.groupSize
 	}
 	if s.batches > 0 {
 		r.MeanBatch = float64(s.batched) / float64(s.batches)

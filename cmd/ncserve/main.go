@@ -28,6 +28,18 @@
 // per-user think rate; 0 = none), exposing latency under admission
 // control.
 //
+// -plan turns on the mix-aware residency planner: warm sets are sized
+// from the -mix weights and pre-staged across the replica groups, and
+// the group size is co-selected over the divisors of -slices (an
+// explicit -group pins it instead). Pinned groups only ever serve their
+// model, so steady traffic dispatches warm. -replan-threshold x attaches
+// the online drift controller, and -mix-shift shifts the traffic mix
+// mid-run (t:w1,w2,... — weights match -models; repeat with
+// semicolons), the scenario the controller chases by restaging groups.
+// The plan (assignment table, predictions, predicted vs observed cold
+// dispatches) is printed with the report in text and embedded in -json
+// output.
+//
 // Usage:
 //
 //	ncserve -model inception -rate 2000 -requests 100000
@@ -35,6 +47,9 @@
 //	ncserve -model inception -group 2 -requests 100000
 //	ncserve -model inception -sweep-groups 1,2,7,14 -requests 50000 -json
 //	ncserve -model inception -concurrency 64 -requests 50000
+//	ncserve -models inception,resnet -mix 0.8,0.2 -rate 600 -plan -json
+//	ncserve -models inception,resnet -mix 0.8,0.2 -rate 600 -group 7 -plan \
+//	        -replan-threshold 0.15 -mix-shift 15s:0.2,0.8 -requests 30000
 //	ncserve -backend bitexact -models small,smallresnet -mix 1,1 -requests 16 -rate 500
 //	ncserve -model resnet -slices 24 -replicas 12 -duration 2s -rate 1000
 package main
@@ -51,6 +66,7 @@ import (
 	"time"
 
 	"neuralcache"
+	"neuralcache/plan"
 	"neuralcache/serve"
 )
 
@@ -78,8 +94,17 @@ func main() {
 		poisson     = flag.Bool("poisson", true, "Poisson (exponential) interarrivals/think times; false = uniform spacing")
 		seed        = flag.Int64("seed", 42, "arrival / mix / weight / input seed")
 		jsonOut     = flag.Bool("json", false, "emit the load report (or group sweep) as JSON")
+		planFlag    = flag.Bool("plan", false, "pre-stage warm sets from the mix (co-selects the group size unless -group is given)")
+		replanThr   = flag.Float64("replan-threshold", 0, "mix drift (total variation, 0-1) that triggers an online re-plan; 0 = no controller (needs -plan)")
+		mixShift    = flag.String("mix-shift", "", "mid-run mix shifts, t:w1,w2,... with weights matching -models; semicolon-separated")
 	)
 	flag.Parse()
+	groupSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "group" {
+			groupSet = true
+		}
+	})
 
 	cfg := neuralcache.DefaultConfig()
 	cfg.Slices = *slices
@@ -135,6 +160,13 @@ func main() {
 		Poisson:     *poisson,
 		Concurrency: *concurrency,
 		Mix:         parseMix(names, *mix),
+		MixSchedule: parseMixShifts(names, *mixShift),
+	}
+	if *replanThr != 0 && !*planFlag {
+		log.Fatal("-replan-threshold requires -plan")
+	}
+	if *planFlag && *sweepGroups != "" {
+		log.Fatal("-plan cannot be combined with -sweep-groups (the planner co-selects one group size)")
 	}
 
 	if *sweepGroups != "" {
@@ -170,11 +202,28 @@ func main() {
 		return
 	}
 
+	applyPlan := func() {
+		if !*planFlag {
+			return
+		}
+		p := computePlan(sys, resident, load, opts, groupSet, *group)
+		opts.Plan = p
+		opts.GroupSize = p.GroupSize
+		if *replanThr != 0 {
+			opts.Replan = plan.ControllerConfig{Threshold: *replanThr}
+		}
+		if !*jsonOut {
+			fmt.Println(p)
+			fmt.Println()
+		}
+	}
+
 	var rep *serve.LoadReport
 	switch *backend {
 	case "analytic":
 		be := serve.NewAnalyticBackend(sys, resident[0], resident[1:]...)
 		fillLoad(&load, be, opts, 100_000)
+		applyPlan()
 		rep, err = serve.Simulate(be, opts, load)
 	case "bitexact":
 		for _, m := range resident {
@@ -182,6 +231,7 @@ func main() {
 		}
 		be := serve.NewBitExactBackend(sys, resident[0], resident[1:]...)
 		fillLoad(&load, be, opts, 64)
+		applyPlan()
 		var srv *serve.Server
 		srv, err = serve.NewServer(be, opts)
 		if err != nil {
@@ -226,6 +276,55 @@ func parseGroups(s string) []int {
 			log.Fatalf("-sweep-groups entry %q: %v", p, err)
 		}
 		out[i] = k
+	}
+	return out
+}
+
+// computePlan builds the residency plan for the run: Compute at an
+// explicitly given -group, CoSelect over the slice count's divisors
+// otherwise. The queueing predictions assume the open-loop arrival
+// rate; closed-loop runs plan latency-only (the offered rate emerges
+// from the population).
+func computePlan(sys *neuralcache.System, resident []*neuralcache.Model, load serve.Load, opts serve.Options, groupSet bool, group int) *plan.Plan {
+	shares := make([]plan.Share, len(load.Mix))
+	for i, ms := range load.Mix {
+		shares[i] = plan.Share{Model: ms.Model, Weight: ms.Weight}
+	}
+	po := plan.Options{MaxBatch: opts.MaxBatch}
+	if load.Concurrency == 0 {
+		po.RatePerSec = load.Rate
+	}
+	var p *plan.Plan
+	var err error
+	if groupSet {
+		po.GroupSize = group
+		p, err = plan.Compute(sys, resident, shares, po)
+	} else {
+		p, err = plan.CoSelect(sys, resident, shares, po)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	return p
+}
+
+// parseMixShifts parses the -mix-shift schedule: semicolon-separated
+// t:w1,w2,... entries whose weights match -models.
+func parseMixShifts(names []string, s string) []serve.MixShift {
+	if s == "" {
+		return nil
+	}
+	var out []serve.MixShift
+	for _, entry := range strings.Split(s, ";") {
+		at, weights, ok := strings.Cut(strings.TrimSpace(entry), ":")
+		if !ok {
+			log.Fatalf("-mix-shift entry %q: want t:w1,w2,...", entry)
+		}
+		t, err := time.ParseDuration(strings.TrimSpace(at))
+		if err != nil {
+			log.Fatalf("-mix-shift time %q: %v", at, err)
+		}
+		out = append(out, serve.MixShift{At: t, Mix: parseMix(names, weights)})
 	}
 	return out
 }

@@ -85,6 +85,20 @@ func (s *System) GroupSize() int {
 // GroupSize of 1 this is Replicas().
 func (s *System) ReplicaGroups() int { return s.cfg.Slices * s.cfg.Sockets / s.GroupSize() }
 
+// GroupSizes returns every valid replica-group size — the divisors of
+// the slice count, ascending. This is the candidate set a group-size
+// search (plan.CoSelect, serve.SweepGroups callers) walks: any other k
+// fails the must-divide-Slices validation everywhere groups are priced.
+func (s *System) GroupSizes() []int {
+	var ks []int
+	for k := 1; k <= s.cfg.Slices; k++ {
+		if s.cfg.Slices%k == 0 {
+			ks = append(ks, k)
+		}
+	}
+	return ks
+}
+
 // EstimateReplica prices a batch of inferences on one replica group —
 // Config.GroupSize consecutive LLC slices of a single socket — with the
 // analytic engine. This is the per-shard service time the serving

@@ -35,9 +35,15 @@
 // scheduler prices dispatches with (System.EstimateReplicaGroup for an
 // explicit k), System.EstimateReload the weight-reload cost of a model
 // switch; serve.SweepGroups walks the Table IV-style group-size
-// frontier. cmd/ncserve is the load-testing CLI (-models a,b -mix
-// 0.7,0.3 for mixed traffic, -group k / -sweep-groups 1,2,7 for group
-// sizing, -concurrency N for closed-loop load).
+// frontier. Package neuralcache/plan turns those estimates into
+// residency decisions ahead of traffic: plan.Compute sizes per-model
+// warm sets from mix weights, plan.CoSelect searches the group size
+// (System.GroupSizes) minimizing predicted p99, and plan.Controller
+// re-balances online when the served mix drifts. cmd/ncserve is the
+// load-testing CLI (-models a,b -mix 0.7,0.3 for mixed traffic,
+// -group k / -sweep-groups 1,2,7 for group sizing, -concurrency N for
+// closed-loop load, -plan / -replan-threshold / -mix-shift for
+// planned residency under drift).
 //
 // Bit-accurate runs execute a layer's independent work groups in parallel
 // on a worker pool sized by Config.Workers (default GOMAXPROCS),

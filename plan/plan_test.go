@@ -1,0 +1,281 @@
+package plan
+
+import (
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"neuralcache"
+)
+
+func newSystem(t testing.TB) *neuralcache.System {
+	t.Helper()
+	sys, err := neuralcache.New(neuralcache.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+func twoModels() []*neuralcache.Model {
+	return []*neuralcache.Model{neuralcache.InceptionV3(), neuralcache.ResNet18()}
+}
+
+func shares(w1, w2 float64) []Share {
+	return []Share{{Model: "inception_v3", Weight: w1}, {Model: "resnet_18", Weight: w2}}
+}
+
+// TestNormalize pins the mix rules: relative weights normalize over
+// their sum, zero weights are allowed, negative / NaN / infinite
+// weights and zero-sum mixes are rejected, and an empty mix routes
+// everything to the first model.
+func TestNormalize(t *testing.T) {
+	models := twoModels()
+	w, err := Normalize(models, shares(7, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(w[0]-0.7) > 1e-12 || math.Abs(w[1]-0.3) > 1e-12 {
+		t.Fatalf("weights {7,3} normalized to %v, want {0.7, 0.3}", w)
+	}
+	w2, err := Normalize(models, shares(0.7, 0.3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(w, w2) {
+		t.Fatalf("normalization is not scale-invariant: %v vs %v", w, w2)
+	}
+	// Zero weight: allowed, model planned with no warm set.
+	w, err = Normalize(models, shares(1, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w[0] != 1 || w[1] != 0 {
+		t.Fatalf("weights {1,0}: %v", w)
+	}
+	// "" resolves to the first model; empty mix puts all weight there.
+	w, err = Normalize(models, []Share{{Model: "", Weight: 2}})
+	if err != nil || w[0] != 1 {
+		t.Fatalf("default-model share: %v, %v", w, err)
+	}
+	if w, err = Normalize(models, nil); err != nil || w[0] != 1 {
+		t.Fatalf("empty mix: %v, %v", w, err)
+	}
+	for _, bad := range [][]Share{
+		shares(-1, 2),
+		shares(math.NaN(), 1),
+		shares(math.Inf(1), 1),
+		shares(0, 0),
+		{{Model: "nope", Weight: 1}},
+		{{Model: "inception_v3", Weight: 1}, {Model: "inception_v3", Weight: 1}},
+	} {
+		if _, err := Normalize(models, bad); err == nil {
+			t.Fatalf("Normalize accepted %+v", bad)
+		}
+	}
+	if _, err := Normalize(nil, nil); err == nil {
+		t.Fatal("Normalize accepted an empty model list")
+	}
+}
+
+// TestApportion pins the warm-set split: proportional by largest
+// remainder, at least one group per active model, exact total, and
+// refusal when the groups cannot cover the active models.
+func TestApportion(t *testing.T) {
+	cases := []struct {
+		weights []float64
+		total   int
+		want    []int
+	}{
+		{[]float64{0.5, 0.5}, 4, []int{2, 2}},
+		{[]float64{0.8, 0.2}, 4, []int{3, 1}},
+		{[]float64{0.75, 0.25}, 4, []int{3, 1}}, // remainder tie breaks on model order
+		{[]float64{0.5, 0.5}, 2, []int{1, 1}},
+		{[]float64{0.98, 0.01, 0.01}, 3, []int{1, 1, 1}}, // floor one each
+		{[]float64{0.9, 0.1}, 28, []int{24, 4}},
+		{[]float64{1, 0}, 4, []int{4, 0}}, // zero-weight models get nothing
+	}
+	for _, tc := range cases {
+		got, err := apportion(tc.weights, tc.total, false)
+		if err != nil {
+			t.Fatalf("apportion(%v, %d): %v", tc.weights, tc.total, err)
+		}
+		if !reflect.DeepEqual(got, tc.want) {
+			t.Fatalf("apportion(%v, %d) = %v, want %v", tc.weights, tc.total, got, tc.want)
+		}
+	}
+	if _, err := apportion([]float64{0.4, 0.3, 0.3}, 2, false); err == nil {
+		t.Fatal("apportion packed 3 active models into 2 groups")
+	}
+	if _, err := apportion([]float64{0, 0}, 4, false); err == nil {
+		t.Fatal("apportion accepted an all-zero mix")
+	}
+}
+
+// TestCompute checks a full plan at k=7: contiguous warm sets sized
+// [3,1] for an 0.8/0.2 mix over 4 groups, predictions wired to the
+// facade estimates, and the ReplicaGroups(k) ≥ Σ warm sets constraint
+// holding by construction.
+func TestCompute(t *testing.T) {
+	sys := newSystem(t)
+	models := twoModels()
+	p, err := Compute(sys, models, shares(0.8, 0.2), Options{GroupSize: 7, MaxBatch: 16, RatePerSec: 400})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.GroupSize != 7 || p.Groups != 4 {
+		t.Fatalf("k=%d groups=%d, want 7 and 4", p.GroupSize, p.Groups)
+	}
+	if got := []int(p.Models[0].Groups); !reflect.DeepEqual(got, []int{0, 1, 2}) {
+		t.Fatalf("inception warm set %v, want [0 1 2]", got)
+	}
+	if got := []int(p.Models[1].Groups); !reflect.DeepEqual(got, []int{3}) {
+		t.Fatalf("resnet warm set %v, want [3]", got)
+	}
+	if p.PinnedGroups() > p.Groups {
+		t.Fatalf("pinned %d groups of %d", p.PinnedGroups(), p.Groups)
+	}
+	if len(p.Overflow) != 0 {
+		t.Fatalf("unexpected overflow %v", p.Overflow)
+	}
+	// Predictions match the facade estimates, rounded like the serve
+	// backends round them.
+	est, err := sys.EstimateReplicaGroup(models[0], 16, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := time.Duration(est.LatencySeconds * float64(time.Second)); p.Models[0].BatchService != want {
+		t.Fatalf("batch service %v, want %v", p.Models[0].BatchService, want)
+	}
+	rel, err := sys.EstimateReloadGroup(models[0], 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := time.Duration(rel.Seconds * float64(time.Second)); p.Models[0].Reload != want {
+		t.Fatalf("reload %v, want %v", p.Models[0].Reload, want)
+	}
+	if p.Models[0].CapacityPerSec <= 0 || p.Models[0].PredictedP99 <= p.Models[0].BatchService {
+		t.Fatalf("degenerate predictions: %+v", p.Models[0])
+	}
+	if p.PredictedP99 <= 0 || p.WorstColdStart <= p.Models[0].BatchService {
+		t.Fatalf("plan predictions: p99 %v, worst cold %v", p.PredictedP99, p.WorstColdStart)
+	}
+	wantRestage := 3*p.Models[0].Reload + 1*p.Models[1].Reload
+	if p.RestageCost != wantRestage {
+		t.Fatalf("restage cost %v, want %v", p.RestageCost, wantRestage)
+	}
+	if p.PredictedColdDispatches != 4 {
+		t.Fatalf("predicted cold dispatches %d, want 4 (one per pinned group)", p.PredictedColdDispatches)
+	}
+	pin := p.Pinned()
+	want := []string{"inception_v3", "inception_v3", "inception_v3", "resnet_18"}
+	if !reflect.DeepEqual(pin, want) {
+		t.Fatalf("pinned map %v, want %v", pin, want)
+	}
+	if s := p.String(); !strings.Contains(s, "inception_v3") || !strings.Contains(s, "0-2") {
+		t.Fatalf("plan rendering missing assignment:\n%s", s)
+	}
+	// Determinism: same inputs, identical plan.
+	again, err := Compute(sys, models, shares(0.8, 0.2), Options{GroupSize: 7, MaxBatch: 16, RatePerSec: 400})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(p, again) {
+		t.Fatal("Compute is not deterministic")
+	}
+}
+
+// TestComputeOverflow reserves free-for-all groups: they come off the
+// top of the warm-set budget and are listed in Overflow.
+func TestComputeOverflow(t *testing.T) {
+	sys := newSystem(t)
+	p, err := Compute(sys, twoModels(), shares(1, 1), Options{GroupSize: 7, MaxBatch: 16, Overflow: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.PinnedGroups() != 3 || !reflect.DeepEqual(p.Overflow, []int{3}) {
+		t.Fatalf("overflow plan: pinned %d, overflow %v", p.PinnedGroups(), p.Overflow)
+	}
+	if _, err := Compute(sys, twoModels(), shares(1, 1), Options{GroupSize: 7, Overflow: 4}); err == nil {
+		t.Fatal("Compute accepted overflow eating every group")
+	}
+}
+
+// TestComputeRefusals pins the error paths: non-divisor k, more active
+// models than groups (the ping-pong guard), and invalid options.
+func TestComputeRefusals(t *testing.T) {
+	sys := newSystem(t)
+	models := twoModels()
+	if _, err := Compute(sys, models, shares(1, 1), Options{GroupSize: 3}); err == nil {
+		t.Fatal("Compute accepted a non-divisor group size")
+	}
+	// Three active models cannot pin onto k=14's two groups.
+	three := append(twoModels(), neuralcache.SmallCNN())
+	mix3 := []Share{{Model: "inception_v3", Weight: 1}, {Model: "resnet_18", Weight: 1}, {Model: "small_cnn", Weight: 1}}
+	if _, err := Compute(sys, three, mix3, Options{GroupSize: 14}); err == nil {
+		t.Fatal("Compute pinned 3 active models onto 2 groups")
+	}
+	if _, err := Compute(sys, models, shares(1, 1), Options{GroupSize: 7, MaxBatch: -1}); err == nil {
+		t.Fatal("Compute accepted a negative batch")
+	}
+	if _, err := Compute(sys, models, shares(1, 1), Options{GroupSize: 7, RatePerSec: math.NaN()}); err == nil {
+		t.Fatal("Compute accepted a NaN rate")
+	}
+}
+
+// TestCoSelect pins the co-selection behavior across load regimes on
+// the default 14-slice, 2-socket system: at low rate the biggest
+// groups win (latency-only), at moderate two-model rate k=7 beats the
+// k=14 ping-pong regime, and near saturation the search falls back to
+// small groups for capacity. The candidate set defaults to the slice
+// count's divisors.
+func TestCoSelect(t *testing.T) {
+	sys := newSystem(t)
+	if got := sys.GroupSizes(); !reflect.DeepEqual(got, []int{1, 2, 7, 14}) {
+		t.Fatalf("GroupSizes() = %v", got)
+	}
+	models := twoModels()
+	for _, tc := range []struct {
+		rate float64
+		want int
+	}{
+		{200, 14}, // light load: biggest groups, lowest latency
+		{400, 7},  // moderate: k=14's two groups would saturate their queues
+		{800, 1},  // heavy: only many small groups hold the rate
+	} {
+		p, err := CoSelect(sys, models, shares(1, 1), Options{MaxBatch: 16, RatePerSec: tc.rate})
+		if err != nil {
+			t.Fatalf("rate %.0f: %v", tc.rate, err)
+		}
+		if p.GroupSize != tc.want {
+			t.Fatalf("rate %.0f: co-selected k=%d, want %d", tc.rate, p.GroupSize, tc.want)
+		}
+		if p.Saturated {
+			t.Fatalf("rate %.0f: co-selected a saturated plan", tc.rate)
+		}
+	}
+	// Latency-only scoring (no rate): biggest groups always win.
+	p, err := CoSelect(sys, models, shares(1, 1), Options{MaxBatch: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.GroupSize != 14 {
+		t.Fatalf("latency-only co-selection picked k=%d, want 14", p.GroupSize)
+	}
+	// An explicit candidate list narrows the search.
+	p, err = CoSelect(sys, models, shares(1, 1), Options{MaxBatch: 16, RatePerSec: 400, GroupSizes: []int{7, 14}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.GroupSize != 7 {
+		t.Fatalf("co-selection over {7,14} picked k=%d, want 7", p.GroupSize)
+	}
+	// No feasible candidate: three active models, only k=14 offered.
+	three := append(twoModels(), neuralcache.SmallCNN())
+	mix3 := []Share{{Model: "inception_v3", Weight: 1}, {Model: "resnet_18", Weight: 1}, {Model: "small_cnn", Weight: 1}}
+	if _, err := CoSelect(sys, three, mix3, Options{GroupSizes: []int{14}}); err == nil {
+		t.Fatal("CoSelect found a plan with no feasible candidate")
+	}
+}

@@ -97,9 +97,10 @@ func LoadTest(srv *Server, load Load, inputs func(i int, model string) *neuralca
 	if err := load.validate(); err != nil {
 		return nil, err
 	}
-	// Resolve every mix entry up front so unknown models fail fast.
-	for _, ms := range load.Mix {
-		if _, err := srv.backend.Lookup(ms.Model); err != nil {
+	// Resolve every mix entry — including scheduled shifts — up front
+	// so unknown models fail fast.
+	for _, name := range load.models() {
+		if _, err := srv.backend.Lookup(name); err != nil {
 			return nil, err
 		}
 	}
@@ -140,6 +141,10 @@ func LoadTest(srv *Server, load Load, inputs func(i int, model string) *neuralca
 		// MaxQueueDepth is the server-lifetime high-water (a max cannot
 		// be windowed); the mean is differenced to this run's admissions.
 		MaxQueueDepth: after.QueueHighWater,
+
+		Plan:     srv.Plan(),
+		Restages: int(after.Restages - before.Restages),
+		Replans:  int(after.Replans - before.Replans),
 	}
 	if o.GroupSize > 1 {
 		rep.GroupSize = o.GroupSize
@@ -231,7 +236,7 @@ func openLoop(srv *Server, load Load, inputs func(i int, model string) *neuralca
 // the submission window otherwise. Each user owns a seeded generator, so
 // the wall-clock run is as reproducible as real sleeps allow.
 func closedLoop(srv *Server, load Load, inputs func(i int, model string) *neuralcache.Tensor, results *loadResults) error {
-	mix := newModelMix(load.Mix)
+	epochs := load.mixEpochs()
 	start := time.Now()
 	var arrivals atomic.Int64
 	var failed atomic.Bool
@@ -263,7 +268,7 @@ func closedLoop(srv *Server, load Load, inputs func(i int, model string) *neural
 				if load.Requests == 0 && time.Since(start) > load.Duration {
 					return
 				}
-				m, err := srv.backend.Lookup(mix.draw(rng))
+				m, err := srv.backend.Lookup(mixAt(epochs, time.Since(start)).draw(rng))
 				if err != nil {
 					failed.Store(true)
 					errs <- err
@@ -307,6 +312,7 @@ func diffShards(before, after []ShardUsage) []ShardUsage {
 			out[i].Requests -= before[i].Requests
 			out[i].Busy -= before[i].Busy
 			out[i].Reloads -= before[i].Reloads
+			out[i].Restages -= before[i].Restages
 		}
 		out[i].Utilization = 0
 	}

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"neuralcache/internal/report"
+	"neuralcache/plan"
 )
 
 // ModelUsage is one registered model's share of a load run.
@@ -93,6 +94,23 @@ type LoadReport struct {
 	PerModel    []ModelUsage `json:"per_model,omitempty"`
 	PerShard    []ShardUsage `json:"per_shard"`
 	Histogram   []HistBucket `json:"histogram"`
+
+	// Plan is the residency plan active at the end of the run (the
+	// last controller re-plan, or Options.Plan verbatim); nil for
+	// reactive runs — absent from JSON so unplanned reports keep the
+	// historical schema.
+	Plan *plan.Plan `json:"plan,omitempty"`
+	// Restages counts planner-driven weight stagings: the startup
+	// pre-stage of every pinned group plus controller rebalances. Cold
+	// dispatches are counted separately — a planned run's total reload
+	// traffic is Restages + ColdDispatches. Like the shard tallies,
+	// LoadTest windows this to its own run, so a server's startup
+	// pre-stages (paid before the load began) appear in Server.Stats
+	// but not here; Simulate reports them, its window being the whole
+	// run.
+	Restages int `json:"restages,omitempty"`
+	// Replans counts controller re-plans applied during the run.
+	Replans int `json:"replans,omitempty"`
 }
 
 // finish derives capacity, percentiles, histogram, utilization and the
@@ -259,6 +277,11 @@ func (r *LoadReport) String() string {
 	fmt.Fprintf(&b, "offered %d  served %d  rejected %d  batches %d (mean %.2f, %d warm / %d cold)\n",
 		r.Offered, r.Served, r.Rejected, r.Batches, r.MeanBatch,
 		r.WarmDispatches, r.ColdDispatches)
+	if r.Plan != nil {
+		fmt.Fprintf(&b, "residency plan: %d groups pinned, %d overflow; %d restages, %d replans; cold dispatches predicted %d, observed %d (+%d restages)\n",
+			r.Plan.PinnedGroups(), len(r.Plan.Overflow), r.Restages, r.Replans,
+			r.Plan.PredictedColdDispatches, r.ColdDispatches, r.Restages)
+	}
 	fmt.Fprintf(&b, "makespan %v (%s clock)  throughput %.1f/s  capacity %.1f/s  utilization %s\n",
 		r.Makespan.Round(time.Microsecond), clock,
 		r.ThroughputPerSec, r.CapacityPerSec, report.Pct(r.Utilization))
@@ -290,11 +313,30 @@ func (r *LoadReport) String() string {
 		b.WriteByte('\n')
 	}
 	if len(r.PerShard) > 0 {
-		t := report.NewTable("Replica-group utilization", "Group", "Batches", "Requests", "Reloads", "Busy", "Util")
-		for _, u := range r.PerShard {
-			t.Add(u.Shard.String(), fmt.Sprint(u.Batches), fmt.Sprint(u.Requests),
-				fmt.Sprint(u.Reloads),
-				u.Busy.Round(time.Microsecond).String(), report.Pct(u.Utilization))
+		// Planned reports add Pinned/Restages columns after Group and
+		// Reloads respectively; the row shape is otherwise shared.
+		var pinned []string
+		cols := []string{"Group", "Batches", "Requests", "Reloads", "Busy", "Util"}
+		if r.Plan != nil {
+			pinned = r.Plan.Pinned()
+			cols = []string{"Group", "Pinned", "Batches", "Requests", "Reloads", "Restages", "Busy", "Util"}
+		}
+		t := report.NewTable("Replica-group utilization", cols...)
+		for i, u := range r.PerShard {
+			row := []string{u.Shard.String()}
+			if pinned != nil {
+				pin := "-"
+				if i < len(pinned) && pinned[i] != "" {
+					pin = pinned[i]
+				}
+				row = append(row, pin)
+			}
+			row = append(row, fmt.Sprint(u.Batches), fmt.Sprint(u.Requests), fmt.Sprint(u.Reloads))
+			if pinned != nil {
+				row = append(row, fmt.Sprint(u.Restages))
+			}
+			row = append(row, u.Busy.Round(time.Microsecond).String(), report.Pct(u.Utilization))
+			t.Add(row...)
 		}
 		b.WriteString(t.String())
 	}

@@ -38,6 +38,19 @@
 // virtual-clock simulator. LoadReport splits dispatches into warm/cold
 // counts and carries per-model latency percentiles and throughput.
 //
+// # Residency planning
+//
+// The warm-first scheduler is reactive: it discovers contention by
+// paying reloads. Options.Plan applies a mix-aware residency plan
+// (package plan) instead — each model gets a warm set of pinned groups
+// sized from its traffic share, pre-staged at startup (charged as
+// Restages in the report) and never evicted by other models, while the
+// plan's overflow groups stay free-for-all. Options.Replan attaches
+// plan.Controller, which tracks the served mix with a time-decayed
+// EWMA and restages groups when the mix drifts — deterministically on
+// Simulate's virtual clock (Load.MixSchedule generates the drift) and
+// live on the real Server.
+//
 // Two backends implement the Backend interface:
 //
 //   - NewBitExactBackend executes every request bit-accurately via
@@ -80,6 +93,7 @@ import (
 	"time"
 
 	"neuralcache"
+	"neuralcache/plan"
 )
 
 // joinModelNames renders a model set as a separator-joined name list,
@@ -123,6 +137,26 @@ type Options struct {
 	// Slices × Sockets / GroupSize. 0 means all of them; fewer models
 	// reserving cache capacity for the host workload.
 	Replicas int
+	// Plan applies a mix-aware residency plan (plan.Compute /
+	// plan.CoSelect) to the scheduler: pinned groups are pre-staged
+	// with their model's weights at startup (each staging charged as a
+	// Restage) and only ever serve — and evict within — their assigned
+	// model's traffic, while the plan's overflow groups stay
+	// free-for-all under the reactive warm-first policy. The plan's
+	// GroupSize must match Options.GroupSize (a zero GroupSize adopts
+	// the plan's) and its group count must equal the scheduled
+	// Replicas; every model it names must be registered, and every
+	// registered model must stay servable (a warm set, or at least one
+	// overflow group). nil keeps the purely reactive scheduler.
+	Plan *plan.Plan
+	// Replan attaches plan.Controller to a planned run: the served mix
+	// is tracked with a time-decayed EWMA and, when it drifts more than
+	// Replan.Threshold (total variation) from the active plan's mix,
+	// the warm sets are recomputed at the same group size and the delta
+	// applied as explicit group restages — deterministically on
+	// Simulate's virtual clock, live on the real Server. Requires Plan;
+	// the zero value disables.
+	Replan plan.ControllerConfig
 }
 
 // NoLinger disables the batcher's linger wait: a batch dispatches as
@@ -145,7 +179,11 @@ func (o Options) withDefaults(sys *neuralcache.System) (Options, error) {
 		o.MaxLinger = 0
 	}
 	if o.GroupSize == 0 {
-		o.GroupSize = sys.GroupSize()
+		if o.Plan != nil {
+			o.GroupSize = o.Plan.GroupSize
+		} else {
+			o.GroupSize = sys.GroupSize()
+		}
 	}
 	slices := sys.Config().Slices
 	if o.GroupSize < 0 {
@@ -169,6 +207,18 @@ func (o Options) withDefaults(sys *neuralcache.System) (Options, error) {
 			o.Replicas, totalGroups, slices, sys.Config().Sockets, o.GroupSize)
 	case o.QueueDepth < o.MaxBatch:
 		return o, fmt.Errorf("serve: queue depth %d below max batch %d", o.QueueDepth, o.MaxBatch)
+	}
+	if o.Plan != nil {
+		if o.Plan.GroupSize != o.GroupSize {
+			return o, fmt.Errorf("serve: plan assumes replica groups of %d slices, options use %d",
+				o.Plan.GroupSize, o.GroupSize)
+		}
+		if o.Plan.Groups != o.Replicas {
+			return o, fmt.Errorf("serve: plan assigns %d replica groups, options schedule %d",
+				o.Plan.Groups, o.Replicas)
+		}
+	} else if o.Replan.Enabled() {
+		return o, fmt.Errorf("serve: replan controller needs Options.Plan")
 	}
 	return o, nil
 }
@@ -243,6 +293,91 @@ func pickShard[T comparable](free []bool, staged []T, want, empty T) (id int, wa
 	return bestFree, false
 }
 
+// pickPlanned is the plan-aware variant of pickShard: the model may
+// claim its own pinned groups and the overflow pool, never another
+// model's pinned groups. Preference order: warm pinned > warm overflow
+// > cold pinned > never-staged overflow > any overflow (evict). Returns
+// -1 when no eligible group is free — unlike the reactive policy, a
+// free-but-foreign group does not count.
+func pickPlanned[T comparable](free []bool, staged, pinned []T, want, none, empty T) (id int, warm bool) {
+	coldPinned, overWarm, overEmpty, overAny := -1, -1, -1, -1
+	for i, f := range free {
+		if !f {
+			continue
+		}
+		switch pinned[i] {
+		case want:
+			if staged[i] == want {
+				return i, true
+			}
+			if coldPinned < 0 {
+				coldPinned = i
+			}
+		case none:
+			switch {
+			case staged[i] == want:
+				if overWarm < 0 {
+					overWarm = i
+				}
+			case staged[i] == empty:
+				if overEmpty < 0 {
+					overEmpty = i
+				}
+			}
+			if overAny < 0 {
+				overAny = i
+			}
+		}
+	}
+	if overWarm >= 0 {
+		return overWarm, true
+	}
+	for _, id := range []int{coldPinned, overEmpty, overAny} {
+		if id >= 0 {
+			return id, false
+		}
+	}
+	return -1, false
+}
+
+// planServable checks that a plan leaves every registered model an
+// eligible replica group: a pinned warm set, or at least one overflow
+// group to serve from cold. Without one, that model's requests would
+// wait forever.
+func planServable(p *plan.Plan, models []*neuralcache.Model) error {
+	if len(p.Overflow) > 0 {
+		return nil
+	}
+	pinned := make(map[string]bool, len(p.Models))
+	for _, mp := range p.Models {
+		if len(mp.Groups) > 0 {
+			pinned[mp.Model] = true
+		}
+	}
+	for _, m := range models {
+		if !pinned[m.Name()] {
+			return fmt.Errorf("serve: plan leaves model %s unservable (no warm set and no overflow groups)", m.Name())
+		}
+	}
+	return nil
+}
+
+// resolvePinned maps a plan's per-group model names onto backend
+// registry lookups, validating every name.
+func resolvePinned(p *plan.Plan, backend Backend) ([]string, error) {
+	for _, mp := range p.Models {
+		if _, err := backend.Lookup(mp.Model); err != nil {
+			return nil, fmt.Errorf("serve: plan names unregistered model %q", mp.Model)
+		}
+		for _, g := range mp.Groups {
+			if g < 0 || g >= p.Groups {
+				return nil, fmt.Errorf("serve: plan pins model %s to group %d of %d", mp.Model, g, p.Groups)
+			}
+		}
+	}
+	return p.Pinned(), nil
+}
+
 // ShardUsage is one replica group's occupancy accounting.
 type ShardUsage struct {
 	Shard    Shard         `json:"shard"`
@@ -254,6 +389,10 @@ type ShardUsage struct {
 	// (including its first dispatch ever). One reload warms the whole
 	// group.
 	Reloads int `json:"reloads"`
+	// Restages counts planner-driven weight stagings on this group —
+	// the startup pre-stage and controller rebalances — each paying the
+	// same §IV-E reload as a cold dispatch, charged outside any batch.
+	Restages int `json:"restages,omitempty"`
 	// Utilization is Busy over the observation window.
 	Utilization float64 `json:"utilization"`
 }

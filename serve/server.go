@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"neuralcache"
+	"neuralcache/plan"
 )
 
 // Response is the outcome of one served request.
@@ -50,20 +51,42 @@ type request struct {
 	resp     chan *Response // buffered, capacity 1
 }
 
+// restageOp is one pending planner restage on a group: stage model's
+// weights, paying cost, before the group frees.
+type restageOp struct {
+	model string
+	cost  time.Duration
+}
+
 // shardPool tracks the free replica groups and which model's weights
 // each one has staged. Acquisition is warm-first: a free group already
 // staging the requested model wins over an unstaged one, which wins over
-// evicting another model's weights. Only the batcher acquires (single
-// consumer); executor goroutines release.
+// evicting another model's weights. Under a residency plan (pinned set)
+// acquisition is plan-aware instead: a model may claim its own pinned
+// groups and the overflow pool, never another model's pinned groups.
+// Only the batcher acquires (single consumer); executor goroutines
+// release.
 type shardPool struct {
 	mu     sync.Mutex
 	cond   *sync.Cond
 	free   []bool
 	staged []string // model staged on each replica; "" = never staged
+	pinned []string // per-group pinned model under a plan; nil = reactive
+	// pendingRestage holds controller rebalances waiting for a busy
+	// group's batch to finish.
+	pendingRestage map[int]restageOp
+	// freed wakes the batcher's eligibility wait (planned servers only;
+	// capacity-1, lossy — a pending token already guarantees a wakeup).
+	freed chan struct{}
 }
 
 func newShardPool(n int) *shardPool {
-	p := &shardPool{free: make([]bool, n), staged: make([]string, n)}
+	p := &shardPool{
+		free:           make([]bool, n),
+		staged:         make([]string, n),
+		pendingRestage: make(map[int]restageOp),
+		freed:          make(chan struct{}, 1),
+	}
 	p.cond = sync.NewCond(&p.mu)
 	for i := range p.free {
 		p.free[i] = true
@@ -71,14 +94,29 @@ func newShardPool(n int) *shardPool {
 	return p
 }
 
-// acquire blocks until a replica group is free and claims the best one
-// for model per the shared warm-first policy (pickShard). It reports
-// whether the claim was warm; a cold claim restages the group to model.
+// wake nudges the batcher's eligibility wait without blocking.
+func (p *shardPool) wake() {
+	select {
+	case p.freed <- struct{}{}:
+	default:
+	}
+}
+
+// acquire blocks until an eligible replica group is free and claims the
+// best one for model — the shared warm-first policy (pickShard), or the
+// plan-aware one (pickPlanned) when a pinned set is installed. It
+// reports whether the claim was warm; a cold claim restages the group
+// to model.
 func (p *shardPool) acquire(model string) (id int, warm bool) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	for {
-		if id, warm := pickShard(p.free, p.staged, model, ""); id >= 0 {
+		if p.pinned == nil {
+			id, warm = pickShard(p.free, p.staged, model, "")
+		} else {
+			id, warm = pickPlanned(p.free, p.staged, p.pinned, model, "", "")
+		}
+		if id >= 0 {
 			p.free[id] = false
 			if !warm {
 				p.staged[id] = model
@@ -89,11 +127,99 @@ func (p *shardPool) acquire(model string) (id int, warm bool) {
 	}
 }
 
-func (p *shardPool) release(id int) {
+// hasEligible reports whether some free group may serve the model right
+// now — used by the planned batcher to skip models whose pools are busy
+// instead of head-of-line-blocking in acquire.
+func (p *shardPool) hasEligible(model string) bool {
 	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.pinned == nil {
+		for _, f := range p.free {
+			if f {
+				return true
+			}
+		}
+		return false
+	}
+	id, _ := pickPlanned(p.free, p.staged, p.pinned, model, "", "")
+	return id >= 0
+}
+
+// planned reports whether a pinned set is installed.
+func (p *shardPool) planned() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.pinned != nil
+}
+
+// release frees the group — unless a controller restage is pending on
+// it, in which case the group stays claimed, the new model's weights
+// are staged, and the caller must pay op.cost before finishRestage.
+func (p *shardPool) release(id int) (op restageOp, restage bool) {
+	p.mu.Lock()
+	if op, ok := p.pendingRestage[id]; ok {
+		delete(p.pendingRestage, id)
+		if p.staged[id] != op.model {
+			p.staged[id] = op.model
+			p.mu.Unlock()
+			return op, true
+		}
+	}
 	p.free[id] = true
 	p.mu.Unlock()
 	p.cond.Signal()
+	p.wake()
+	return restageOp{}, false
+}
+
+// finishRestage frees a group whose planner restage has completed —
+// unless a newer rebalance queued on it meanwhile, in which case the
+// group stays claimed, the newly pinned model's weights are staged, and
+// the caller must pay op.cost before calling finishRestage again.
+func (p *shardPool) finishRestage(id int) (op restageOp, again bool) {
+	p.mu.Lock()
+	if op, ok := p.pendingRestage[id]; ok {
+		delete(p.pendingRestage, id)
+		if p.staged[id] != op.model {
+			p.staged[id] = op.model
+			p.mu.Unlock()
+			return op, true
+		}
+	}
+	p.free[id] = true
+	p.mu.Unlock()
+	p.cond.Signal()
+	p.wake()
+	return restageOp{}, false
+}
+
+// replan installs a new pinned set and queues the restage ops: ops on
+// free groups are claimed and returned for the caller to pay their
+// reload (then finishRestage); ops on busy groups wait for release.
+// Groups already staging the op's target skip the physical restage.
+func (p *shardPool) replan(pinned []string, ops []plan.Restage) []plan.Restage {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.pinned = pinned
+	// Drop restages queued by a superseded plan: a stale op would
+	// stage a model no longer pinned to the group. A group left
+	// staged-mismatched pays one cold dispatch on its next claim.
+	clear(p.pendingRestage)
+	var now []plan.Restage
+	for _, op := range ops {
+		if op.Group < 0 || op.Group >= len(p.free) || p.staged[op.Group] == op.To {
+			continue
+		}
+		if p.free[op.Group] {
+			p.free[op.Group] = false
+			p.staged[op.Group] = op.To
+			now = append(now, op)
+		} else {
+			p.pendingRestage[op.Group] = restageOp{model: op.To, cost: op.Cost}
+		}
+	}
+	p.wake()
+	return now
 }
 
 // Server is the asynchronous inference service: a bounded admission
@@ -108,6 +234,12 @@ type Server struct {
 
 	queue chan *request
 	pool  *shardPool
+
+	// ctrl is the drift controller of a planned server (nil otherwise);
+	// activePlan tracks the plan currently applied, swapped on replan.
+	ctrl       *plan.Controller
+	planMu     sync.Mutex
+	activePlan *plan.Plan
 
 	mu         sync.RWMutex // guards closed against concurrent Submit/Close
 	closed     bool
@@ -141,6 +273,7 @@ type serverStats struct {
 	submitted, rejected, served, failed, canceled uint64
 	batches, batched                              uint64
 	warmBatches, coldBatches                      uint64
+	restages, replans                             uint64
 	perModel                                      map[string]*ModelCounters
 	perShard                                      []ShardUsage
 }
@@ -181,8 +314,122 @@ func NewServer(backend Backend, opts Options) (*Server, error) {
 	for i := 0; i < o.Replicas; i++ {
 		s.stats.perShard[i].Shard = shardFor(i, s.slices, s.groupSize)
 	}
+	if o.Plan != nil {
+		if err := s.adoptPlan(o.Plan, o.Replan); err != nil {
+			return nil, err
+		}
+	}
 	go s.batcher()
 	return s, nil
+}
+
+// adoptPlan installs the residency plan on a fresh server: the pinned
+// set goes live, every pinned group pre-stages its model's weights
+// (busy for the reload time, counted as a restage), and the drift
+// controller attaches when configured. Runs before the batcher starts.
+func (s *Server) adoptPlan(p *plan.Plan, replan plan.ControllerConfig) error {
+	if err := planServable(p, s.backend.Models()); err != nil {
+		return err
+	}
+	pinned, err := resolvePinned(p, s.backend)
+	if err != nil {
+		return err
+	}
+	s.pool.pinned = pinned
+	s.activePlan = p
+	for g, model := range pinned {
+		if model == "" {
+			continue
+		}
+		rel, err := s.backend.ReloadTime(model, s.groupSize)
+		if err != nil {
+			return err
+		}
+		s.pool.free[g] = false
+		s.pool.staged[g] = model
+		s.noteRestage(g, rel)
+		s.execWG.Add(1)
+		go func(g int, rel time.Duration) {
+			defer s.execWG.Done()
+			s.runRestage(g, rel)
+		}(g, rel)
+	}
+	if replan.Enabled() {
+		ctrl, err := plan.NewController(s.backend.System(), s.backend.Models(), p, replan)
+		if err != nil {
+			return err
+		}
+		s.ctrl = ctrl
+	}
+	return nil
+}
+
+// Plan returns the residency plan currently applied (the last
+// controller re-plan, or Options.Plan), nil for reactive servers.
+func (s *Server) Plan() *plan.Plan {
+	s.planMu.Lock()
+	defer s.planMu.Unlock()
+	return s.activePlan
+}
+
+// applyReplan swaps in a controller re-plan from the batcher goroutine:
+// the pool repins, free groups restage immediately on their own
+// goroutines, busy ones when their batch completes.
+func (s *Server) applyReplan(next *plan.Plan, ops []plan.Restage) {
+	// The controller's rebalance keeps every registered model servable
+	// and only names registered models; these guards hold that
+	// invariant at the boundary — on a breach, keep serving on the old
+	// pinned set rather than strand a model's requests.
+	if planServable(next, s.backend.Models()) != nil {
+		return
+	}
+	pinned, err := resolvePinned(next, s.backend)
+	if err != nil {
+		return
+	}
+	s.planMu.Lock()
+	s.activePlan = next
+	s.planMu.Unlock()
+	s.stats.Lock()
+	s.stats.replans++
+	s.stats.Unlock()
+	for _, op := range s.pool.replan(pinned, ops) {
+		s.noteRestage(op.Group, op.Cost)
+		s.execWG.Add(1)
+		go func(op plan.Restage) {
+			defer s.execWG.Done()
+			s.runRestage(op.Group, op.Cost)
+		}(op)
+	}
+}
+
+// runRestage holds a claimed group through its reload, then frees it —
+// chaining into any newer rebalance that queued on the group while it
+// was restaging.
+func (s *Server) runRestage(id int, cost time.Duration) {
+	for {
+		time.Sleep(cost)
+		op, again := s.pool.finishRestage(id)
+		if !again {
+			return
+		}
+		s.noteRestage(id, op.cost)
+		cost = op.cost
+	}
+}
+
+// noteRestage counts one planner restage on a group, charging its
+// reload into the group's busy time — the same accounting the
+// simulator applies, so planned utilization reads identically on both
+// drivers.
+func (s *Server) noteRestage(id int, cost time.Duration) {
+	s.stats.Lock()
+	if id >= 0 && id < len(s.stats.perShard) {
+		s.stats.perShard[id].Restages++
+		s.stats.perShard[id].Busy += cost
+	}
+	s.stats.restages++
+	s.stats.Unlock()
 }
 
 // Options returns the server's effective (defaulted) options.
@@ -330,6 +577,11 @@ func (s *Server) admit(ctx context.Context, wait bool, model string) error {
 // oldest head dispatches first.
 func (s *Server) batcher() {
 	defer close(s.batcherDone)
+	planned := s.pool.planned()
+	var eligible func(string) bool
+	if planned {
+		eligible = s.pool.hasEligible
+	}
 	pending := make(map[string][]*request)
 	total := 0
 	add := func(r *request) {
@@ -361,23 +613,45 @@ func (s *Server) batcher() {
 			}
 			add(r)
 		} else {
-			// Wait for the next admission or the earliest linger deadline.
+			// Wait for the next admission or the earliest future
+			// linger deadline. A past-due head here means a ready model
+			// waiting for an eligible group (only possible planned), so
+			// it is excluded from the timer — a freed group wakes the
+			// batcher for it — while other models' future deadlines
+			// still get their timer.
 			var deadline time.Time
+			now := time.Now()
 			for _, q := range pending {
-				if d := q[0].enqueued.Add(s.opts.MaxLinger); deadline.IsZero() || d.Before(deadline) {
+				d := q[0].enqueued.Add(s.opts.MaxLinger)
+				if planned && !d.After(now) {
+					continue
+				}
+				if deadline.IsZero() || d.Before(deadline) {
 					deadline = d
 				}
 			}
-			timer := time.NewTimer(time.Until(deadline))
+			var timer *time.Timer
+			var timerC <-chan time.Time
+			var freedC <-chan struct{}
+			if !deadline.IsZero() {
+				timer = time.NewTimer(time.Until(deadline))
+				timerC = timer.C
+			}
+			if planned {
+				freedC = s.pool.freed
+			}
 			select {
 			case r, ok := <-s.queue:
-				timer.Stop()
+				if timer != nil {
+					timer.Stop()
+				}
 				if !ok {
 					s.flush(pending)
 					return
 				}
 				add(r)
-			case <-timer.C:
+			case <-timerC:
+			case <-freedC:
 			}
 		}
 		for {
@@ -385,7 +659,7 @@ func (s *Server) batcher() {
 				s.flush(pending)
 				return
 			}
-			model, ok := nextReady(pending, time.Now(), s.opts)
+			model, ok := nextReady(pending, time.Now(), s.opts, eligible)
 			if !ok {
 				break
 			}
@@ -398,12 +672,17 @@ func (s *Server) batcher() {
 
 // nextReady picks the dispatchable model with the oldest head request: a
 // model is ready when it holds a full batch or its head has lingered
-// MaxLinger. Ties break on admission ordinal.
-func nextReady(pending map[string][]*request, now time.Time, opts Options) (string, bool) {
+// MaxLinger. Ties break on admission ordinal. A non-nil eligible filter
+// (planned servers) additionally requires a free group the model may
+// claim, so a busy pinned pool cannot head-of-line-block the others.
+func nextReady(pending map[string][]*request, now time.Time, opts Options, eligible func(string) bool) (string, bool) {
 	best, bestID := "", uint64(0)
 	for model, q := range pending {
 		head := q[0]
 		if len(q) < opts.MaxBatch && now.Before(head.enqueued.Add(opts.MaxLinger)) {
+			continue
+		}
+		if eligible != nil && !eligible(model) {
 			continue
 		}
 		if best == "" || head.id < bestID {
@@ -476,6 +755,16 @@ func (s *Server) dispatch(model string, batch []*request) {
 	if len(live) == 0 {
 		return
 	}
+	if s.ctrl != nil {
+		// Feed the drift controller the served mix and apply any
+		// re-plan before claiming a group, so the new pinned set
+		// steers this very dispatch.
+		now := time.Since(s.started)
+		s.ctrl.Observe(model, len(live), now)
+		if next, ops, ok := s.ctrl.MaybeReplan(now); ok {
+			s.applyReplan(next, ops)
+		}
+	}
 	id, warm := s.pool.acquire(model)
 	dispatched := time.Now()
 	s.execWG.Add(1)
@@ -535,7 +824,12 @@ func (s *Server) dispatch(model string, batch []*request) {
 			}
 			r.resp <- resp
 		}
-		s.pool.release(id)
+		if op, restage := s.pool.release(id); restage {
+			// A controller rebalance was waiting for this group: hold
+			// it through the new model's §IV-E reload before freeing.
+			s.noteRestage(id, op.cost)
+			s.runRestage(id, op.cost)
+		}
 	}()
 }
 
@@ -581,6 +875,10 @@ type Stats struct {
 	// replica already staged the batch's model; cold ones paid the
 	// §IV-E weight reload.
 	WarmBatches, ColdBatches uint64
+	// Restages counts planner-driven weight stagings (startup
+	// pre-stages plus controller rebalances); Replans counts applied
+	// controller re-plans. Both stay zero on reactive servers.
+	Restages, Replans uint64
 	// QueueHighWater is the maximum admitted-minus-dispatched depth
 	// (queued in the channel plus parked in the batcher), tracked
 	// atomically at every admission; it never exceeds QueueDepth, and
@@ -619,6 +917,8 @@ func (s *Server) Stats() Stats {
 		Batches:        s.stats.batches,
 		WarmBatches:    s.stats.warmBatches,
 		ColdBatches:    s.stats.coldBatches,
+		Restages:       s.stats.restages,
+		Replans:        s.stats.replans,
 		QueueHighWater: int(s.highWater.Load()),
 		Uptime:         up,
 		PerShard:       append([]ShardUsage(nil), s.stats.perShard...),

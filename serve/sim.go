@@ -5,16 +5,35 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sort"
 	"time"
+
+	"neuralcache/plan"
 )
 
 // ModelShare is one model's weight in a generated traffic mix.
 type ModelShare struct {
 	// Model names a registered model; "" means the backend's default.
 	Model string `json:"model"`
-	// Weight is the model's relative share of arrivals (normalized over
-	// the mix; it need not sum to 1).
+	// Weight is the model's relative share of arrivals, normalized over
+	// the mix's weight sum — weights need not sum to 1, so {7, 3} and
+	// {0.7, 0.3} draw identically. A zero weight is allowed (the model
+	// gets no generated traffic); negative, NaN and infinite weights,
+	// and mixes whose weights sum to zero, are rejected by validation.
 	Weight float64 `json:"weight"`
+}
+
+// MixShift is one scheduled traffic-mix change: from At onward,
+// arrivals draw their model from Mix instead of the previous mix. The
+// serving tier's drift controller (plan.Controller via Options.Replan)
+// exists to chase exactly these shifts.
+type MixShift struct {
+	// At is the load-relative time the shift takes effect (t = 0 is the
+	// start of the arrival process).
+	At time.Duration `json:"at_ns"`
+	// Mix is the new traffic mix; the same validation and normalization
+	// rules as Load.Mix apply, and it must be non-empty.
+	Mix []ModelShare `json:"mix"`
 }
 
 // Load describes a generated arrival process. The default (Concurrency
@@ -50,9 +69,19 @@ type Load struct {
 	// so a user's submission can never be rejected.
 	Concurrency int
 	// Mix assigns each arrival a model, drawn independently with the
-	// given weights from the seeded generator. Empty means every arrival
-	// targets the backend's default model.
+	// given weights from the seeded generator. Weights are relative —
+	// normalized over their sum, so they need not sum to 1 — and are
+	// validated: negative, NaN or infinite weights, and mixes summing
+	// to zero, are rejected; individual zero weights are allowed and
+	// draw nothing. Empty means every arrival targets the backend's
+	// default model.
 	Mix []ModelShare
+	// MixSchedule shifts the traffic mix mid-run: each entry replaces
+	// the active mix from its At onward (strictly ascending, At > 0).
+	// Arrivals before the first shift draw from Mix. The schedule is
+	// deterministic under Seed like everything else, making planned-
+	// versus-reactive comparisons under mix drift reproducible.
+	MixSchedule []MixShift
 }
 
 // closed reports whether the load is closed-loop.
@@ -93,17 +122,97 @@ func (l Load) validate() error {
 	if l.Requests == 0 && l.Duration <= 0 {
 		return fmt.Errorf("serve: load needs Requests or Duration")
 	}
-	seen := make(map[string]bool, len(l.Mix))
-	for _, ms := range l.Mix {
-		if ms.Weight <= 0 || math.IsNaN(ms.Weight) || math.IsInf(ms.Weight, 0) {
-			return fmt.Errorf("serve: mix weight %v for model %q", ms.Weight, ms.Model)
+	if err := validateMix(l.Mix, "mix"); err != nil {
+		return err
+	}
+	for i, shift := range l.MixSchedule {
+		if shift.At <= 0 {
+			return fmt.Errorf("serve: mix shift %d at %v (must be after t=0)", i, shift.At)
 		}
-		if seen[ms.Model] {
-			return fmt.Errorf("serve: model %q appears twice in the mix", ms.Model)
+		if i > 0 && shift.At <= l.MixSchedule[i-1].At {
+			return fmt.Errorf("serve: mix schedule out of order at %v", shift.At)
 		}
-		seen[ms.Model] = true
+		if len(shift.Mix) == 0 {
+			return fmt.Errorf("serve: mix shift at %v has an empty mix", shift.At)
+		}
+		if err := validateMix(shift.Mix, fmt.Sprintf("mix shift at %v", shift.At)); err != nil {
+			return err
+		}
 	}
 	return nil
+}
+
+// validateMix applies the mix rules: weights must be finite and
+// non-negative, models distinct, and at least one weight positive (a
+// mix summing to zero would silently misdraw — every arrival would
+// land on the last entry — so it is rejected instead).
+func validateMix(mix []ModelShare, what string) error {
+	seen := make(map[string]bool, len(mix))
+	total := 0.0
+	for _, ms := range mix {
+		if ms.Weight < 0 || math.IsNaN(ms.Weight) || math.IsInf(ms.Weight, 0) {
+			return fmt.Errorf("serve: %s weight %v for model %q", what, ms.Weight, ms.Model)
+		}
+		if seen[ms.Model] {
+			return fmt.Errorf("serve: model %q appears twice in the %s", ms.Model, what)
+		}
+		seen[ms.Model] = true
+		total += ms.Weight
+	}
+	if len(mix) > 0 && total <= 0 {
+		return fmt.Errorf("serve: %s weights sum to zero", what)
+	}
+	return nil
+}
+
+// models returns every model name the load can draw, across the base
+// mix and every scheduled shift, so drivers can resolve them up front.
+func (l Load) models() []string {
+	var names []string
+	seen := make(map[string]bool)
+	add := func(mix []ModelShare) {
+		for _, ms := range mix {
+			if !seen[ms.Model] {
+				seen[ms.Model] = true
+				names = append(names, ms.Model)
+			}
+		}
+	}
+	add(l.Mix)
+	for _, shift := range l.MixSchedule {
+		add(shift.Mix)
+	}
+	return names
+}
+
+// mixed reports whether the load draws models from a mix at all.
+func (l Load) mixed() bool { return len(l.Mix) > 0 || len(l.MixSchedule) > 0 }
+
+// mixEpoch is one contiguous span of the (possibly shifting) mix
+// timeline: from At until the next epoch's At, arrivals draw from mix.
+type mixEpoch struct {
+	at  time.Duration
+	mix modelMix
+}
+
+// mixEpochs materializes the mix timeline: epoch 0 is Load.Mix from
+// t = 0, each MixShift opens the next epoch.
+func (l Load) mixEpochs() []mixEpoch {
+	epochs := []mixEpoch{{at: 0, mix: newModelMix(l.Mix)}}
+	for _, shift := range l.MixSchedule {
+		epochs = append(epochs, mixEpoch{at: shift.At, mix: newModelMix(shift.Mix)})
+	}
+	return epochs
+}
+
+// mixAt returns the epoch active at time at. Closed-loop arrival times
+// are not monotone across users, so this searches rather than cursors.
+func mixAt(epochs []mixEpoch, at time.Duration) modelMix {
+	i := len(epochs) - 1
+	for i > 0 && epochs[i].at > at {
+		i--
+	}
+	return epochs[i].mix
 }
 
 // modelMix draws model names from a weighted Load.Mix via its
@@ -146,24 +255,25 @@ func (m modelMix) draw(rng *rand.Rand) string {
 }
 
 // arrivalGen yields a deterministic, monotone sequence of arrival
-// offsets from t=0, each tagged with its mix-drawn model name.
+// offsets from t=0, each tagged with its mix-drawn model name (the mix
+// active at the arrival's time, per Load.MixSchedule).
 type arrivalGen struct {
 	load   Load
 	rng    *rand.Rand // interarrival draws (Poisson only)
 	mixRNG *rand.Rand // model-mix draws, independent of arrival times
-	mix    modelMix
+	epochs []mixEpoch
 	count  int
 	t      float64 // seconds
 }
 
 func (l Load) arrivals() *arrivalGen {
-	g := &arrivalGen{load: l, mix: newModelMix(l.Mix)}
+	g := &arrivalGen{load: l, epochs: l.mixEpochs()}
 	if l.Poisson {
 		g.rng = rand.New(rand.NewSource(l.Seed))
 	}
 	// rng draws interarrival times open-loop and think times closed-loop;
 	// non-Poisson spacing is deterministic and needs no generator.
-	if len(l.Mix) > 0 {
+	if l.mixed() {
 		g.mixRNG = rand.New(rand.NewSource(l.Seed ^ 0x6d69780a)) // "mix" salt
 	}
 	return g
@@ -185,7 +295,7 @@ func (g *arrivalGen) next() (time.Duration, string, bool) {
 	if g.load.Requests == 0 && at > g.load.Duration {
 		return 0, "", false
 	}
-	return at, g.model(), true
+	return at, g.model(at), true
 }
 
 // nextClosed returns a closed-loop user's next arrival: the think time
@@ -202,12 +312,12 @@ func (g *arrivalGen) nextClosed(now time.Duration) (time.Duration, string, bool)
 	if g.load.Requests == 0 && at > g.load.Duration {
 		return 0, "", false
 	}
-	return at, g.model(), true
+	return at, g.model(at), true
 }
 
-// model draws the arrival's model from the mix.
-func (g *arrivalGen) model() string {
-	return g.mix.draw(g.mixRNG)
+// model draws the arrival's model from the mix active at its time.
+func (g *arrivalGen) model(at time.Duration) string {
+	return mixAt(g.epochs, at).draw(g.mixRNG)
 }
 
 // Event kinds of the discrete-event simulator.
@@ -215,6 +325,10 @@ const (
 	evArrival = iota
 	evCompletion
 	evLinger
+	// evRestage completes a planner-driven weight staging: the group
+	// spent the model's §IV-E reload time streaming filters and is free
+	// again, warm for its pinned model.
+	evRestage
 )
 
 // event is one scheduled state change on the virtual clock.
@@ -278,6 +392,17 @@ type sim struct {
 	staged    []int // model index staged per group shard; -1 = never staged
 	freeCount int
 
+	// Residency-plan state: pin maps each group to its pinned model
+	// index (-1 = overflow, free-for-all); nil means no plan (purely
+	// reactive scheduling). pendingRestage holds controller rebalances
+	// waiting for a busy group to finish its batch.
+	pin            []int
+	pendingRestage map[int]int
+	ctrl           *plan.Controller
+	curPlan        *plan.Plan
+	restages       int
+	replans        int
+
 	lastLinger time.Duration
 
 	gen *arrivalGen
@@ -333,10 +458,10 @@ func Simulate(backend Backend, opts Options, load Load) (*LoadReport, error) {
 		s.models = append(s.models, &simModel{name: m.Name()})
 		s.index[m.Name()] = i
 	}
-	// Resolve the mix against the registry up front so unknown models
-	// fail fast rather than mid-run.
-	for _, ms := range load.Mix {
-		if _, err := s.resolve(ms.Model); err != nil {
+	// Resolve the mix — including every scheduled shift — against the
+	// registry up front so unknown models fail fast rather than mid-run.
+	for _, name := range load.models() {
+		if _, err := s.resolve(name); err != nil {
 			return nil, err
 		}
 	}
@@ -345,6 +470,28 @@ func Simulate(backend Backend, opts Options, load Load) (*LoadReport, error) {
 		s.freeShard[i] = true
 		s.staged[i] = -1
 		s.shardUse[i].Shard = shardFor(i, slices, s.groupSize)
+	}
+	if o.Plan != nil {
+		if err := s.adoptPlan(o.Plan); err != nil {
+			return nil, err
+		}
+		// Pre-stage every pinned group: the group spends the model's
+		// reload time streaming filters before its first batch, so the
+		// traffic it then serves dispatches warm.
+		for g, mi := range s.pin {
+			if mi >= 0 {
+				if err := s.beginRestage(g, mi); err != nil {
+					return nil, err
+				}
+			}
+		}
+		if o.Replan.Enabled() {
+			ctrl, err := plan.NewController(backend.System(), registered, o.Plan, o.Replan)
+			if err != nil {
+				return nil, err
+			}
+			s.ctrl = ctrl
+		}
 	}
 	if s.closed {
 		// Seed the user population: every user issues its first request
@@ -373,12 +520,113 @@ func Simulate(backend Backend, opts Options, load Load) (*LoadReport, error) {
 			if err := s.onCompletion(e); err != nil {
 				return nil, err
 			}
+		case evRestage:
+			if err := s.freeOrRestage(e.shard); err != nil {
+				return nil, err
+			}
 		}
 		if err := s.tryDispatch(); err != nil {
 			return nil, err
 		}
 	}
 	return s.report(backend, load)
+}
+
+// adoptPlan resolves the plan's pinned assignment against the model
+// registry and validates that every registered model stays servable.
+func (s *sim) adoptPlan(p *plan.Plan) error {
+	if err := planServable(p, s.backend.Models()); err != nil {
+		return err
+	}
+	pinned, err := resolvePinned(p, s.backend)
+	if err != nil {
+		return err
+	}
+	pin := make([]int, len(pinned))
+	for g, name := range pinned {
+		pin[g] = -1
+		if name != "" {
+			mi, err := s.resolve(name)
+			if err != nil {
+				return err
+			}
+			pin[g] = mi
+		}
+	}
+	s.pin = pin
+	s.curPlan = p
+	if s.pendingRestage == nil {
+		s.pendingRestage = make(map[int]int)
+	}
+	return nil
+}
+
+// beginRestage stages model mi's weights onto group g, holding the
+// group busy for the reload time. The group may be free (it is claimed)
+// or already marked busy by the caller.
+func (s *sim) beginRestage(g, mi int) error {
+	if s.freeShard[g] {
+		s.freeShard[g] = false
+		s.freeCount--
+	}
+	rel, err := s.backend.ReloadTime(s.models[mi].name, s.groupSize)
+	if err != nil {
+		return err
+	}
+	s.staged[g] = mi
+	s.push(&event{at: s.now + rel, kind: evRestage, shard: g})
+	u := &s.shardUse[g]
+	u.Restages++
+	u.Busy += rel
+	s.restages++
+	return nil
+}
+
+// freeOrRestage releases a group whose batch or restage just finished —
+// unless a controller rebalance queued on it meanwhile, in which case
+// the group stays busy streaming the newly pinned model's weights.
+func (s *sim) freeOrRestage(g int) error {
+	if mi, ok := s.pendingRestage[g]; ok {
+		delete(s.pendingRestage, g)
+		if s.staged[g] != mi {
+			return s.beginRestage(g, mi)
+		}
+	}
+	s.freeShard[g] = true
+	s.freeCount++
+	return nil
+}
+
+// applyReplan adopts a controller re-plan: the pinned map switches
+// immediately, and each restage op stages on its group as soon as the
+// group is free (busy groups finish their batch first).
+func (s *sim) applyReplan(next *plan.Plan, ops []plan.Restage) error {
+	if err := s.adoptPlan(next); err != nil {
+		return err
+	}
+	s.replans++
+	// The new plan supersedes any restages still waiting on busy
+	// groups: a stale op would stage a model that is no longer pinned
+	// there. A group left staged-mismatched simply pays a cold
+	// dispatch on its pool's next claim.
+	clear(s.pendingRestage)
+	for _, op := range ops {
+		mi, err := s.resolve(op.To)
+		if err != nil {
+			return err
+		}
+		if s.staged[op.Group] == mi {
+			continue // already holds these weights; repinning is free
+		}
+		if s.freeShard[op.Group] {
+			if err := s.beginRestage(op.Group, mi); err != nil {
+				return err
+			}
+		} else {
+			s.pendingRestage[op.Group] = mi
+		}
+	}
+	return nil
 }
 
 // scheduleUser pushes a closed-loop user's next arrival, drawn from the
@@ -461,8 +709,9 @@ func (s *sim) onArrival(e *event) error {
 }
 
 func (s *sim) onCompletion(e *event) error {
-	s.freeShard[e.shard] = true
-	s.freeCount++
+	if err := s.freeOrRestage(e.shard); err != nil {
+		return err
+	}
 	m := s.models[e.model]
 	s.served += len(e.arrivals)
 	m.served += len(e.arrivals)
@@ -485,13 +734,18 @@ func (s *sim) onCompletion(e *event) error {
 // tryDispatch applies the per-model micro-batching policy: a model is
 // ready when it holds a full batch or its oldest pending request has
 // lingered MaxLinger; among ready models the oldest head dispatches
-// first, onto the warmest free replica. When nothing is ready, the
-// earliest linger deadline is scheduled.
+// first, onto the warmest free replica. Under a residency plan a ready
+// model whose eligible groups (its pinned pool plus the overflow pool)
+// are all busy is skipped, so it cannot head-of-line-block the other
+// models' pinned groups. When nothing is ready, the earliest linger
+// deadline is scheduled.
 func (s *sim) tryDispatch() error {
+	var ready []int // planned path only; reused across iterations
 	for s.depth > 0 && s.freeCount > 0 {
-		best := -1
-		var bestAt time.Duration
 		nextDeadline := time.Duration(-1)
+		best := -1 // reactive: min-head ready model, alloc-free
+		var bestAt time.Duration
+		ready = ready[:0]
 		for mi, m := range s.models {
 			if m.qlen() == 0 {
 				continue
@@ -503,87 +757,151 @@ func (s *sim) tryDispatch() error {
 				}
 				continue
 			}
-			if best < 0 || head < bestAt {
-				best, bestAt = mi, head
+			if s.pin == nil {
+				if best < 0 || head < bestAt {
+					best, bestAt = mi, head
+				}
+			} else {
+				ready = append(ready, mi) // registry order: stable ties
 			}
 		}
-		if best < 0 {
+		scheduleLinger := func() {
 			if nextDeadline >= 0 && nextDeadline != s.lastLinger {
 				s.push(&event{at: nextDeadline, kind: evLinger})
 				s.lastLinger = nextDeadline
 			}
-			return nil
 		}
-		m := s.models[best]
-		n := min(m.qlen(), s.opts.MaxBatch)
-		batch := append([]time.Duration(nil), m.at[m.head:m.head+n]...)
-		var users []int
-		if s.closed {
-			users = append([]int(nil), m.users[m.head:m.head+n]...)
-		}
-		s.syncDepth()
-		m.head += n
-		s.depth -= n
-		if m.head == len(m.at) {
-			m.at, m.head = m.at[:0], 0
-			if s.closed {
-				m.users = m.users[:0]
+		if s.pin == nil {
+			if best < 0 {
+				scheduleLinger()
+				return nil
 			}
-		} else if m.head > 4096 && m.head > len(m.at)/2 {
-			m.at = append(m.at[:0], m.at[m.head:]...)
-			if s.closed {
-				m.users = append(m.users[:0], m.users[m.head:]...)
-			}
-			m.head = 0
-		}
-		shard, warmHit := s.takeShard(best)
-		st, err := s.backend.ServiceTime(m.name, n, s.groupSize)
-		if err != nil {
-			return err
-		}
-		if !warmHit {
-			rel, err := s.backend.ReloadTime(m.name, s.groupSize)
-			if err != nil {
+			shard, warm, _ := s.claimShard(best)
+			if err := s.dispatchBatch(best, shard, warm); err != nil {
 				return err
 			}
-			st += rel
+			continue
 		}
-		s.push(&event{at: s.now + st, kind: evCompletion, shard: shard, model: best, arrivals: batch, users: users})
-		s.batches++
-		s.batched += n
-		m.batches++
-		if warmHit {
-			s.warm++
-			m.warm++
-		} else {
-			s.cold++
-			m.cold++
+		if len(ready) == 0 {
+			scheduleLinger()
+			return nil
 		}
-		u := &s.shardUse[shard]
-		u.Batches++
-		u.Requests += n
-		u.Busy += st
-		if !warmHit {
-			u.Reloads++
+		sort.SliceStable(ready, func(i, j int) bool {
+			a, b := s.models[ready[i]], s.models[ready[j]]
+			return a.at[a.head] < b.at[b.head]
+		})
+		dispatched := false
+		for _, mi := range ready {
+			shard, warm, ok := s.claimShard(mi)
+			if !ok {
+				continue
+			}
+			if err := s.dispatchBatch(mi, shard, warm); err != nil {
+				return err
+			}
+			dispatched = true
+			break
+		}
+		if !dispatched {
+			// Free groups exist but every ready model's eligible pools
+			// are busy; a completion or restage will retry the ready
+			// ones — the lingering models still need their deadline.
+			scheduleLinger()
+			return nil
 		}
 	}
 	return nil
 }
 
-// takeShard claims the best free replica group for the model via the
-// same warm-first policy the Server's pool applies (pickShard); a cold
-// claim restages the group.
-func (s *sim) takeShard(model int) (int, bool) {
-	id, warm := pickShard(s.freeShard, s.staged, model, -1)
-	if id < 0 {
-		panic("serve: takeShard with no free shard")
+// dispatchBatch pops one batch of model mi onto the claimed shard and
+// schedules its completion, feeding the drift controller when one is
+// attached.
+func (s *sim) dispatchBatch(mi, shard int, warmHit bool) error {
+	m := s.models[mi]
+	n := min(m.qlen(), s.opts.MaxBatch)
+	batch := append([]time.Duration(nil), m.at[m.head:m.head+n]...)
+	var users []int
+	if s.closed {
+		users = append([]int(nil), m.users[m.head:m.head+n]...)
+	}
+	s.syncDepth()
+	m.head += n
+	s.depth -= n
+	if m.head == len(m.at) {
+		m.at, m.head = m.at[:0], 0
+		if s.closed {
+			m.users = m.users[:0]
+		}
+	} else if m.head > 4096 && m.head > len(m.at)/2 {
+		m.at = append(m.at[:0], m.at[m.head:]...)
+		if s.closed {
+			m.users = append(m.users[:0], m.users[m.head:]...)
+		}
+		m.head = 0
+	}
+	st, err := s.backend.ServiceTime(m.name, n, s.groupSize)
+	if err != nil {
+		return err
+	}
+	if !warmHit {
+		rel, err := s.backend.ReloadTime(m.name, s.groupSize)
+		if err != nil {
+			return err
+		}
+		st += rel
+	}
+	s.push(&event{at: s.now + st, kind: evCompletion, shard: shard, model: mi, arrivals: batch, users: users})
+	s.batches++
+	s.batched += n
+	m.batches++
+	if warmHit {
+		s.warm++
+		m.warm++
+	} else {
+		s.cold++
+		m.cold++
+	}
+	u := &s.shardUse[shard]
+	u.Batches++
+	u.Requests += n
+	u.Busy += st
+	if !warmHit {
+		u.Reloads++
+	}
+	if s.ctrl != nil {
+		s.ctrl.Observe(m.name, n, s.now)
+		if next, ops, ok := s.ctrl.MaybeReplan(s.now); ok {
+			if err := s.applyReplan(next, ops); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// claimShard claims the best free replica group for the model: the
+// shared warm-first policy (pickShard) without a plan, the plan-aware
+// policy (pickPlanned) with one. ok is false when no eligible group is
+// free — only possible under a plan, whose pinned groups a foreign
+// model may not claim.
+func (s *sim) claimShard(model int) (id int, warm, ok bool) {
+	if s.pin == nil {
+		id, warm = pickShard(s.freeShard, s.staged, model, -1)
+		if id < 0 {
+			panic("serve: claimShard with no free shard")
+		}
+	} else {
+		id, warm = pickPlanned(s.freeShard, s.staged, s.pin, model, -1, -1)
+		if id < 0 {
+			return -1, false, false
+		}
 	}
 	s.freeShard[id] = false
 	s.freeCount--
 	if !warm {
 		s.staged[id] = model
 	}
-	return id, warm
+	return id, warm, true
 }
 
 func (s *sim) report(backend Backend, load Load) (*LoadReport, error) {
@@ -606,6 +924,10 @@ func (s *sim) report(backend Backend, load Load) (*LoadReport, error) {
 
 		MaxQueueDepth: s.maxDepth,
 		PerShard:      s.shardUse,
+
+		Plan:     s.curPlan,
+		Restages: s.restages,
+		Replans:  s.replans,
 	}
 	if s.groupSize > 1 {
 		r.GroupSize = s.groupSize

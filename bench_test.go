@@ -270,6 +270,50 @@ func BenchmarkRunFunctional(b *testing.B) {
 	}
 }
 
+// BenchmarkRunFunctionalSparse measures zero-slice skipping on the
+// sparsity-induced net (SparseCNN: 4-bit weights, so half of every
+// filter byte's multiplier bit-columns are zero in all 256 lanes). The
+// dense and skip sub-benchmarks produce byte-identical outputs (locked
+// in by core.TestSkipZeroSlicesGoldenEquivalence); skip must report
+// strictly fewer array_cycles, and the skipped_slices metric documents
+// how much of the schedule was elided.
+func BenchmarkRunFunctionalSparse(b *testing.B) {
+	m := neuralcache.SparseCNN()
+	m.InitWeights(1)
+	h, w, c := m.InputShape()
+	in := neuralcache.NewTensor(h, w, c, 1.0/255)
+	for i := range in.Data {
+		in.Data[i] = uint8(i * 7)
+	}
+	for _, mode := range []struct {
+		name string
+		skip bool
+	}{{"dense", false}, {"skip", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			cfg := neuralcache.DefaultConfig()
+			cfg.Slices = 1
+			cfg.SkipZeroSlices = mode.skip
+			sys, err := neuralcache.New(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			var res *neuralcache.InferenceResult
+			for i := 0; i < b.N; i++ {
+				res, err = sys.Run(m, in)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(res.ComputeCycles), "array_cycles")
+			if mode.skip {
+				b.ReportMetric(float64(res.SkippedSlices), "skipped_slices")
+				b.ReportMetric(float64(res.SkipCyclesSaved), "cycles_saved")
+			}
+		})
+	}
+}
+
 // BenchmarkRunFunctionalParallel measures the multi-array path at the
 // default worker count (GOMAXPROCS): WideCNN's 512-lane convolution
 // spills across array pairs with interconnect-routed partial-sum reduce.

@@ -32,14 +32,15 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("ncsim: ")
 	var (
-		model   = flag.String("model", "inception", "model: "+strings.Join(neuralcache.ModelNames(), ", "))
-		batch   = flag.Int("batch", 1, "batch size (analytic mode)")
-		slices  = flag.Int("slices", 14, "LLC slices (14=35MB, 18=45MB, 24=60MB)")
-		sockets = flag.Int("sockets", 2, "host sockets (throughput scaling)")
-		mode    = flag.String("mode", "analytic", "mode: analytic or functional")
-		seed    = flag.Int64("seed", 42, "weight/input seed (functional mode)")
-		workers = flag.Int("workers", 0, "functional-engine worker goroutines (0 = GOMAXPROCS)")
-		jsonOut = flag.Bool("json", false, "emit machine-readable JSON instead of tables")
+		model    = flag.String("model", "inception", "model: "+strings.Join(neuralcache.ModelNames(), ", "))
+		batch    = flag.Int("batch", 1, "batch size (analytic mode)")
+		slices   = flag.Int("slices", 14, "LLC slices (14=35MB, 18=45MB, 24=60MB)")
+		sockets  = flag.Int("sockets", 2, "host sockets (throughput scaling)")
+		mode     = flag.String("mode", "analytic", "mode: analytic or functional")
+		seed     = flag.Int64("seed", 42, "weight/input seed (functional mode)")
+		workers  = flag.Int("workers", 0, "functional-engine worker goroutines (0 = GOMAXPROCS)")
+		skipZero = flag.Bool("skipzero", false, "skip all-zero multiplier bit-slices (functional mode; outputs unchanged, cycles data-dependent)")
+		jsonOut  = flag.Bool("json", false, "emit machine-readable JSON instead of tables")
 	)
 	flag.Parse()
 
@@ -47,6 +48,7 @@ func main() {
 	cfg.Slices = *slices
 	cfg.Sockets = *sockets
 	cfg.Workers = *workers
+	cfg.SkipZeroSlices = *skipZero
 	sys, err := neuralcache.New(cfg)
 	if err != nil {
 		log.Fatal(err)
@@ -125,6 +127,20 @@ type functionalRun struct {
 	ComputeCycles   uint64             `json:"compute_cycles"`
 	AccessCycles    uint64             `json:"access_cycles"`
 	FabricBusCycles uint64             `json:"fabric_bus_cycles"`
+	// Zero-slice skipping accounting, present only under -skipzero.
+	SkipZeroSlices  bool        `json:"skip_zero_slices,omitempty"`
+	SkippedSlices   uint64      `json:"skipped_slices,omitempty"`
+	TotalSlices     uint64      `json:"total_slices,omitempty"`
+	SkipCyclesSaved uint64      `json:"skip_cycles_saved,omitempty"`
+	SliceDensity    float64     `json:"slice_density,omitempty"`
+	LayerSkips      []layerSkip `json:"layer_skips,omitempty"`
+}
+
+type layerSkip struct {
+	Layer           string `json:"layer"`
+	SkippedSlices   uint64 `json:"skipped_slices"`
+	TotalSlices     uint64 `json:"total_slices"`
+	SkipCyclesSaved uint64 `json:"skip_cycles_saved"`
 }
 
 func runFunctional(sys *neuralcache.System, cfg neuralcache.Config, m *neuralcache.Model, seed int64, jsonOut bool) {
@@ -140,13 +156,27 @@ func runFunctional(sys *neuralcache.System, cfg neuralcache.Config, m *neuralcac
 		log.Fatal(err)
 	}
 	if jsonOut {
-		emitJSON(functionalRun{
+		run := functionalRun{
 			Config: cfg, Mode: "functional", Model: m.Name(), Seed: seed,
 			OutputH: res.Output.H, OutputW: res.Output.W, OutputC: res.Output.C,
 			OutputScale: res.Output.Scale, Logits: res.Logits, Class: res.Argmax(),
 			ArraysUsed: res.ArraysUsed, ComputeCycles: res.ComputeCycles,
 			AccessCycles: res.AccessCycles, FabricBusCycles: res.FabricBusCycles,
-		})
+		}
+		if res.SkipZeroSlices {
+			run.SkipZeroSlices = true
+			run.SkippedSlices = res.SkippedSlices
+			run.TotalSlices = res.TotalSlices
+			run.SkipCyclesSaved = res.SkipCyclesSaved
+			run.SliceDensity = res.SliceDensity()
+			for _, l := range res.LayerSkips {
+				run.LayerSkips = append(run.LayerSkips, layerSkip{
+					Layer: l.Layer, SkippedSlices: l.SkippedSlices,
+					TotalSlices: l.TotalSlices, SkipCyclesSaved: l.SkipCyclesSaved,
+				})
+			}
+		}
+		emitJSON(run)
 		return
 	}
 	fmt.Printf("model %s: bit-accurate in-cache inference complete\n", m.Name())
@@ -161,5 +191,14 @@ func runFunctional(sys *neuralcache.System, cfg neuralcache.Config, m *neuralcac
 	fmt.Printf("  access cycles:   %d (host/TMU reads and writes)\n", res.AccessCycles)
 	if res.FabricBusCycles > 0 {
 		fmt.Printf("  fabric cycles:   %d (cross-array partial-sum reduce)\n", res.FabricBusCycles)
+	}
+	if res.SkipZeroSlices {
+		fmt.Printf("  zero-slice skipping: %d of %d multiplier slices skipped (density %.3f), %d cycles saved\n",
+			res.SkippedSlices, res.TotalSlices, res.SliceDensity(), res.SkipCyclesSaved)
+		t := report.NewTable("Per-layer slice skipping", "Layer", "Skipped", "Total", "Cycles saved")
+		for _, l := range res.LayerSkips {
+			t.Add(l.Layer, fmt.Sprint(l.SkippedSlices), fmt.Sprint(l.TotalSlices), fmt.Sprint(l.SkipCyclesSaved))
+		}
+		fmt.Println(t.String())
 	}
 }

@@ -115,11 +115,35 @@ func (s *System) EstimateReplica(m *Model, batch int) (*Estimate, error) {
 // independent of the configured GroupSize — the hook group-sweep tooling
 // uses to walk the Table IV frontier. k must divide Slices.
 func (s *System) EstimateReplicaGroup(m *Model, batch, k int) (*Estimate, error) {
+	return s.EstimateReplicaGroupDensity(m, batch, k, 1)
+}
+
+// EstimateDensity prices a batch with the convolution MAC phase
+// discounted for a measured multiplier bit-column density — the
+// InferenceResult.SliceDensity a SkipZeroSlices run reports. density
+// must lie in (0, 1]; 1 reproduces Estimate exactly. Each skipped
+// bit-slice saves its predicated add, the same per-slice saving the
+// functional engine realizes, so an estimate priced at a measured
+// density tracks the observed compute-cycle reduction.
+func (s *System) EstimateDensity(m *Model, batch int, density float64) (*Estimate, error) {
+	rep, err := s.core.EstimateDensity(m.net, batch, density)
+	if err != nil {
+		return nil, err
+	}
+	return newEstimate(rep), nil
+}
+
+// EstimateReplicaGroupDensity is EstimateReplicaGroup with the MAC phase
+// discounted for a measured bit-column density (see EstimateDensity) —
+// the hook the serving tier uses to price observed weight sparsity into
+// per-group service times (serve.Server and serve.Simulate accept it via
+// their density knobs).
+func (s *System) EstimateReplicaGroupDensity(m *Model, batch, k int, density float64) (*Estimate, error) {
 	sys, err := s.replicaGroup(k)
 	if err != nil {
 		return nil, err
 	}
-	rep, err := sys.Estimate(m.net, batch)
+	rep, err := sys.EstimateDensity(m.net, batch, density)
 	if err != nil {
 		return nil, err
 	}

@@ -257,3 +257,59 @@ func TestEstimateReloadFacade(t *testing.T) {
 		t.Fatalf("reload %g not below batch-1 replica service %g", ri.Seconds, rep.LatencySeconds)
 	}
 }
+
+// TestEstimateDensityFacade pins the measured-sparsity pricing hook:
+// density 1 reproduces the dense estimate exactly, lower densities
+// price strictly faster (full cache and replica group alike), and
+// out-of-range densities are rejected.
+func TestEstimateDensityFacade(t *testing.T) {
+	sys := scalingSystem(t, 14, 2)
+	m := InceptionV3()
+
+	dense, err := sys.Estimate(m, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same, err := sys.EstimateDensity(m, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if same.LatencySeconds != dense.LatencySeconds {
+		t.Fatalf("EstimateDensity(1) latency %g != Estimate %g", same.LatencySeconds, dense.LatencySeconds)
+	}
+	sparse, err := sys.EstimateDensity(m, 1, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sparse.LatencySeconds >= dense.LatencySeconds {
+		t.Fatalf("density 0.5 latency %g not below dense %g", sparse.LatencySeconds, dense.LatencySeconds)
+	}
+
+	gDense, err := sys.EstimateReplicaGroup(m, 4, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gSame, err := sys.EstimateReplicaGroupDensity(m, 4, 7, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gSame.LatencySeconds != gDense.LatencySeconds {
+		t.Fatalf("group density 1 latency %g != dense %g", gSame.LatencySeconds, gDense.LatencySeconds)
+	}
+	gSparse, err := sys.EstimateReplicaGroupDensity(m, 4, 7, 0.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gSparse.LatencySeconds >= gDense.LatencySeconds {
+		t.Fatalf("group density 0.6 latency %g not below dense %g", gSparse.LatencySeconds, gDense.LatencySeconds)
+	}
+
+	for _, d := range []float64{0, -1, 1.5} {
+		if _, err := sys.EstimateDensity(m, 1, d); err == nil {
+			t.Errorf("EstimateDensity accepted density %g", d)
+		}
+		if _, err := sys.EstimateReplicaGroupDensity(m, 1, 1, d); err == nil {
+			t.Errorf("EstimateReplicaGroupDensity accepted density %g", d)
+		}
+	}
+}

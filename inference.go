@@ -22,6 +22,38 @@ type InferenceResult struct {
 	// partial-sum reduction; nonzero only when a convolution's lanes
 	// spill across an array pair (for example Model WideCNN).
 	FabricBusCycles uint64
+	// SkipZeroSlices reports whether the run used the zero-skipping
+	// multiply ops (Config.SkipZeroSlices). When false the skip counters
+	// below are zero.
+	SkipZeroSlices bool
+	// SkippedSlices / TotalSlices count multiplier bit-slices elided and
+	// issued across every multiply of the run; one slice is one multiplier
+	// bit position on one array, skippable only when all 256 lanes hold a
+	// zero there. SkipCyclesSaved is the exact compute-cycle reduction
+	// versus the dense engine on the same input.
+	SkippedSlices   uint64
+	TotalSlices     uint64
+	SkipCyclesSaved uint64
+	// LayerSkips breaks the elisions down per layer, in execution order.
+	LayerSkips []LayerSkip
+}
+
+// LayerSkip is one layer's share of the zero-slice elisions.
+type LayerSkip struct {
+	Layer           string
+	SkippedSlices   uint64
+	TotalSlices     uint64
+	SkipCyclesSaved uint64
+}
+
+// SliceDensity returns the fraction of multiplier bit-slices that could
+// not be skipped (1 = fully dense, also returned when no slices were
+// counted). It is the measured bit-column density EstimateDensity prices.
+func (r *InferenceResult) SliceDensity() float64 {
+	if r.TotalSlices == 0 {
+		return 1
+	}
+	return 1 - float64(r.SkippedSlices)/float64(r.TotalSlices)
 }
 
 // Run executes the model bit-accurately on simulated compute arrays. The
@@ -67,6 +99,20 @@ func newInferenceResult(res *core.FunctionalResult) *InferenceResult {
 	}
 	if res.Trace.Logits != nil {
 		out.Logits = append([]int32(nil), res.Trace.Logits...)
+	}
+	if res.Skip.Enabled {
+		out.SkipZeroSlices = true
+		out.SkippedSlices = res.Skip.SkippedSlices
+		out.TotalSlices = res.Skip.TotalSlices
+		out.SkipCyclesSaved = res.Skip.CyclesSaved
+		for _, l := range res.Skip.Layers {
+			out.LayerSkips = append(out.LayerSkips, LayerSkip{
+				Layer:           l.Layer,
+				SkippedSlices:   l.SkippedSlices,
+				TotalSlices:     l.TotalSlices,
+				SkipCyclesSaved: l.CyclesSaved,
+			})
+		}
 	}
 	return out
 }

@@ -21,8 +21,23 @@ import (
 
 // Estimate prices one batch of inferences end to end.
 func (s *System) Estimate(net *nn.Network, batch int) (*Report, error) {
+	return s.EstimateDensity(net, batch, 1)
+}
+
+// EstimateDensity prices one batch with the convolution MAC phase
+// discounted for a measured multiplier bit-column density (the fraction
+// of bit-slices the zero-skipping engine cannot elide; see
+// CostModel.MACCyclesDensity). density 1 is Estimate's dense pricing.
+// Only the conv MAC phase is discounted: batch-norm multiplies also
+// skip at run time, but their share of an estimate is negligible and
+// their density is unrelated to the filters', so the analytic model
+// keeps them dense.
+func (s *System) EstimateDensity(net *nn.Network, batch int, density float64) (*Report, error) {
 	if batch <= 0 {
 		return nil, fmt.Errorf("core: batch size %d", batch)
+	}
+	if density <= 0 || density > 1 {
+		return nil, fmt.Errorf("core: slice density %g outside (0, 1]", density)
 	}
 	if err := net.Validate(); err != nil {
 		return nil, err
@@ -42,7 +57,7 @@ func (s *System) Estimate(net *nn.Network, batch int) (*Report, error) {
 			}
 			switch l := p.Layer.(type) {
 			case *nn.Conv2D:
-				if err := s.convCost(&lr, rep, &traffic, p, gi == 0, batch); err != nil {
+				if err := s.convCost(&lr, rep, &traffic, p, gi == 0, batch, density); err != nil {
 					return nil, err
 				}
 			case *nn.Pool:
@@ -94,7 +109,7 @@ func placedInputShape(net *nn.Network, gi int) tensor.Shape {
 }
 
 func (s *System) convCost(lr *LayerReport, rep *Report, traffic *interconnect.Traffic,
-	p nn.Placed, firstLayer bool, batch int) error {
+	p nn.Placed, firstLayer bool, batch int, density float64) error {
 	cfg := s.cfg
 	plan, err := mapping.PlanConv(cfg.Mapping, p)
 	if err != nil {
@@ -140,7 +155,7 @@ func (s *System) convCost(lr *LayerReport, rep *Report, traffic *interconnect.Tr
 	}
 
 	// --- MACs ---
-	macCycles := uint64(plan.SerialIters) * uint64(plan.MACsPerIter()) * cost.MACCycles()
+	macCycles := uint64(plan.SerialIters) * uint64(plan.MACsPerIter()) * cost.MACCyclesDensity(density)
 	lr.Seconds[PhaseMAC] += fBatch * cost.Seconds(macCycles)
 	rep.Ledger.ArrayComputeCycles += uint64(fBatch) * macCycles * uint64(activeArrays)
 

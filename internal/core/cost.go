@@ -10,6 +10,8 @@
 package core
 
 import (
+	"math"
+
 	"neuralcache/internal/isa"
 )
 
@@ -46,6 +48,27 @@ func (c CostModel) MACCycles() uint64 {
 	return uint64(isa.ChargedCycles(isa.Instruction{
 		Op: isa.OpMulAcc, Width: c.ActBits, AccWidth: c.AccBits,
 	}))
+}
+
+// MACCyclesDensity is MACCycles discounted for measured multiplier
+// bit-column density d (the fraction of bit-slices the zero-skipping
+// engine could not elide, InferenceResult.SliceDensity): each of the
+// (1−d)·ActBits skipped slices saves its ActBits+1-cycle predicated add,
+// the exact per-slice saving of sram.MulAccSkip. d = 1 is the dense
+// MACCycles; d = 0 leaves the slice-scan and accumulate floor.
+func (c CostModel) MACCyclesDensity(d float64) uint64 {
+	dense := c.MACCycles()
+	if d >= 1 {
+		return dense
+	}
+	if d < 0 {
+		d = 0
+	}
+	saved := uint64(math.Round((1 - d) * float64(c.ActBits) * float64(c.ActBits+1)))
+	if saved >= dense {
+		return 0
+	}
+	return dense - saved
 }
 
 // ReduceStepCycles is the cost of one reduction tree step at the fixed

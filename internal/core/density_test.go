@@ -1,0 +1,83 @@
+package core
+
+import (
+	"testing"
+
+	"neuralcache/internal/nn"
+)
+
+// TestMACCyclesDensity pins the density discount's closed form against
+// the functional engine's per-slice saving: a skipped slice elides its
+// ActBits+1-cycle predicated add, so density d prices
+// MACCycles − round((1−d)·ActBits·(ActBits+1)).
+func TestMACCyclesDensity(t *testing.T) {
+	c := DefaultCost()
+	dense := c.MACCycles()
+	if got := c.MACCyclesDensity(1); got != dense {
+		t.Errorf("density 1: %d cycles, want dense %d", got, dense)
+	}
+	// Half the 8 multiplier slices skipped: saves 4·9 = 36 of 236.
+	if got, want := c.MACCyclesDensity(0.5), dense-36; got != want {
+		t.Errorf("density 0.5: %d cycles, want %d", got, want)
+	}
+	// All slices skipped: saves 8·9 = 72; the accumulate floor remains.
+	if got, want := c.MACCyclesDensity(0), dense-72; got != want {
+		t.Errorf("density 0: %d cycles, want %d", got, want)
+	}
+	prev := uint64(0)
+	for _, d := range []float64{0, 0.25, 0.5, 0.75, 1} {
+		got := c.MACCyclesDensity(d)
+		if got < prev {
+			t.Errorf("MACCyclesDensity not monotone: %d at density %g after %d", got, d, prev)
+		}
+		prev = got
+	}
+}
+
+// TestEstimateDensityDiscountsMACPhase checks the analytic hook: lower
+// density shortens only the MAC phase, density 1 reproduces Estimate
+// exactly, and out-of-range densities are rejected.
+func TestEstimateDensityDiscountsMACPhase(t *testing.T) {
+	sys, net := inceptionSystem(t)
+	dense, err := sys.Estimate(net, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same, err := sys.EstimateDensity(net, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if same.Latency() != dense.Latency() || same.Seconds != dense.Seconds {
+		t.Errorf("density 1 diverges from Estimate: %v vs %v", same.Seconds, dense.Seconds)
+	}
+	prevMAC := dense.Seconds[PhaseMAC]
+	for _, d := range []float64{0.75, 0.5, 0.25} {
+		rep, err := sys.EstimateDensity(net, 1, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Seconds[PhaseMAC] >= prevMAC {
+			t.Errorf("density %g: MAC phase %.6f s, not below %.6f s", d, rep.Seconds[PhaseMAC], prevMAC)
+		}
+		prevMAC = rep.Seconds[PhaseMAC]
+		for _, p := range Phases() {
+			if p == PhaseMAC {
+				continue
+			}
+			if rep.Seconds[p] != dense.Seconds[p] {
+				t.Errorf("density %g: phase %s changed: %.9f vs %.9f", d, p, rep.Seconds[p], dense.Seconds[p])
+			}
+		}
+		if rep.Latency() >= dense.Latency() {
+			t.Errorf("density %g: latency %.6f s, not below dense %.6f s", d, rep.Latency(), dense.Latency())
+		}
+	}
+	for _, d := range []float64{0, -0.5, 1.5} {
+		if _, err := sys.EstimateDensity(net, 1, d); err == nil {
+			t.Errorf("density %g accepted, want error", d)
+		}
+	}
+	if _, err := sys.EstimateDensity(nn.SmallCNN(), 0, 0.5); err == nil {
+		t.Error("batch 0 accepted, want error")
+	}
+}

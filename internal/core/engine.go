@@ -30,6 +30,19 @@ type Config struct {
 	// bit-identical for every worker count; only wall-clock time changes.
 	Workers int
 
+	// SkipZeroSlices routes the functional engine's multiplies through the
+	// zero-skipping sram ops (MulAccSkip / MultiplySkip): a multiplier
+	// bit-slice that is zero across all 256 lanes of an array elides its
+	// n+1-cycle predicated add, the §VII / BitWave-style bit-column
+	// sparsity win. Outputs, trace, arrays used and access cycles stay
+	// byte-identical to the dense engine (including under fault injection
+	// and for every worker count); only the emergent compute-cycle count
+	// becomes data-dependent, and FunctionalResult.Skip reports what was
+	// elided. Because one instruction stream drives all lanes, a slice
+	// skips only when every lane agrees — dense activations across a full
+	// array defeat it, low-magnitude weights enable it.
+	SkipZeroSlices bool
+
 	// InputMulticastFactor is the average fan-out one intra-slice bus
 	// transfer achieves when depositing replicated input windows beyond
 	// the bank latch (partial multicast of M-replicated windows across

@@ -59,6 +59,45 @@ type FunctionalResult struct {
 	// FabricCycles is the intra-slice bus time charged for those
 	// inter-array reduce transfers.
 	FabricCycles uint64
+	// Skip reports what zero-slice skipping elided; Enabled (and the
+	// counters) only when Config.SkipZeroSlices is set.
+	Skip SkipReport
+}
+
+// SkipLayer is one layer's zero-slice-skipping tally: how many multiplier
+// bit-slices the wired-OR flag elided, out of how many the layer's
+// multiplies examined, and the compute cycles those elisions saved
+// (n+1 per skipped slice of an n-bit multiply).
+type SkipLayer struct {
+	Layer         string
+	SkippedSlices uint64
+	TotalSlices   uint64
+	CyclesSaved   uint64
+}
+
+// SkipReport aggregates zero-slice skipping over a run. The counters are
+// deterministic for every worker count (folded in ascending group order,
+// like the fabric ledger), and CyclesSaved equals exactly the difference
+// between the dense and skipping engines' emergent compute cycles on the
+// same input.
+type SkipReport struct {
+	Enabled       bool
+	SkippedSlices uint64
+	TotalSlices   uint64
+	CyclesSaved   uint64
+	// Layers lists per-layer tallies in execution order (convolutions and
+	// batch-norm layers; pooling and residual adds have no multiplies).
+	Layers []SkipLayer
+}
+
+// Density returns the executed fraction of multiplier bit-slices — the
+// measured bit-column density a serving estimate can price via
+// System.EstimateDensity. 1 when nothing was counted (dense runs).
+func (r SkipReport) Density() float64 {
+	if r.TotalSlices == 0 {
+		return 1
+	}
+	return 1 - float64(r.SkippedSlices)/float64(r.TotalSlices)
 }
 
 // FaultInjector mutates a compute array the first time the functional
@@ -96,6 +135,7 @@ func (s *System) RunFunctionalFaulty(net *nn.Network, in *tensor.Quant, inject F
 		touched: make([]bool, s.cfg.Geometry.ComputeArrays()),
 		workers: workers,
 	}
+	f.skip.Enabled = s.cfg.SkipZeroSlices
 	out, err := f.seq(net.Layers, in)
 	if err != nil {
 		return nil, err
@@ -113,6 +153,7 @@ func (s *System) RunFunctionalFaulty(net *nn.Network, in *tensor.Quant, inject F
 		ArraysUsed:   used,
 		Fabric:       f.fabric,
 		FabricCycles: f.fabricCycles,
+		Skip:         f.skip,
 	}, nil
 }
 
@@ -125,19 +166,25 @@ type funcExec struct {
 	inject  FaultInjector
 	workers int
 
-	// Inter-array reduce accounting, merged from per-group shares in
-	// ascending group order after each parallel section.
+	// Inter-array reduce and zero-skip accounting, merged from per-group
+	// shares in ascending group order after each parallel section.
 	fabric       interconnect.Traffic
 	fabricCycles uint64
+	skip         SkipReport
 }
 
-// fabricShare is one group's interconnect contribution. Each group writes
-// only its own share; runGroups folds the shares into the engine totals in
-// ascending group order after the barrier, so the ledger is identical for
-// any worker count.
-type fabricShare struct {
+// groupShare is one group's contribution to the run ledgers: interconnect
+// traffic/cycles of inter-array reduces, and the zero-slice-skipping
+// tallies. Each group writes only its own share; runGroups folds the
+// shares into the engine totals in ascending group order after the
+// barrier, so every ledger is identical for any worker count.
+type groupShare struct {
 	traffic interconnect.Traffic
 	cycles  uint64
+
+	skippedSlices uint64 // multiplier bit-slices the wired-OR flag elided
+	totalSlices   uint64 // bit-slices the skipping ops examined
+	skipSaved     uint64 // compute cycles the elided slices would have cost
 }
 
 // arrayFor hands out the compute array with the given ordinal. Arrays are
@@ -164,7 +211,7 @@ func (f *funcExec) arrayFor(ordinal int) *sram.Array {
 // to the same collision class and are pinned to one worker, which
 // processes them in ascending order. Every array therefore receives
 // exactly the sequential op stream, for any worker count.
-func (f *funcExec) runGroups(nGroups, arraysPerGroup int, fn func(g int, arrs []*sram.Array, acct *fabricShare) error) error {
+func (f *funcExec) runGroups(nGroups, arraysPerGroup int, fn func(g int, arrs []*sram.Array, acct *groupShare) error) error {
 	if nGroups <= 0 {
 		return nil
 	}
@@ -192,7 +239,7 @@ func (f *funcExec) runGroups(nGroups, arraysPerGroup int, fn func(g int, arrs []
 	}
 	cycle := n / arraysPerGroup
 
-	shares := make([]fabricShare, nGroups)
+	shares := make([]groupShare, nGroups)
 	errs := make([]error, nGroups)
 	run := func(worker int) {
 		arrs := make([]*sram.Array, arraysPerGroup)
@@ -225,6 +272,9 @@ func (f *funcExec) runGroups(nGroups, arraysPerGroup int, fn func(g int, arrs []
 	for g := range shares {
 		f.fabric.Add(shares[g].traffic)
 		f.fabricCycles += shares[g].cycles
+		f.skip.SkippedSlices += shares[g].skippedSlices
+		f.skip.TotalSlices += shares[g].totalSlices
+		f.skip.CyclesSaved += shares[g].skipSaved
 	}
 	for _, err := range errs {
 		if err != nil {
@@ -273,11 +323,37 @@ func (f *funcExec) conv(c *nn.Conv2D, x *tensor.Quant) (*tensor.Quant, error) {
 	}
 	accScale := x.Scale * c.Filter.Scale
 	bias := nn.QuantizeBias(c.Bias, accScale)
-	accs, err := f.convAccs(plan, c, x, bias)
+	var accs []int64
+	err = f.recordSkip(c.Name(), func() error {
+		accs, err = f.convAccs(plan, c, x, bias)
+		return err
+	})
 	if err != nil {
 		return nil, err
 	}
 	return nn.FinishConv(c, placed.Out, accScale, bias, accs, f.tr), nil
+}
+
+// recordSkip runs fn and, when zero-slice skipping is on, appends the
+// layer's delta of the run-wide skip counters as a per-layer tally.
+// Layers execute sequentially on the calling goroutine (runGroups folds
+// its shares before returning), so the deltas and their order are
+// deterministic for every worker count.
+func (f *funcExec) recordSkip(name string, fn func() error) error {
+	if !f.sys.cfg.SkipZeroSlices {
+		return fn()
+	}
+	before := f.skip
+	if err := fn(); err != nil {
+		return err
+	}
+	f.skip.Layers = append(f.skip.Layers, SkipLayer{
+		Layer:         name,
+		SkippedSlices: f.skip.SkippedSlices - before.SkippedSlices,
+		TotalSlices:   f.skip.TotalSlices - before.TotalSlices,
+		CyclesSaved:   f.skip.CyclesSaved - before.CyclesSaved,
+	})
+	return nil
 }
 
 // convAccs produces the raw accumulators by running the mapped microcode
@@ -307,7 +383,8 @@ func (f *funcExec) convAccs(plan *mapping.ConvPlan, c *nn.Conv2D, x *tensor.Quan
 	nGroups := (total + slotsPer - 1) / slotsPer
 	fabric := f.sys.cfg.Fabric
 
-	return accs, f.runGroups(nGroups, arraysPer, func(g int, arrs []*sram.Array, acct *fabricShare) error {
+	skipZero := f.sys.cfg.SkipZeroSlices
+	return accs, f.runGroups(nGroups, arraysPer, func(g int, arrs []*sram.Array, acct *groupShare) error {
 		base := g * slotsPer
 		slots := min(slotsPer, total-base)
 		filterCol := make([][]uint64, arraysPer)
@@ -368,8 +445,24 @@ func (f *funcExec) convAccs(plan *mapping.ConvPlan, c *nn.Conv2D, x *tensor.Quan
 					}
 				}
 			}
+			// The filter plane is the multiplier (bBase): weight bytes are
+			// where bit-column sparsity lives — a weight bit-column that is
+			// zero across the array's lanes elides its predicated add,
+			// BitWave-style — and a constant multiplier makes the skip
+			// count input-independent, so a measured density stays valid
+			// across requests. Both modes share the operand order (the
+			// product is commutative and Multiply's cost value-independent,
+			// so the dense engine is unchanged), which also keeps fault
+			// blast radii identical between dense and skipping runs.
 			for _, arr := range arrs {
-				arr.MulAcc(lay.FilterRow()+8*j, inRow, lay.ScratchRow(), lay.PartialRow(), 8, 24)
+				if skipZero {
+					sk := arr.MulAccSkip(inRow, lay.FilterRow()+8*j, lay.ScratchRow(), lay.PartialRow(), 8, 24)
+					acct.skippedSlices += uint64(sk)
+					acct.totalSlices += 8
+					acct.skipSaved += uint64(sk) * (8 + 1)
+				} else {
+					arr.MulAcc(inRow, lay.FilterRow()+8*j, lay.ScratchRow(), lay.PartialRow(), 8, 24)
+				}
 			}
 		}
 
@@ -477,7 +570,7 @@ func (f *funcExec) pool(p *nn.Pool, x *tensor.Quant) (*tensor.Quant, error) {
 	)
 
 	nGroups := (total + sram.BitLines - 1) / sram.BitLines
-	return out, f.runGroups(nGroups, 1, func(g int, arrs []*sram.Array, _ *fabricShare) error {
+	return out, f.runGroups(nGroups, 1, func(g int, arrs []*sram.Array, _ *groupShare) error {
 		arr := arrs[0]
 		base := g * sram.BitLines
 		slots := min(sram.BitLines, total-base)
@@ -547,7 +640,7 @@ func (f *funcExec) residual(r *nn.Residual, x *tensor.Quant) (*tensor.Quant, err
 	qa, qb := nn.ResidualOperands(body, short)
 	sums := make([]int64, len(qa))
 	nGroups := (len(qa) + sram.BitLines - 1) / sram.BitLines
-	err = f.runGroups(nGroups, 1, func(g int, arrs []*sram.Array, _ *fabricShare) error {
+	err = f.runGroups(nGroups, 1, func(g int, arrs []*sram.Array, _ *groupShare) error {
 		arr := arrs[0]
 		base := g * sram.BitLines
 		slots := min(sram.BitLines, len(qa)-base)
@@ -593,47 +686,60 @@ func (f *funcExec) batchNorm(b *nn.BatchNorm, x *tensor.Quant) (*tensor.Quant, e
 		betaRow  = 128
 	)
 	sh := int(gamma.Shift)
+	skipZero := f.sys.cfg.SkipZeroSlices
 	nGroups := (total + sram.BitLines - 1) / sram.BitLines
-	err := f.runGroups(nGroups, 1, func(g int, arrs []*sram.Array, _ *fabricShare) error {
-		arr := arrs[0]
-		base := g * sram.BitLines
-		slots := min(sram.BitLines, total-base)
-		col := make([]uint64, sram.BitLines)
-		for s := 0; s < slots; s++ {
-			col[s] = uint64(x.Data[base+s])
-		}
-		arr.WriteElements(qRow, 16, col)
-		for i := range col {
-			col[i] = uint64(gamma.Mult)
-		}
-		arr.WriteElements(gRow, 16, col)
-		arr.Multiply(qRow, gRow, prodRow, 16)
-		if sh > 0 {
-			for i := range col {
-				col[i] = 1 << (sh - 1)
+	err := f.recordSkip(b.Name(), func() error {
+		return f.runGroups(nGroups, 1, func(g int, arrs []*sram.Array, acct *groupShare) error {
+			arr := arrs[0]
+			base := g * sram.BitLines
+			slots := min(sram.BitLines, total-base)
+			col := make([]uint64, sram.BitLines)
+			for s := 0; s < slots; s++ {
+				col[s] = uint64(x.Data[base+s])
 			}
-			arr.WriteElements(roundRow, 32, col)
-			arr.AddTrunc(prodRow, roundRow, prodRow, 32)
-		}
-		// Shift = read the product from row offset sh; zero-pad the top.
-		arr.Zero(yRow, 32, false)
-		arr.Copy(prodRow+sh, yRow, 32-sh, false)
-		// Per-channel Beta as two's-complement 32-bit adds.
-		for s := 0; s < slots; s++ {
-			col[s] = uint64(uint32(beta32[(base+s)%x.Shape.C]))
-		}
-		for s := slots; s < sram.BitLines; s++ {
-			col[s] = 0
-		}
-		arr.WriteElements(betaRow, 32, col)
-		arr.AddTrunc(yRow, betaRow, yRow, 32)
-		if b.ReLU {
-			arr.ReLU(yRow, 32)
-		}
-		for s := 0; s < slots; s++ {
-			accs[base+s] = int64(int32(uint32(arr.ReadElement(s, yRow, 32))))
-		}
-		return nil
+			arr.WriteElements(qRow, 16, col)
+			for i := range col {
+				col[i] = uint64(gamma.Mult)
+			}
+			arr.WriteElements(gRow, 16, col)
+			// Gamma is the multiplier: the fixed-point scalar is uniform
+			// across lanes, so every zero bit of gamma.Mult is a whole
+			// skippable slice when zero-skipping is on.
+			if skipZero {
+				sk := arr.MultiplySkip(qRow, gRow, prodRow, 16)
+				acct.skippedSlices += uint64(sk)
+				acct.totalSlices += 16
+				acct.skipSaved += uint64(sk) * (16 + 1)
+			} else {
+				arr.Multiply(qRow, gRow, prodRow, 16)
+			}
+			if sh > 0 {
+				for i := range col {
+					col[i] = 1 << (sh - 1)
+				}
+				arr.WriteElements(roundRow, 32, col)
+				arr.AddTrunc(prodRow, roundRow, prodRow, 32)
+			}
+			// Shift = read the product from row offset sh; zero-pad the top.
+			arr.Zero(yRow, 32, false)
+			arr.Copy(prodRow+sh, yRow, 32-sh, false)
+			// Per-channel Beta as two's-complement 32-bit adds.
+			for s := 0; s < slots; s++ {
+				col[s] = uint64(uint32(beta32[(base+s)%x.Shape.C]))
+			}
+			for s := slots; s < sram.BitLines; s++ {
+				col[s] = 0
+			}
+			arr.WriteElements(betaRow, 32, col)
+			arr.AddTrunc(yRow, betaRow, yRow, 32)
+			if b.ReLU {
+				arr.ReLU(yRow, 32)
+			}
+			for s := 0; s < slots; s++ {
+				accs[base+s] = int64(int32(uint32(arr.ReadElement(s, yRow, 32))))
+			}
+			return nil
+		})
 	})
 	if err != nil {
 		return nil, err

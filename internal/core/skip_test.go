@@ -1,0 +1,164 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+
+	"neuralcache/internal/nn"
+	"neuralcache/internal/sram"
+	"neuralcache/internal/tensor"
+)
+
+func skipSystemWithWorkers(t *testing.T, workers int) *System {
+	t.Helper()
+	cfg := DefaultConfig().WithSlices(1)
+	cfg.Workers = workers
+	cfg.SkipZeroSlices = true
+	sys, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+// TestSkipZeroSlicesGoldenEquivalence is the golden fence around the
+// zero-skipping engine: for every verification network, skip-mode runs
+// at several worker counts must be byte-identical to the dense
+// sequential engine — outputs, trace, arrays used, access cycles — with
+// compute cycles never higher, lower by exactly the reported
+// CyclesSaved, and with skip accounting identical at every worker
+// count. On the sparse-filter net the win must be strict.
+func TestSkipZeroSlicesGoldenEquivalence(t *testing.T) {
+	sparse := nn.SparseCNN()
+	sparse.InitWeights(21)
+	nets := append(goldenNets(), struct {
+		net *nn.Network
+		in  *tensor.Quant
+	}{sparse, randQuant(sparse.Input, 77)})
+
+	workerCounts := []int{1, 4, runtime.GOMAXPROCS(0)}
+	for _, g := range nets {
+		dense, err := systemWithWorkers(t, 1).RunFunctional(g.net, g.in)
+		if err != nil {
+			t.Fatalf("%s: dense run: %v", g.net.Name, err)
+		}
+		if dense.Skip.Enabled || dense.Skip.TotalSlices != 0 || dense.Skip.CyclesSaved != 0 {
+			t.Fatalf("%s: dense run reports skip accounting %+v", g.net.Name, dense.Skip)
+		}
+
+		var first *FunctionalResult
+		for _, w := range workerCounts {
+			label := fmt.Sprintf("%s skip workers=%d", g.net.Name, w)
+			got, err := skipSystemWithWorkers(t, w).RunFunctional(g.net, g.in)
+			if err != nil {
+				t.Fatalf("%s: %v", label, err)
+			}
+			for i := range dense.Output.Data {
+				if got.Output.Data[i] != dense.Output.Data[i] {
+					t.Fatalf("%s: output byte %d differs from dense", label, i)
+				}
+			}
+			tracesEqual(t, label, got.Trace, dense.Trace)
+			if got.ArraysUsed != dense.ArraysUsed {
+				t.Fatalf("%s: ArraysUsed %d, dense %d", label, got.ArraysUsed, dense.ArraysUsed)
+			}
+			if got.Stats.AccessCycles != dense.Stats.AccessCycles {
+				t.Fatalf("%s: access cycles %d, dense %d", label, got.Stats.AccessCycles, dense.Stats.AccessCycles)
+			}
+			if got.Fabric != dense.Fabric || got.FabricCycles != dense.FabricCycles {
+				t.Fatalf("%s: fabric ledger differs from dense", label)
+			}
+			if got.Stats.ComputeCycles > dense.Stats.ComputeCycles {
+				t.Fatalf("%s: compute cycles %d above dense %d", label, got.Stats.ComputeCycles, dense.Stats.ComputeCycles)
+			}
+			if !got.Skip.Enabled {
+				t.Fatalf("%s: Skip.Enabled false", label)
+			}
+			if saved := dense.Stats.ComputeCycles - got.Stats.ComputeCycles; saved != got.Skip.CyclesSaved {
+				t.Fatalf("%s: measured cycle delta %d, reported CyclesSaved %d", label, saved, got.Skip.CyclesSaved)
+			}
+			var layerSkipped, layerTotal, layerSaved uint64
+			for _, l := range got.Skip.Layers {
+				layerSkipped += l.SkippedSlices
+				layerTotal += l.TotalSlices
+				layerSaved += l.CyclesSaved
+			}
+			if layerSkipped != got.Skip.SkippedSlices || layerTotal != got.Skip.TotalSlices || layerSaved != got.Skip.CyclesSaved {
+				t.Fatalf("%s: layer breakdown (%d/%d/%d) does not sum to totals (%d/%d/%d)", label,
+					layerSkipped, layerTotal, layerSaved,
+					got.Skip.SkippedSlices, got.Skip.TotalSlices, got.Skip.CyclesSaved)
+			}
+			if first == nil {
+				first = got
+				continue
+			}
+			if got.Stats != first.Stats {
+				t.Fatalf("%s: stats %+v differ across worker counts (%+v)", label, got.Stats, first.Stats)
+			}
+			if got.Skip.SkippedSlices != first.Skip.SkippedSlices ||
+				got.Skip.TotalSlices != first.Skip.TotalSlices ||
+				got.Skip.CyclesSaved != first.Skip.CyclesSaved ||
+				len(got.Skip.Layers) != len(first.Skip.Layers) {
+				t.Fatalf("%s: skip accounting differs across worker counts: %+v vs %+v", label, got.Skip, first.Skip)
+			}
+			for i, l := range got.Skip.Layers {
+				if l != first.Skip.Layers[i] {
+					t.Fatalf("%s: layer skip %d differs across worker counts: %+v vs %+v", label, i, l, first.Skip.Layers[i])
+				}
+			}
+		}
+
+		if g.net.Name == sparse.Name {
+			if first.Skip.SkippedSlices == 0 {
+				t.Fatalf("%s: no slices skipped on 4-bit weights", g.net.Name)
+			}
+			if first.Stats.ComputeCycles >= dense.Stats.ComputeCycles {
+				t.Fatalf("%s: skip compute cycles %d not strictly below dense %d",
+					g.net.Name, first.Stats.ComputeCycles, dense.Stats.ComputeCycles)
+			}
+		}
+		first = nil
+	}
+}
+
+// TestSkipZeroSlicesFaultEquivalence pins skip-mode under fault
+// injection: the same defects produce the same corrupted bytes as the
+// dense engine at every worker count — the skip decision reads the same
+// (possibly faulty) tag row, so the blast radius is unchanged.
+func TestSkipZeroSlicesFaultEquivalence(t *testing.T) {
+	inject := func(ordinal int, a *sram.Array) {
+		if ordinal < 4 {
+			a.InjectStuckAt(79, ordinal*3, 1)
+		}
+	}
+	nets := goldenNets()
+	sparse := nn.SparseCNN()
+	sparse.InitWeights(21)
+	nets = append(nets, struct {
+		net *nn.Network
+		in  *tensor.Quant
+	}{sparse, randQuant(sparse.Input, 77)})
+	for _, g := range nets {
+		dense, err := systemWithWorkers(t, 1).RunFunctionalFaulty(g.net, g.in, inject)
+		if err != nil {
+			t.Fatalf("%s: dense faulty run: %v", g.net.Name, err)
+		}
+		for _, w := range []int{1, 4, runtime.GOMAXPROCS(0)} {
+			label := fmt.Sprintf("%s faulty skip workers=%d", g.net.Name, w)
+			got, err := skipSystemWithWorkers(t, w).RunFunctionalFaulty(g.net, g.in, inject)
+			if err != nil {
+				t.Fatalf("%s: %v", label, err)
+			}
+			for i := range dense.Output.Data {
+				if got.Output.Data[i] != dense.Output.Data[i] {
+					t.Fatalf("%s: faulty output byte %d differs from dense", label, i)
+				}
+			}
+			if got.Stats.ComputeCycles > dense.Stats.ComputeCycles {
+				t.Fatalf("%s: faulty compute cycles %d above dense %d", label,
+					got.Stats.ComputeCycles, dense.Stats.ComputeCycles)
+			}
+		}
+	}
+}

@@ -34,6 +34,13 @@ type Conv2D struct {
 	PadH, PadW int  // symmetric zero padding
 	ReLU       bool // ReLU folded after the accumulation (§IV-D)
 	IsLogits   bool // final classifier: raw accumulators are the output
+	// WeightBits, when in (0, 8), makes InitWeights confine the quantized
+	// filter bytes to that many low bits — a low-magnitude-weight layer
+	// whose top multiplier bit-columns are zero across every lane, the
+	// §VII sparsity the zero-skipping engine elides. 0 means full 8-bit
+	// weights. Both execution engines read the same bytes, so the knob
+	// changes data, never correctness.
+	WeightBits int
 
 	// Filter and Bias are populated by Network.InitWeights. Bias is the
 	// float batch-norm fold; it is quantized against the input scale at

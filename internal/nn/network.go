@@ -163,6 +163,19 @@ func (n *Network) InitWeights(seed int64) {
 			w[i] = float32(r.NormFloat64() * std)
 		}
 		c.Filter = tensor.QuantizeFilter(c.R, c.S, c.Cin, c.Cout, w)
+		if c.WeightBits > 0 && c.WeightBits < 8 {
+			// Confine the quantized bytes to the low WeightBits so the top
+			// multiplier bit-columns are zero in every lane (see
+			// Conv2D.WeightBits). The zero point must stay representable or
+			// every masked weight would decode with the wrong sign.
+			mask := uint8(1<<c.WeightBits - 1)
+			for i := range c.Filter.Data {
+				c.Filter.Data[i] &= mask
+			}
+			if c.Filter.Zero > mask {
+				c.Filter.Zero = mask >> 1
+			}
+		}
 		c.Bias = make([]float32, c.Cout)
 		for i := range c.Bias {
 			c.Bias[i] = float32(r.NormFloat64() * std * fanIn / 8)

@@ -28,6 +28,23 @@ func SmallCNN() *Network {
 	}
 }
 
+// SparseCNN is SmallCNN with every convolution's weights confined to the
+// low 4 bits (Conv2D.WeightBits): each filter byte's top four multiplier
+// bit-columns are zero across all 256 lanes of every array, so the
+// zero-skipping engine (core.Config.SkipZeroSlices) elides at least half
+// of each MAC's bit-slices while the dense engine pays full price. It is
+// the verification net that pins skip-mode's strict cycle win.
+func SparseCNN() *Network {
+	n := SmallCNN()
+	n.Name = "sparse_cnn"
+	for _, p := range n.Flatten() {
+		if c := p.Conv(); c != nil {
+			c.WeightBits = 4
+		}
+	}
+	return n
+}
+
 // WideCNN is a verification network whose first convolution needs more
 // lanes than one array has bit lines: Cin = 300 with a 3×3 filter gives
 // 300 effective channels, rounded to 512 lanes, so the convolution spills

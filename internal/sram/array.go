@@ -108,6 +108,17 @@ func checkOverlap(dstBase, srcBase, n int) {
 	}
 }
 
+// checkDisjoint panics when two row ranges of independent widths share any
+// row. Unlike checkOverlap it permits no aliasing at all: it guards ranges
+// the microcode reads and writes in interleaved order, where even an exact
+// alias corrupts lanes.
+func checkDisjoint(whatA string, aBase, aN int, whatB string, bBase, bN int) {
+	if aBase < bBase+bN && bBase < aBase+aN {
+		panic(fmt.Sprintf("sram: %s rows [%d,%d) overlap %s rows [%d,%d)",
+			whatA, aBase, aBase+aN, whatB, bBase, bBase+bN))
+	}
+}
+
 // --- Host access path (SRAM mode, access cycles) ---
 
 // ReadRow returns the stored row r via a normal SRAM read (1 access cycle).

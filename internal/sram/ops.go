@@ -248,8 +248,12 @@ func (a *Array) Multiply(aBase, bBase, prod, n int) {
 	checkRows("Multiply a", aBase, n)
 	checkRows("Multiply b", bBase, n)
 	checkRows("Multiply prod", prod, 2*n)
-	checkOverlap(prod, aBase, n)
-	checkOverlap(prod, bBase, n)
+	// The full 2n-row product window is read and written while the
+	// operands are still live, so no part of it may touch either operand
+	// (a prod that started n rows above aBase would pass a width-n check
+	// yet clobber the multiplicand's top bits mid-multiply).
+	checkDisjoint("Multiply prod", prod, 2*n, "a", aBase, n)
+	checkDisjoint("Multiply prod", prod, 2*n, "b", bBase, n)
 	a.Zero(prod, 2*n, false)
 	for i := 0; i < n; i++ {
 		a.cycleLoadTag(bBase + i)
@@ -265,15 +269,42 @@ func (a *Array) Multiply(aBase, bBase, prod, n int) {
 // product rows [prod, prod+2n) and accumulates the product into the
 // accW-bit accumulator at accBase. The mapping must keep rows
 // [prod+2n, prod+accW) zeroed so the product is read zero-extended
-// (§IV-A's scratch-pad region provides them). Emergent cost:
-// n²+4n + accW cycles.
+// (§IV-A's scratch-pad region provides them); MulAcc verifies that
+// contract and panics on a dirty pad row. The accumulator must be
+// disjoint from the product window and both operands — the accumulate
+// reads the pad while the product is live, so even an exact alias
+// corrupts. Emergent cost: n²+4n + accW cycles.
 func (a *Array) MulAcc(aBase, bBase, prod, accBase, n, accW int) {
+	a.mulAccChecks(aBase, bBase, prod, accBase, n, accW)
+	a.Multiply(aBase, bBase, prod, n)
+	a.AddTrunc(accBase, prod, accBase, accW)
+}
+
+// mulAccChecks enforces the row-map contract shared by MulAcc and
+// MulAccSkip: a wide-enough accumulator, in-bounds windows, an
+// accumulator disjoint from the product window and both operands, and a
+// zeroed pad [prod+2n, prod+accW). The pad check is skipped on arrays
+// with injected faults — a stuck-at defect in the pad region legitimately
+// dirties it, and the resulting mis-accumulation is exactly the blast
+// radius fault campaigns measure.
+func (a *Array) mulAccChecks(aBase, bBase, prod, accBase, n, accW int) {
 	if accW < 2*n {
 		panic(fmt.Sprintf("sram: MulAcc accumulator width %d < product width %d", accW, 2*n))
 	}
 	checkRows("MulAcc prod+pad", prod, accW)
-	a.Multiply(aBase, bBase, prod, n)
-	a.AddTrunc(accBase, prod, accBase, accW)
+	checkRows("MulAcc acc", accBase, accW)
+	checkDisjoint("MulAcc acc", accBase, accW, "prod+pad", prod, accW)
+	checkDisjoint("MulAcc acc", accBase, accW, "a", aBase, n)
+	checkDisjoint("MulAcc acc", accBase, accW, "b", bBase, n)
+	if a.faults != nil {
+		return
+	}
+	for r := prod + 2*n; r < prod+accW; r++ {
+		if !a.rows[r].IsZero() {
+			panic(fmt.Sprintf("sram: MulAcc pad row %d dirty; rows [%d,%d) must stay zero",
+				r, prod+2*n, prod+accW))
+		}
+	}
 }
 
 // Divide computes, per lane, the quotient and remainder of the n-bit

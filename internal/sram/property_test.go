@@ -154,6 +154,48 @@ func TestPropertyMaxMinPartition(t *testing.T) {
 	}
 }
 
+// TestPropertyMultiplySkipStateMatchesMultiply pins the latch-state fix:
+// after MultiplySkip, every row AND the tag/carry latches must match a
+// plain Multiply of the same operands, for random multiplier densities —
+// including all-zero multipliers, whose trailing skipped slices used to
+// leave the carry latch holding stale state.
+func TestPropertyMultiplySkipStateMatchesMultiply(t *testing.T) {
+	const n = 8
+	f := func(c laneCase) bool {
+		var plain, skip Array
+		for _, a := range []*Array{&plain, &skip} {
+			for lane := 0; lane < BitLines; lane++ {
+				a.WriteElement(lane, 0, n, c.A[lane]&0xff)
+				// Density sweep: per-lane multiplier bits masked by a
+				// lane-derived width so some cases are dense, some sparse,
+				// some all-zero.
+				width := c.B[0] % (n + 1)
+				a.WriteElement(lane, n, n, c.B[lane]&(1<<width-1))
+			}
+			// Seed a dirty carry latch the way hardware would have one:
+			// an unrelated prior op leaves its final carry-out behind.
+			a.WriteElement(0, 4*n, n, c.A[0])
+			a.WriteElement(0, 5*n, n, c.B[0])
+			a.AddTrunc(4*n, 5*n, 6*n, n)
+			a.SetTag(a.PeekRow(4 * n))
+		}
+		plain.Multiply(0, n, 2*n, n)
+		skip.MultiplySkip(0, n, 2*n, n)
+		if plain.Tag() != skip.Tag() || plain.Carry() != skip.Carry() {
+			return false
+		}
+		for r := 0; r < WordLines; r++ {
+			if plain.PeekRow(r) != skip.PeekRow(r) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
 func TestPropertyReduceMatchesSum(t *testing.T) {
 	const w = 32
 	const count = 16

@@ -16,21 +16,34 @@ import "neuralcache/internal/bitvec"
 // the win shrinks as more independent values share an array.
 
 // MultiplySkip is Multiply with multiplier bit-slice skipping. Results
-// are identical to Multiply; the emergent cycle count is data-dependent:
+// and post-op latch state are identical to Multiply; the emergent cycle
+// count is data-dependent:
 //
 //	2n + Σ over multiplier bits (1 + (n+1)·[slice has any 1])
 //
-// An all-zero multiplier vector costs 3n cycles instead of n²+4n.
-func (a *Array) MultiplySkip(aBase, bBase, prod, n int) {
+// An all-zero multiplier vector costs 3n cycles instead of n²+4n. The
+// return value is the number of elided bit-slices, in [0, n]; each saved
+// its n+1 predicated add+carry-store cycles.
+func (a *Array) MultiplySkip(aBase, bBase, prod, n int) int {
 	checkRows("MultiplySkip a", aBase, n)
 	checkRows("MultiplySkip b", bBase, n)
 	checkRows("MultiplySkip prod", prod, 2*n)
-	checkOverlap(prod, aBase, n)
-	checkOverlap(prod, bBase, n)
+	checkDisjoint("MultiplySkip prod", prod, 2*n, "a", aBase, n)
+	checkDisjoint("MultiplySkip prod", prod, 2*n, "b", bBase, n)
 	a.Zero(prod, 2*n, false)
+	// Latch reset on op issue (free, like addCommon's): a skipped slice
+	// elides its per-slice carry reset and StoreCarry, and without this a
+	// trailing skipped slice would leave the carry latch holding the last
+	// executed slice's state — diverging from Multiply, which always
+	// finishes with carry = 0. Executed slices still reset per slice, so
+	// the architectural state after MultiplySkip matches Multiply exactly
+	// for every density, including the all-zero multiplier.
+	a.carry = bitvec.Zero()
+	skipped := 0
 	for i := 0; i < n; i++ {
 		a.cycleLoadTag(bBase + i)
 		if a.tag.IsZero() {
+			skipped++
 			continue // wired-OR flag: no lane needs this partial product
 		}
 		a.carry = bitvec.Zero()
@@ -39,6 +52,19 @@ func (a *Array) MultiplySkip(aBase, bBase, prod, n int) {
 		}
 		a.cycleStoreCarry(prod+i+n, true)
 	}
+	return skipped
+}
+
+// MulAccSkip is MulAcc with multiplier bit-slice skipping in the multiply
+// phase. Results and post-op latch state are identical to MulAcc under
+// the same row-map contract (enforced by the same checks); only the
+// emergent cycle count changes, by n+1 cycles per elided slice. Returns
+// the number of elided bit-slices, in [0, n].
+func (a *Array) MulAccSkip(aBase, bBase, prod, accBase, n, accW int) int {
+	a.mulAccChecks(aBase, bBase, prod, accBase, n, accW)
+	skipped := a.MultiplySkip(aBase, bBase, prod, n)
+	a.AddTrunc(accBase, prod, accBase, accW)
+	return skipped
 }
 
 // SkippableSlices counts, for the n-bit elements at bBase, how many of

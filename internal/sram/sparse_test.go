@@ -1,0 +1,143 @@
+package sram
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func mustPanic(t *testing.T, label string, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s: no panic", label)
+		}
+	}()
+	fn()
+}
+
+// TestMulAccAliasGuards locks the regression where MulAcc accepted an
+// accumulator aliasing the product window (or an operand) and silently
+// corrupted lanes: every aliased layout must panic, for both the dense
+// and the skipping variant.
+func TestMulAccAliasGuards(t *testing.T) {
+	const n, accW = 8, 24
+	cases := []struct {
+		label                 string
+		aBase, bBase, p, aacc int
+	}{
+		{"acc aliases prod exactly", 0, n, 2 * n, 2 * n},
+		{"acc overlaps prod pad", 0, n, 2 * n, 2*n + 20},
+		{"acc straddles prod base", 0, n, 40, 30},
+		{"acc overlaps multiplicand", 0, n, 100, 4},
+		{"acc overlaps multiplier", 200, n, 100, 10},
+	}
+	for _, c := range cases {
+		c := c
+		mustPanic(t, "MulAcc "+c.label, func() {
+			var a Array
+			a.MulAcc(c.aBase, c.bBase, c.p, c.aacc, n, accW)
+		})
+		mustPanic(t, "MulAccSkip "+c.label, func() {
+			var a Array
+			a.MulAccSkip(c.aBase, c.bBase, c.p, c.aacc, n, accW)
+		})
+	}
+	// The widened Multiply guard: a product window whose top half covers
+	// an operand used to pass the width-n overlap check.
+	mustPanic(t, "Multiply prod top half clobbers operand", func() {
+		var a Array
+		a.Multiply(2*n+n, 0, 2*n, n) // aBase sits in prod's top n rows
+	})
+	mustPanic(t, "MultiplySkip prod top half clobbers operand", func() {
+		var a Array
+		a.MultiplySkip(2*n+n, 0, 2*n, n)
+	})
+}
+
+// TestMulAccDirtyPadPanics enforces the zeroed-pad contract: a nonzero
+// row in [prod+2n, prod+accW) means the zero-extended accumulate would
+// silently mis-accumulate, so MulAcc must refuse.
+func TestMulAccDirtyPadPanics(t *testing.T) {
+	const n, accW = 8, 24
+	const fBase, inBase, accBase, prodBase = 0, n, 2 * n, 2*n + 24
+	build := func() *Array {
+		var a Array
+		vals := make([]uint64, BitLines)
+		for i := range vals {
+			vals[i] = uint64(i%200) + 1
+		}
+		a.WriteElements(fBase, n, vals)
+		a.WriteElements(inBase, n, vals)
+		return &a
+	}
+
+	clean := build()
+	clean.MulAcc(fBase, inBase, prodBase, accBase, n, accW) // clean pad: fine
+	clean.MulAccSkip(fBase, inBase, prodBase, accBase, n, accW)
+
+	dirty := build()
+	dirty.WriteElement(33, prodBase+2*n+3, 1, 1) // plant one bit in the pad
+	mustPanic(t, "MulAcc dirty pad", func() {
+		dirty.MulAcc(fBase, inBase, prodBase, accBase, n, accW)
+	})
+	dirty2 := build()
+	dirty2.WriteElement(33, prodBase+accW-1, 1, 1)
+	mustPanic(t, "MulAccSkip dirty pad", func() {
+		dirty2.MulAccSkip(fBase, inBase, prodBase, accBase, n, accW)
+	})
+
+	// On an array with injected defects the pad check stands down: a
+	// stuck-at-1 in the pad region is a hardware fault whose
+	// mis-accumulation is the campaign's measurement, not a mapping bug.
+	faulty := build()
+	faulty.InjectStuckAt(prodBase+2*n+3, 33, 1)
+	faulty.MulAcc(fBase, inBase, prodBase, accBase, n, accW) // must not panic
+}
+
+// TestMulAccSkipMatchesMulAcc runs the §IV-A MAC schedule with sparse
+// multipliers through both variants: accumulators must match bit for bit,
+// the skipped-slice count must equal the diagnostic SkippableSlices, and
+// the cycle delta must be exactly skipped·(n+1).
+func TestMulAccSkipMatchesMulAcc(t *testing.T) {
+	const n, accW = 8, 24
+	const fBase, inBase, accBase, prodBase = 0, n, 2 * n, 2*n + 24
+	r := rand.New(rand.NewSource(29))
+	var dense, skip Array
+	totalSkipped := 0
+	for mac := 0; mac < 6; mac++ {
+		av := make([]uint64, BitLines)
+		bv := make([]uint64, BitLines)
+		for i := range av {
+			av[i] = r.Uint64() & 0xff
+			bv[i] = r.Uint64() & 0x1f // top 3 multiplier slices all-zero
+		}
+		dense.WriteElements(fBase, n, av)
+		dense.WriteElements(inBase, n, bv)
+		skip.WriteElements(fBase, n, av)
+		skip.WriteElements(inBase, n, bv)
+		want := skip.SkippableSlices(inBase, n)
+		dense.MulAcc(fBase, inBase, prodBase, accBase, n, accW)
+		got := skip.MulAccSkip(fBase, inBase, prodBase, accBase, n, accW)
+		if got != want {
+			t.Fatalf("mac %d: MulAccSkip skipped %d slices, SkippableSlices says %d", mac, got, want)
+		}
+		if got < 3 {
+			t.Fatalf("mac %d: only %d slices skipped for 5-bit multipliers", mac, got)
+		}
+		totalSkipped += got
+	}
+	for lane := 0; lane < BitLines; lane++ {
+		d := dense.PeekElement(lane, accBase, accW)
+		s := skip.PeekElement(lane, accBase, accW)
+		if d != s {
+			t.Fatalf("lane %d: accumulator dense %d vs skip %d", lane, d, s)
+		}
+	}
+	saved := dense.Stats().ComputeCycles - skip.Stats().ComputeCycles
+	if want := uint64(totalSkipped) * uint64(n+1); saved != want {
+		t.Errorf("cycle delta %d, want skipped·(n+1) = %d", saved, want)
+	}
+	if dense.Tag() != skip.Tag() || dense.Carry() != skip.Carry() {
+		t.Error("latch state diverged between MulAcc and MulAccSkip")
+	}
+}

@@ -34,6 +34,12 @@ func WideCNN() *Model { return &Model{net: nn.WideCNN()} }
 // layer (scalar multiply + shift + per-channel adds + requantize).
 func BNNet() *Model { return &Model{net: nn.BNNet()} }
 
+// SparseCNN builds SmallCNN with every convolution's weights confined
+// to 4 bits — a net whose filter bit-columns are half zeros, so a
+// Config.SkipZeroSlices run completes in strictly fewer compute cycles
+// than the dense engine while producing byte-identical outputs.
+func SparseCNN() *Model { return &Model{net: nn.SparseCNN()} }
+
 // ResNet18 builds a quantized ResNet-18 — the extension model exercising
 // residual shortcut adds (identity and strided projections) on the
 // in-cache element-wise adder.
@@ -45,7 +51,7 @@ func SmallResNet() *Model { return &Model{net: nn.SmallResNet()} }
 
 // ModelNames lists the bundled models ModelByName accepts.
 func ModelNames() []string {
-	return []string{"inception", "resnet", "small", "smallresnet", "branchy", "wide", "bn"}
+	return []string{"inception", "resnet", "small", "smallresnet", "branchy", "wide", "bn", "sparse"}
 }
 
 // ModelByName builds a bundled model from its CLI name.
@@ -65,6 +71,8 @@ func ModelByName(name string) (*Model, error) {
 		return WideCNN(), nil
 	case "bn":
 		return BNNet(), nil
+	case "sparse":
+		return SparseCNN(), nil
 	}
 	return nil, fmt.Errorf("neuralcache: unknown model %q (have %s)",
 		name, strings.Join(ModelNames(), ", "))

@@ -105,6 +105,14 @@ type Config struct {
 	// FilterPacking enables 1×1-filter channel packing (§IV-A); disable
 	// for the ablation.
 	FilterPacking bool `json:"filter_packing"`
+	// SkipZeroSlices routes bit-accurate runs through the zero-skipping
+	// multiply ops (§VII sparsity / BitWave-style bit-column skipping): a
+	// multiplier bit-slice that is zero across all 256 lanes of an array
+	// elides its predicated add. Outputs stay byte-identical to the dense
+	// engine for every worker count, including under fault injection;
+	// compute cycles become data-dependent and InferenceResult reports
+	// the per-layer elisions. Off by default (the paper's dense engine).
+	SkipZeroSlices bool `json:"skip_zero_slices,omitempty"`
 	// IncludeDRAMEnergy folds DRAM transfer energy into reported package
 	// energy (the paper's Table III excludes it).
 	IncludeDRAMEnergy bool `json:"include_dram_energy"`
@@ -152,6 +160,7 @@ func New(cfg Config) (*System, error) {
 	cc.Workers = cfg.Workers
 	cc.Fabric.BankLatch = cfg.BankLatch
 	cc.Mapping.PackingEnabled = cfg.FilterPacking
+	cc.SkipZeroSlices = cfg.SkipZeroSlices
 	cc.IncludeDRAMEnergy = cfg.IncludeDRAMEnergy
 	sys, err := core.New(cc)
 	if err != nil {

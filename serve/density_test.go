@@ -1,0 +1,72 @@
+package serve
+
+import (
+	"testing"
+
+	"neuralcache"
+)
+
+// TestSetSliceDensityRepricesServiceTimes pins the serving tier's
+// measured-sparsity hook: setting a model's bit-column density reprices
+// its service times strictly faster, leaves other models and reloads
+// untouched, restores dense pricing at density 1, and rejects
+// out-of-range densities and unknown models.
+func TestSetSliceDensityRepricesServiceTimes(t *testing.T) {
+	sys := newSystem(t, 0)
+	a, b := neuralcache.InceptionV3(), neuralcache.ResNet18()
+	backend := NewAnalyticBackend(sys, a, b)
+
+	denseA, err := backend.ServiceTime(a.Name(), 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	denseB, err := backend.ServiceTime(b.Name(), 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reload, err := backend.ReloadTime(a.Name(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if err := backend.SetSliceDensity(a.Name(), 0.5); err != nil {
+		t.Fatal(err)
+	}
+	sparseA, err := backend.ServiceTime(a.Name(), 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sparseA >= denseA {
+		t.Fatalf("density 0.5 service time %v not below dense %v", sparseA, denseA)
+	}
+	// Other models keep their memoized dense pricing.
+	if got, err := backend.ServiceTime(b.Name(), 4, 1); err != nil || got != denseB {
+		t.Fatalf("model %s service time %v (err %v), want unchanged %v", b.Name(), got, err, denseB)
+	}
+	// Reloads are weight streaming, density-independent.
+	if got, err := backend.ReloadTime(a.Name(), 1); err != nil || got != reload {
+		t.Fatalf("reload %v (err %v), want unchanged %v", got, err, reload)
+	}
+
+	// Density 1 restores dense pricing exactly.
+	if err := backend.SetSliceDensity(a.Name(), 1); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := backend.ServiceTime(a.Name(), 4, 1); err != nil || got != denseA {
+		t.Fatalf("after reset, service time %v (err %v), want dense %v", got, err, denseA)
+	}
+
+	for _, d := range []float64{0, -0.2, 1.01} {
+		if err := backend.SetSliceDensity(a.Name(), d); err == nil {
+			t.Errorf("density %g accepted, want error", d)
+		}
+	}
+	if err := backend.SetSliceDensity("no-such-model", 0.5); err == nil {
+		t.Error("unknown model accepted, want error")
+	}
+	// The bit-exact backend shares the same clock and hook.
+	bx := NewBitExactBackend(sys, a)
+	if err := bx.SetSliceDensity(a.Name(), 0.5); err != nil {
+		t.Fatal(err)
+	}
+}

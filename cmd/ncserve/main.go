@@ -28,6 +28,21 @@
 // per-user think rate; 0 = none), exposing latency under admission
 // control.
 //
+// Observability: -trace out.json records the full request lifecycle —
+// queue spans, warm/cold batch spans (cold ones with reload sub-spans),
+// restage spans, rejection and re-plan instants, one lane per replica
+// group — as Chrome trace-event JSON, viewable in Perfetto
+// (ui.perfetto.dev) or chrome://tracing. On the analytic backend the
+// trace rides the virtual clock and is byte-identical across runs and
+// worker counts; on bitexact it records real wall-clock offsets. The
+// output file is created up front so an unwritable path fails before
+// the run, not after it. -timeline 500ms samples queue depth, per-group
+// utilization, warm/cold dispatch counts, offered/served rates and mix
+// drift every interval into the report's "timeline" array. With
+// -backend bitexact, -debug-addr host:port serves net/http/pprof and
+// expvar (live queue depth, busy groups, counters, observed mix) while
+// the load runs.
+//
 // -plan turns on the mix-aware residency planner: warm sets are sized
 // from the -mix weights and pre-staged across the replica groups, and
 // the group size is co-selected over the divisors of -slices (an
@@ -52,14 +67,21 @@
 //	        -replan-threshold 0.15 -mix-shift 15s:0.2,0.8 -requests 30000
 //	ncserve -backend bitexact -models small,smallresnet -mix 1,1 -requests 16 -rate 500
 //	ncserve -model resnet -slices 24 -replicas 12 -duration 2s -rate 1000
+//	ncserve -models inception,resnet -mix 0.8,0.2 -rate 600 -group 7 -plan \
+//	        -replan-threshold 0.15 -mix-shift 15s:0.2,0.8 -trace trace.json -timeline 500ms
+//	ncserve -backend bitexact -model small -requests 32 -debug-addr localhost:6060
 package main
 
 import (
 	"encoding/json"
+	"expvar"
 	"flag"
 	"fmt"
 	"log"
 	"math/rand"
+	"net"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"strconv"
 	"strings"
@@ -97,6 +119,9 @@ func main() {
 		planFlag    = flag.Bool("plan", false, "pre-stage warm sets from the mix (co-selects the group size unless -group is given)")
 		replanThr   = flag.Float64("replan-threshold", 0, "mix drift (total variation, 0-1) that triggers an online re-plan; 0 = no controller (needs -plan)")
 		mixShift    = flag.String("mix-shift", "", "mid-run mix shifts, t:w1,w2,... with weights matching -models; semicolon-separated")
+		traceFile   = flag.String("trace", "", "write the run's Chrome trace-event JSON here (open in ui.perfetto.dev)")
+		timeline    = flag.Duration("timeline", 0, "sample the run's time series every interval into the report's timeline (0 = off)")
+		debugAddr   = flag.String("debug-addr", "", "serve net/http/pprof and expvar debug vars on host:port during the run (bitexact only)")
 	)
 	flag.Parse()
 	groupSet := false
@@ -169,6 +194,36 @@ func main() {
 		log.Fatal("-plan cannot be combined with -sweep-groups (the planner co-selects one group size)")
 	}
 
+	// Observability setup fails fast, before the (possibly minutes-long)
+	// load run: the trace file is created now so an unwritable path
+	// errors immediately, and the debug listener binds now so a taken
+	// port does too.
+	if *timeline < 0 {
+		log.Fatalf("-timeline %v: interval must be positive", *timeline)
+	}
+	if (*traceFile != "" || *timeline > 0) && *sweepGroups != "" {
+		log.Fatal("-trace/-timeline record a single run and cannot be combined with -sweep-groups")
+	}
+	var traceOut *os.File
+	if *traceFile != "" {
+		traceOut, err = os.Create(*traceFile)
+		if err != nil {
+			log.Fatalf("-trace: %v", err)
+		}
+		opts.Trace = serve.NewTracer()
+	}
+	opts.TimelineInterval = *timeline
+	var debugLn net.Listener
+	if *debugAddr != "" {
+		if *backend != "bitexact" {
+			log.Fatalf("-debug-addr needs the wall-clock bitexact backend, not %q (the analytic backend finishes before you could look)", *backend)
+		}
+		debugLn, err = net.Listen("tcp", *debugAddr)
+		if err != nil {
+			log.Fatalf("-debug-addr: %v", err)
+		}
+	}
+
 	if *sweepGroups != "" {
 		if *backend != "analytic" {
 			log.Fatalf("-sweep-groups needs the analytic backend, not %q", *backend)
@@ -237,6 +292,13 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
+		if debugLn != nil {
+			publishDebugVars(srv)
+			go http.Serve(debugLn, nil)
+			if !*jsonOut {
+				fmt.Printf("debug: pprof and expvar at http://%s/debug/pprof/ and /debug/vars\n", debugLn.Addr())
+			}
+		}
 		rep, err = serve.LoadTest(srv, load, inputSource(be, *seed))
 		if cerr := srv.Close(); err == nil {
 			err = cerr
@@ -248,6 +310,18 @@ func main() {
 		log.Fatal(err)
 	}
 
+	if traceOut != nil {
+		if err := opts.Trace.WriteJSON(traceOut); err != nil {
+			log.Fatalf("-trace: %v", err)
+		}
+		if err := traceOut.Close(); err != nil {
+			log.Fatalf("-trace: %v", err)
+		}
+		if !*jsonOut {
+			fmt.Printf("trace: %d events -> %s (open in ui.perfetto.dev)\n\n", opts.Trace.Len(), *traceFile)
+		}
+	}
+
 	if *jsonOut {
 		emitJSON(struct {
 			Config neuralcache.Config `json:"config"`
@@ -256,6 +330,36 @@ func main() {
 		return
 	}
 	fmt.Println(rep)
+}
+
+// publishDebugVars registers the server's live counters with expvar, so
+// -debug-addr's /debug/vars shows queue depth, group occupancy, serve
+// counters and — on controlled runs — the observed mix and its drift,
+// alongside the standard memstats and cmdline vars.
+func publishDebugVars(srv *serve.Server) {
+	expvar.Publish("ncserve_queue_depth", expvar.Func(func() any { return srv.QueueDepth() }))
+	expvar.Publish("ncserve_busy_groups", expvar.Func(func() any { return srv.BusyGroups() }))
+	expvar.Publish("ncserve_stats", expvar.Func(func() any {
+		st := srv.Stats()
+		out := map[string]any{
+			"submitted":    st.Submitted,
+			"rejected":     st.Rejected,
+			"served":       st.Served,
+			"failed":       st.Failed,
+			"canceled":     st.Canceled,
+			"batches":      st.Batches,
+			"warm_batches": st.WarmBatches,
+			"cold_batches": st.ColdBatches,
+			"restages":     st.Restages,
+			"replans":      st.Replans,
+			"utilization":  st.Utilization,
+		}
+		if ctrl := srv.Controller(); ctrl != nil {
+			out["mix_drift"] = ctrl.Drift()
+			out["observed_mix"] = ctrl.Observed()
+		}
+		return out
+	}))
 }
 
 func emitJSON(v any) {

@@ -19,6 +19,10 @@
 // per-model latency percentiles and per-group utilization. Part 3 sweeps
 // the group size over the Table IV-style frontier: bigger groups serve
 // each image faster and reload less, at the cost of replica count.
+// Part 4 re-runs the mixed load with the observability layer on: a
+// Perfetto-viewable trace of every queue wait, batch span and reload,
+// and a sampled time series whose windowed counters sum exactly to the
+// run's totals — all byte-deterministic on the virtual clock.
 package main
 
 import (
@@ -139,4 +143,39 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Println(serve.SweepTable(points))
+
+	// --- Part 4: tracing + timeline on the virtual clock --------------
+	// The same mixed load with Options.Trace and TimelineInterval set.
+	// ncserve -trace / -timeline expose exactly this; the JSON written
+	// here opens in ui.perfetto.dev.
+	fmt.Println()
+	tr := serve.NewTracer()
+	traced, err := serve.Simulate(backend,
+		serve.Options{MaxBatch: 16, MaxLinger: time.Millisecond, QueueDepth: 4096,
+			Trace: tr, TimelineInterval: 2 * time.Second},
+		serve.Load{Rate: 1500, Requests: 50_000, Seed: 42, Poisson: true,
+			Mix: []serve.ModelShare{
+				{Model: "inception_v3", Weight: 0.7},
+				{Model: "resnet_18", Weight: 0.3},
+			}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	var traceJSON bytes.Buffer
+	if err := tr.WriteJSON(&traceJSON); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("trace: %d events (%d KiB of Chrome trace JSON — open in ui.perfetto.dev)\n",
+		tr.Len(), traceJSON.Len()/1024)
+	tl := traced.Timeline
+	served := 0
+	peak := 0
+	for _, p := range tl.Samples {
+		served += p.Served
+		if p.QueueDepth > peak {
+			peak = p.QueueDepth
+		}
+	}
+	fmt.Printf("timeline: %d samples every %v — windowed served sums to %d (report: %d), peak sampled queue depth %d\n",
+		len(tl.Samples), tl.Interval, served, traced.Served, peak)
 }

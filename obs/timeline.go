@@ -1,0 +1,49 @@
+package obs
+
+import "time"
+
+// TimelinePoint is one sample of the serving tier's time series. Depth
+// and occupancy fields are instantaneous (the state at T); counter
+// fields are windowed (what happened inside (T−window, T], where the
+// window is the timeline's Interval for every sample but a possibly
+// shorter final one). Summing a windowed field over all samples of a
+// run yields the run's total.
+type TimelinePoint struct {
+	// T is the sample time — the end of the sampled window — relative
+	// to the run's t = 0.
+	T time.Duration `json:"t_ns"`
+	// QueueDepth is the admitted-but-undispatched request count at T.
+	QueueDepth int `json:"queue_depth"`
+	// BusyGroups is how many replica groups are busy at T (serving a
+	// batch or restaging weights).
+	BusyGroups int `json:"busy_groups"`
+	// Offered, Served and Rejected count the window's arrivals,
+	// completions and queue-full rejections.
+	Offered  int `json:"offered"`
+	Served   int `json:"served"`
+	Rejected int `json:"rejected,omitempty"`
+	// WarmDispatches and ColdDispatches split the window's batch
+	// dispatches by whether the group already staged the batch's model.
+	WarmDispatches int `json:"warm_dispatches"`
+	ColdDispatches int `json:"cold_dispatches"`
+	// Restages counts the window's planner-driven weight stagings,
+	// Replans its applied controller re-plans.
+	Restages int `json:"restages,omitempty"`
+	Replans  int `json:"replans,omitempty"`
+	// GroupUtil is each replica group's busy fraction of the window, in
+	// group-ordinal order. Virtual-clock samples integrate exactly;
+	// wall-clock samples charge a batch's busy time at completion, so a
+	// window's fraction can exceed 1 when a long batch completes in it.
+	GroupUtil []float64 `json:"group_util"`
+	// MixDrift is the drift controller's total-variation distance
+	// between the active plan's mix and the observed served mix at T; 0
+	// when no controller is attached.
+	MixDrift float64 `json:"mix_drift,omitempty"`
+}
+
+// Timeline is a run's sampled time series: one point per Interval, plus
+// a shorter final window when the run does not end on a boundary.
+type Timeline struct {
+	Interval time.Duration   `json:"interval_ns"`
+	Samples  []TimelinePoint `json:"samples"`
+}

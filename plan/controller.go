@@ -177,11 +177,35 @@ func (c *Controller) decay(now time.Duration) {
 }
 
 // Drift returns the total-variation distance between the active plan's
-// mix and the observed mix (0 while the EWMA is empty).
+// mix and the observed mix (0 while the EWMA is empty). Read-only: it
+// does not age the EWMA, which is safe because uniform decay scales
+// every model's mass equally and so cannot change the normalized mix —
+// samplers and debug endpoints may call it at any cadence without
+// perturbing the control loop.
 func (c *Controller) Drift() float64 {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.drift()
+}
+
+// Observed returns the EWMA's normalized served mix as shares in the
+// plan's model order, or nil while the EWMA holds no mass. Read-only
+// like Drift, for the same decay-invariance reason.
+func (c *Controller) Observed() []Share {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	mass := 0.0
+	for _, n := range c.counts {
+		mass += n
+	}
+	if mass <= 0 {
+		return nil
+	}
+	out := make([]Share, len(c.models))
+	for i, m := range c.models {
+		out[i] = Share{Model: m.Name(), Weight: c.counts[i] / mass}
+	}
+	return out
 }
 
 func (c *Controller) drift() float64 {

@@ -216,3 +216,36 @@ func TestNewControllerValidation(t *testing.T) {
 		}
 	}
 }
+
+// TestControllerObserved pins the read-only mix accessors the
+// observability layer samples: Observed is nil until the EWMA holds
+// mass, then returns the normalized mix in plan model order, and
+// neither it nor Drift perturbs the EWMA however often they are called.
+func TestControllerObserved(t *testing.T) {
+	ctrl, _ := driftPlan(t)
+	if got := ctrl.Observed(); got != nil {
+		t.Fatalf("Observed on an empty EWMA = %v, want nil", got)
+	}
+	ctrl.Observe("inception_v3", 6, time.Second)
+	ctrl.Observe("resnet_18", 2, time.Second)
+	mix := ctrl.Observed()
+	if len(mix) != 2 || mix[0].Model != "inception_v3" || mix[1].Model != "resnet_18" {
+		t.Fatalf("Observed order %v, want plan model order", mix)
+	}
+	if mix[0].Weight != 0.75 || mix[1].Weight != 0.25 {
+		t.Fatalf("Observed weights %v/%v, want 0.75/0.25", mix[0].Weight, mix[1].Weight)
+	}
+	// Read-only: hammering the accessors changes nothing — uniform
+	// decay cannot move a normalized mix, and these do not even decay.
+	d := ctrl.Drift()
+	for i := 0; i < 100; i++ {
+		ctrl.Drift()
+		ctrl.Observed()
+	}
+	if got := ctrl.Observed(); !reflect.DeepEqual(got, mix) {
+		t.Fatalf("repeated reads moved the mix: %v -> %v", mix, got)
+	}
+	if got := ctrl.Drift(); got != d {
+		t.Fatalf("repeated reads moved drift: %v -> %v", d, got)
+	}
+}

@@ -9,7 +9,99 @@ import (
 	"time"
 
 	"neuralcache"
+	"neuralcache/obs"
 )
+
+// wallTimeline samples a running Server's time series on a wall-clock
+// ticker — the LoadTest counterpart of the simulator's virtual-clock
+// simTimeline. Counter fields are windowed by differencing Stats
+// snapshots; depth and occupancy are read live. Unlike the virtual
+// sampler it cannot integrate busy time exactly: a group's busy is
+// charged when its batch completes, so a window's GroupUtil can exceed
+// 1 when a long batch lands in it (the Timeline docs call this out).
+type wallTimeline struct {
+	srv      *Server
+	interval time.Duration
+	start    time.Time
+	stop     chan struct{}
+	done     chan struct{}
+	samples  []obs.TimelinePoint
+	prev     Stats
+	lastT    time.Duration
+}
+
+// startWallTimeline snapshots the server and starts the sampling
+// goroutine; finish stops it and returns the series.
+func startWallTimeline(srv *Server, interval time.Duration) *wallTimeline {
+	tl := &wallTimeline{
+		srv:      srv,
+		interval: interval,
+		start:    time.Now(),
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+		prev:     srv.Stats(),
+	}
+	go tl.run()
+	return tl
+}
+
+func (tl *wallTimeline) run() {
+	defer close(tl.done)
+	ticker := time.NewTicker(tl.interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ticker.C:
+			tl.sample(time.Since(tl.start))
+		case <-tl.stop:
+			// Close with the partial window so windowed counters sum to
+			// the run's totals, like the simulator's final sample.
+			if t := time.Since(tl.start); t > tl.lastT {
+				tl.sample(t)
+			}
+			return
+		}
+	}
+}
+
+func (tl *wallTimeline) sample(at time.Duration) {
+	cur := tl.srv.Stats()
+	width := at - tl.lastT
+	p := obs.TimelinePoint{
+		T:              at,
+		QueueDepth:     tl.srv.QueueDepth(),
+		BusyGroups:     tl.srv.BusyGroups(),
+		Offered:        int(cur.Submitted-tl.prev.Submitted) + int(cur.Rejected-tl.prev.Rejected),
+		Served:         int(cur.Served - tl.prev.Served),
+		Rejected:       int(cur.Rejected - tl.prev.Rejected),
+		WarmDispatches: int(cur.WarmBatches - tl.prev.WarmBatches),
+		ColdDispatches: int(cur.ColdBatches - tl.prev.ColdBatches),
+		Restages:       int(cur.Restages - tl.prev.Restages),
+		Replans:        int(cur.Replans - tl.prev.Replans),
+		GroupUtil:      make([]float64, len(cur.PerShard)),
+	}
+	if width > 0 {
+		for g := range cur.PerShard {
+			busy := cur.PerShard[g].Busy
+			if g < len(tl.prev.PerShard) {
+				busy -= tl.prev.PerShard[g].Busy
+			}
+			p.GroupUtil[g] = float64(busy) / float64(width)
+		}
+	}
+	if ctrl := tl.srv.Controller(); ctrl != nil {
+		p.MixDrift = ctrl.Drift()
+	}
+	tl.prev = cur
+	tl.lastT = at
+	tl.samples = append(tl.samples, p)
+}
+
+func (tl *wallTimeline) finish() *obs.Timeline {
+	close(tl.stop)
+	<-tl.done
+	return &obs.Timeline{Interval: tl.interval, Samples: tl.samples}
+}
 
 // loadResults is the wall-clock accounting both LoadTest drivers (open-
 // and closed-loop) fill: arrival and completion tallies, latency samples
@@ -110,12 +202,20 @@ func LoadTest(srv *Server, load Load, inputs func(i int, model string) *neuralca
 			load.Concurrency, o.QueueDepth)
 	}
 	before := srv.Stats()
+	var sampler *wallTimeline
+	if o.TimelineInterval > 0 {
+		sampler = startWallTimeline(srv, o.TimelineInterval)
+	}
 	results := newLoadResults()
 	var err error
 	if load.closed() {
 		err = closedLoop(srv, load, inputs, results)
 	} else {
 		err = openLoop(srv, load, inputs, results)
+	}
+	var timeline *obs.Timeline
+	if sampler != nil {
+		timeline = sampler.finish()
 	}
 	if err != nil {
 		return nil, err
@@ -145,6 +245,7 @@ func LoadTest(srv *Server, load Load, inputs func(i int, model string) *neuralca
 		Plan:     srv.Plan(),
 		Restages: int(after.Restages - before.Restages),
 		Replans:  int(after.Replans - before.Replans),
+		Timeline: timeline,
 	}
 	if o.GroupSize > 1 {
 		rep.GroupSize = o.GroupSize

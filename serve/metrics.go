@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"neuralcache/internal/report"
+	"neuralcache/obs"
 	"neuralcache/plan"
 )
 
@@ -111,6 +112,11 @@ type LoadReport struct {
 	Restages int `json:"restages,omitempty"`
 	// Replans counts controller re-plans applied during the run.
 	Replans int `json:"replans,omitempty"`
+	// Timeline is the run's sampled time series, recorded when
+	// Options.TimelineInterval is positive — on the virtual clock in
+	// Simulate (byte-deterministic), on the wall clock in LoadTest. nil
+	// when sampling is off, so historical report schemas are unchanged.
+	Timeline *obs.Timeline `json:"timeline,omitempty"`
 }
 
 // finish derives capacity, percentiles, histogram, utilization and the
@@ -290,6 +296,10 @@ func (r *LoadReport) String() string {
 		r.P95.Round(time.Microsecond), r.P99.Round(time.Microsecond),
 		r.Max.Round(time.Microsecond))
 	fmt.Fprintf(&b, "queue depth mean %.1f  max %d\n", r.MeanQueueDepth, r.MaxQueueDepth)
+	if r.Timeline != nil {
+		fmt.Fprintf(&b, "timeline: %d samples every %v\n",
+			len(r.Timeline.Samples), r.Timeline.Interval)
+	}
 	if len(r.PerModel) > 1 {
 		t := report.NewTable("Per-model traffic", "Model", "Served", "Rejected", "Warm", "Cold", "Thru/s", "p50", "p99")
 		for _, mu := range r.PerModel {

@@ -157,6 +157,24 @@ type Options struct {
 	// Simulate's virtual clock, live on the real Server. Requires Plan;
 	// the zero value disables.
 	Replan plan.ControllerConfig
+	// Trace, when non-nil, records the run's full request lifecycle —
+	// queue spans, warm/cold batch spans with reload sub-spans, restage
+	// spans, rejection and re-plan instants — as Chrome trace events
+	// (Tracer.WriteJSON, viewable in Perfetto). Simulate stamps its
+	// virtual clock, so the serialized trace is byte-identical across
+	// runs and worker counts; NewServer stamps wall-clock offsets. A
+	// Tracer holds one run. nil (the default) records nothing and adds
+	// no cost.
+	Trace *Tracer
+	// TimelineInterval, when positive, samples the run's time series
+	// every interval into LoadReport.Timeline: queue depth, busy
+	// groups, per-group utilization, offered/served/rejected and
+	// warm/cold dispatch counts per window, and the controller's mix
+	// TV-distance. Simulate samples on the virtual clock
+	// (byte-deterministic); LoadTest samples on the wall clock. 0
+	// disables (Timeline stays nil, keeping the historical report
+	// schema); negative is rejected.
+	TimelineInterval time.Duration
 }
 
 // NoLinger disables the batcher's linger wait: a batch dispatches as
@@ -219,6 +237,9 @@ func (o Options) withDefaults(sys *neuralcache.System) (Options, error) {
 		}
 	} else if o.Replan.Enabled() {
 		return o, fmt.Errorf("serve: replan controller needs Options.Plan")
+	}
+	if o.TimelineInterval < 0 {
+		return o, fmt.Errorf("serve: timeline interval %v", o.TimelineInterval)
 	}
 	return o, nil
 }

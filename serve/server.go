@@ -145,6 +145,20 @@ func (p *shardPool) hasEligible(model string) bool {
 	return id >= 0
 }
 
+// busyCount returns how many replica groups are currently claimed
+// (serving a batch or restaging weights).
+func (p *shardPool) busyCount() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	n := 0
+	for _, f := range p.free {
+		if !f {
+			n++
+		}
+	}
+	return n
+}
+
 // planned reports whether a pinned set is installed.
 func (p *shardPool) planned() bool {
 	p.mu.Lock()
@@ -235,6 +249,10 @@ type Server struct {
 	queue chan *request
 	pool  *shardPool
 
+	// tracer records the request lifecycle on the wall clock (offsets
+	// from started); nil when tracing is off — every emit is a no-op.
+	tracer *Tracer
+
 	// ctrl is the drift controller of a planned server (nil otherwise);
 	// activePlan tracks the plan currently applied, swapped on replan.
 	ctrl       *plan.Controller
@@ -314,6 +332,21 @@ func NewServer(backend Backend, opts Options) (*Server, error) {
 	for i := 0; i < o.Replicas; i++ {
 		s.stats.perShard[i].Shard = shardFor(i, s.slices, s.groupSize)
 	}
+	// The tracer must attach before plan adoption: startup pre-stages
+	// are part of the recorded lifecycle.
+	if o.Trace != nil {
+		registered := s.backend.Models()
+		names := make([]string, len(registered))
+		for i, m := range registered {
+			names[i] = m.Name()
+		}
+		shards := make([]Shard, o.Replicas)
+		for i := range shards {
+			shards[i] = s.stats.perShard[i].Shard
+		}
+		o.Trace.begin("wall", names, shards)
+		s.tracer = o.Trace
+	}
 	if o.Plan != nil {
 		if err := s.adoptPlan(o.Plan, o.Replan); err != nil {
 			return nil, err
@@ -347,12 +380,12 @@ func (s *Server) adoptPlan(p *plan.Plan, replan plan.ControllerConfig) error {
 		}
 		s.pool.free[g] = false
 		s.pool.staged[g] = model
-		s.noteRestage(g, rel)
+		s.noteRestage(g, model, "", rel)
 		s.execWG.Add(1)
-		go func(g int, rel time.Duration) {
+		go func(g int, model string, rel time.Duration) {
 			defer s.execWG.Done()
-			s.runRestage(g, rel)
-		}(g, rel)
+			s.runRestage(g, model, rel)
+		}(g, model, rel)
 	}
 	if replan.Enabled() {
 		ctrl, err := plan.NewController(s.backend.System(), s.backend.Models(), p, replan)
@@ -374,8 +407,10 @@ func (s *Server) Plan() *plan.Plan {
 
 // applyReplan swaps in a controller re-plan from the batcher goroutine:
 // the pool repins, free groups restage immediately on their own
-// goroutines, busy ones when their batch completes.
-func (s *Server) applyReplan(next *plan.Plan, ops []plan.Restage) {
+// goroutines, busy ones when their batch completes. at is the
+// server-relative time the re-plan fired, drift the controller's mix
+// TV-distance that triggered it — both only feed the tracer.
+func (s *Server) applyReplan(next *plan.Plan, ops []plan.Restage, at time.Duration, drift float64) {
 	// The controller's rebalance keeps every registered model servable
 	// and only names registered models; these guards hold that
 	// invariant at the boundary — on a breach, keep serving on the old
@@ -392,37 +427,42 @@ func (s *Server) applyReplan(next *plan.Plan, ops []plan.Restage) {
 	s.planMu.Unlock()
 	s.stats.Lock()
 	s.stats.replans++
+	nth := int(s.stats.replans)
 	s.stats.Unlock()
+	s.tracer.replan(at, nth, drift, len(ops))
 	for _, op := range s.pool.replan(pinned, ops) {
-		s.noteRestage(op.Group, op.Cost)
+		s.noteRestage(op.Group, op.To, "", op.Cost)
 		s.execWG.Add(1)
 		go func(op plan.Restage) {
 			defer s.execWG.Done()
-			s.runRestage(op.Group, op.Cost)
+			s.runRestage(op.Group, op.To, op.Cost)
 		}(op)
 	}
 }
 
 // runRestage holds a claimed group through its reload, then frees it —
 // chaining into any newer rebalance that queued on the group while it
-// was restaging.
-func (s *Server) runRestage(id int, cost time.Duration) {
+// was restaging. staged is the model the group is currently streaming,
+// threaded so chained restages trace what they evict.
+func (s *Server) runRestage(id int, staged string, cost time.Duration) {
 	for {
 		time.Sleep(cost)
 		op, again := s.pool.finishRestage(id)
 		if !again {
 			return
 		}
-		s.noteRestage(id, op.cost)
-		cost = op.cost
+		s.noteRestage(id, op.model, staged, op.cost)
+		staged, cost = op.model, op.cost
 	}
 }
 
 // noteRestage counts one planner restage on a group, charging its
 // reload into the group's busy time — the same accounting the
 // simulator applies, so planned utilization reads identically on both
-// drivers.
-func (s *Server) noteRestage(id int, cost time.Duration) {
+// drivers — and traces the staging span. model is what the restage
+// stages, from what it evicts ("" when the group held nothing or the
+// caller does not track it).
+func (s *Server) noteRestage(id int, model, from string, cost time.Duration) {
 	s.stats.Lock()
 	if id >= 0 && id < len(s.stats.perShard) {
 		s.stats.perShard[id].Restages++
@@ -430,10 +470,25 @@ func (s *Server) noteRestage(id int, cost time.Duration) {
 	}
 	s.stats.restages++
 	s.stats.Unlock()
+	s.tracer.restage(id, model, from, time.Since(s.started), cost)
 }
 
 // Options returns the server's effective (defaulted) options.
 func (s *Server) Options() Options { return s.opts }
+
+// QueueDepth returns the current admitted-minus-dispatched request
+// count — the live value behind Stats' high-water mark, cheap enough
+// for debug endpoints and samplers to poll.
+func (s *Server) QueueDepth() int { return int(s.depth.Load()) }
+
+// BusyGroups returns how many replica groups are currently claimed
+// (serving a batch or restaging weights).
+func (s *Server) BusyGroups() int { return s.pool.busyCount() }
+
+// Controller returns the drift controller of a planned server with
+// Options.Replan enabled, nil otherwise. Its read-only methods
+// (Drift, Observed) feed debug endpoints and timeline samplers.
+func (s *Server) Controller() *plan.Controller { return s.ctrl }
 
 // Submit admits one request for the backend's default model and blocks
 // until it is served or ctx is done. When the admission queue is full,
@@ -558,6 +613,7 @@ func (s *Server) admit(ctx context.Context, wait bool, model string) error {
 			s.stats.rejected++
 			s.stats.model(model).Rejected++
 			s.stats.Unlock()
+			s.tracer.reject(model, time.Since(s.started))
 			return ErrQueueFull
 		}
 		select {
@@ -748,6 +804,7 @@ func (s *Server) dispatch(model string, batch []*request) {
 			s.stats.canceled++
 			s.stats.model(r.model).Canceled++
 			s.stats.Unlock()
+			s.tracer.cancel(r.model, time.Since(s.started))
 			continue
 		}
 		live = append(live, r)
@@ -761,8 +818,14 @@ func (s *Server) dispatch(model string, batch []*request) {
 		// steers this very dispatch.
 		now := time.Since(s.started)
 		s.ctrl.Observe(model, len(live), now)
+		// Drift must be read before MaybeReplan: an applied re-plan
+		// rebases the controller's reference mix, zeroing it.
+		var drift float64
+		if s.tracer != nil {
+			drift = s.ctrl.Drift()
+		}
 		if next, ops, ok := s.ctrl.MaybeReplan(now); ok {
-			s.applyReplan(next, ops)
+			s.applyReplan(next, ops, now, drift)
 		}
 	}
 	id, warm := s.pool.acquire(model)
@@ -783,6 +846,7 @@ func (s *Server) dispatch(model string, batch []*request) {
 		// drained its response channels must see this batch in Stats().
 		s.stats.Lock()
 		s.stats.batches++
+		seq := int(s.stats.batches)
 		s.stats.batched += uint64(len(live))
 		mc := s.stats.model(model)
 		mc.Batches++
@@ -808,6 +872,23 @@ func (s *Server) dispatch(model string, batch []*request) {
 			u.Reloads++
 		}
 		s.stats.Unlock()
+		if s.tracer != nil {
+			start := dispatched.Sub(s.started)
+			for _, r := range live {
+				s.tracer.queued(model, r.enqueued.Sub(s.started), start, seq)
+			}
+			// The wall clock cannot split the measured span into reload
+			// and service; charge the modeled §IV-E reload on cold
+			// dispatches, clamped to what actually elapsed.
+			span := done.Sub(dispatched)
+			var reload time.Duration
+			if !warm {
+				if rel, err := s.backend.ReloadTime(model, s.groupSize); err == nil {
+					reload = min(rel, span)
+				}
+			}
+			s.tracer.batch(id, model, len(live), !warm, seq, start, span-reload, reload)
+		}
 		for i, r := range live {
 			resp := &Response{
 				ID:        r.id,
@@ -827,8 +908,10 @@ func (s *Server) dispatch(model string, batch []*request) {
 		if op, restage := s.pool.release(id); restage {
 			// A controller rebalance was waiting for this group: hold
 			// it through the new model's §IV-E reload before freeing.
-			s.noteRestage(id, op.cost)
-			s.runRestage(id, op.cost)
+			// The group was staging this batch's model, so that is what
+			// the restage evicts.
+			s.noteRestage(id, op.model, model, op.cost)
+			s.runRestage(id, op.model, op.cost)
 		}
 	}()
 }

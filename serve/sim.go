@@ -405,6 +405,9 @@ type sim struct {
 
 	lastLinger time.Duration
 
+	tracer   *Tracer      // nil when tracing is off (emits are no-ops)
+	timeline *simTimeline // nil when timeline sampling is off
+
 	gen *arrivalGen
 
 	offered, served, rejected int
@@ -471,6 +474,23 @@ func Simulate(backend Backend, opts Options, load Load) (*LoadReport, error) {
 		s.staged[i] = -1
 		s.shardUse[i].Shard = shardFor(i, slices, s.groupSize)
 	}
+	// Observability must attach before plan adoption: the startup
+	// pre-stages below are part of the recorded run.
+	if o.Trace != nil {
+		names := make([]string, len(registered))
+		for i, m := range registered {
+			names[i] = m.Name()
+		}
+		shards := make([]Shard, o.Replicas)
+		for i := range shards {
+			shards[i] = s.shardUse[i].Shard
+		}
+		o.Trace.begin("virtual", names, shards)
+		s.tracer = o.Trace
+	}
+	if o.TimelineInterval > 0 {
+		s.timeline = newSimTimeline(o.TimelineInterval, o.Replicas)
+	}
 	if o.Plan != nil {
 		if err := s.adoptPlan(o.Plan); err != nil {
 			return nil, err
@@ -510,6 +530,7 @@ func Simulate(backend Backend, opts Options, load Load) (*LoadReport, error) {
 	}
 	for len(s.events) > 0 {
 		e := heap.Pop(&s.events).(*event)
+		s.timeline.advance(e.at, s)
 		s.now = e.at
 		switch e.kind {
 		case evArrival:
@@ -573,12 +594,18 @@ func (s *sim) beginRestage(g, mi int) error {
 	if err != nil {
 		return err
 	}
+	from := ""
+	if prev := s.staged[g]; prev >= 0 {
+		from = s.models[prev].name
+	}
 	s.staged[g] = mi
 	s.push(&event{at: s.now + rel, kind: evRestage, shard: g})
 	u := &s.shardUse[g]
 	u.Restages++
 	u.Busy += rel
 	s.restages++
+	s.tracer.restage(g, s.models[mi].name, from, s.now, rel)
+	s.timeline.charge(g, s.now, rel)
 	return nil
 }
 
@@ -684,6 +711,7 @@ func (s *sim) onArrival(e *event) error {
 		// queue depth, so the population can never overfill it.
 		s.rejected++
 		m.rejected++
+		s.tracer.reject(m.name, s.now)
 	} else {
 		s.syncDepth()
 		m.at = append(m.at, s.now)
@@ -843,14 +871,14 @@ func (s *sim) dispatchBatch(mi, shard int, warmHit bool) error {
 	if err != nil {
 		return err
 	}
+	var rel time.Duration
 	if !warmHit {
-		rel, err := s.backend.ReloadTime(m.name, s.groupSize)
-		if err != nil {
+		if rel, err = s.backend.ReloadTime(m.name, s.groupSize); err != nil {
 			return err
 		}
-		st += rel
 	}
-	s.push(&event{at: s.now + st, kind: evCompletion, shard: shard, model: mi, arrivals: batch, users: users})
+	occupancy := st + rel
+	s.push(&event{at: s.now + occupancy, kind: evCompletion, shard: shard, model: mi, arrivals: batch, users: users})
 	s.batches++
 	s.batched += n
 	m.batches++
@@ -864,13 +892,30 @@ func (s *sim) dispatchBatch(mi, shard int, warmHit bool) error {
 	u := &s.shardUse[shard]
 	u.Batches++
 	u.Requests += n
-	u.Busy += st
+	u.Busy += occupancy
 	if !warmHit {
 		u.Reloads++
 	}
+	if s.tracer != nil {
+		for _, at := range batch {
+			s.tracer.queued(m.name, at, s.now, s.batches)
+		}
+		s.tracer.batch(shard, m.name, n, !warmHit, s.batches, s.now, st, rel)
+	}
+	s.timeline.charge(shard, s.now, occupancy)
 	if s.ctrl != nil {
 		s.ctrl.Observe(m.name, n, s.now)
+		// Drift must be read before MaybeReplan: an applied re-plan
+		// rebases the controller's reference mix, zeroing it.
+		var drift float64
+		if s.tracer != nil {
+			drift = s.ctrl.Drift()
+		}
 		if next, ops, ok := s.ctrl.MaybeReplan(s.now); ok {
+			// Emit before applying so the instant precedes the restage
+			// spans it causes (the serializer keeps emission order on
+			// equal timestamps).
+			s.tracer.replan(s.now, s.replans+1, drift, len(ops))
 			if err := s.applyReplan(next, ops); err != nil {
 				return err
 			}
@@ -947,6 +992,12 @@ func (s *sim) report(backend Backend, load Load) (*LoadReport, error) {
 			ColdBatches: m.cold,
 		})
 		perModelLat[m.name] = m.latencies
+	}
+	if s.timeline != nil {
+		// s.now is the final event's time (≥ last completion: trailing
+		// restages included), so the closing sample catches every
+		// counter increment and windowed sums equal the run totals.
+		r.Timeline = s.timeline.finish(s.now, s)
 	}
 	makespan := s.lastCompletion - s.firstArrival
 	r.Makespan = makespan

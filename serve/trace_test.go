@@ -1,0 +1,383 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"reflect"
+	"testing"
+	"time"
+
+	"neuralcache"
+	"neuralcache/obs"
+	"neuralcache/plan"
+)
+
+// driftTraceLoad is the plan_test drift scenario: a 0.75/0.25 two-model
+// mix inverting at 15s, hot enough to force the controller to re-plan.
+func driftTraceLoad() Load {
+	return Load{
+		Rate: 600, Requests: 20_000, Seed: 11, Poisson: true,
+		Mix: []ModelShare{{Model: "inception_v3", Weight: 0.75}, {Model: "resnet_18", Weight: 0.25}},
+		MixSchedule: []MixShift{{At: 15 * time.Second, Mix: []ModelShare{
+			{Model: "inception_v3", Weight: 0.25}, {Model: "resnet_18", Weight: 0.75}}}},
+	}
+}
+
+// driftTraceRun simulates the drift scenario planned + controlled with
+// a tracer and timeline attached, at the given functional-engine worker
+// count.
+func driftTraceRun(t testing.TB, workers int) (*LoadReport, *Tracer) {
+	t.Helper()
+	sys := newSystem(t, workers)
+	models := []*neuralcache.Model{neuralcache.InceptionV3(), neuralcache.ResNet18()}
+	backend := NewAnalyticBackend(sys, models[0], models[1])
+	load := driftTraceLoad()
+	p, err := plan.Compute(sys, models, planShares(0.75, 0.25),
+		plan.Options{GroupSize: 7, MaxBatch: 8, RatePerSec: load.Rate})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := Options{
+		MaxBatch: 8, MaxLinger: 5 * time.Millisecond, QueueDepth: 1 << 20, GroupSize: 7,
+		Plan:   p,
+		Replan: plan.ControllerConfig{Threshold: 0.15, HalfLife: 2 * time.Second},
+		Trace:  NewTracer(), TimelineInterval: 500 * time.Millisecond,
+	}
+	rep, err := Simulate(backend, opts, load)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep, opts.Trace
+}
+
+func traceJSON(t testing.TB, tr *Tracer) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestSimulateTraceDeterministic: the same planned+controlled drift
+// run must serialize a byte-identical trace (and report, timeline
+// included) on every run and at every functional-engine worker count —
+// the tracer rides the virtual clock, which workers never touch.
+func TestSimulateTraceDeterministic(t *testing.T) {
+	rep, tr := driftTraceRun(t, 0)
+	blob := traceJSON(t, tr)
+	repBlob, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep2, tr2 := driftTraceRun(t, 0)
+	if !bytes.Equal(blob, traceJSON(t, tr2)) {
+		t.Fatal("two identical Simulate runs serialized different traces")
+	}
+	repBlob2, _ := json.Marshal(rep2)
+	if !bytes.Equal(repBlob, repBlob2) {
+		t.Fatal("two identical Simulate runs produced different reports")
+	}
+	_, tr4 := driftTraceRun(t, 4)
+	if !bytes.Equal(blob, traceJSON(t, tr4)) {
+		t.Fatal("functional-engine worker count leaked into the trace")
+	}
+}
+
+// TestSimulateTraceDriftContent pins the trace's content under the
+// drift scenario: valid Chrome trace-event JSON whose lanes are
+// declared up front, with warm batch spans, queue spans for every
+// served request, controller re-plan instants carrying the triggering
+// drift, and the restage spans those re-plans ordered.
+func TestSimulateTraceDriftContent(t *testing.T) {
+	rep, tr := driftTraceRun(t, 0)
+	if rep.Replans == 0 || rep.Restages == 0 {
+		t.Fatalf("drift scenario replanned %d / restaged %d times, want both > 0",
+			rep.Replans, rep.Restages)
+	}
+
+	// The serialized form is one valid JSON object holding every event,
+	// metadata lanes first.
+	var doc struct {
+		DisplayTimeUnit string      `json:"displayTimeUnit"`
+		TraceEvents     []obs.Event `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(traceJSON(t, tr), &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if doc.DisplayTimeUnit != "ms" || len(doc.TraceEvents) != tr.Len() {
+		t.Fatalf("serialized %d events (unit %q), recorded %d",
+			len(doc.TraceEvents), doc.DisplayTimeUnit, tr.Len())
+	}
+	meta := 0
+	for i, e := range doc.TraceEvents {
+		if e.Phase == obs.PhaseMetadata {
+			if i != meta {
+				t.Fatalf("metadata event at index %d after payload events", i)
+			}
+			meta++
+		}
+	}
+	// process_name + control + 2 queue lanes + 4 group lanes.
+	if meta != 8 {
+		t.Fatalf("%d metadata events, want 8 lane declarations", meta)
+	}
+	for i := 1 + meta; i < len(doc.TraceEvents); i++ {
+		if doc.TraceEvents[i].Ts < doc.TraceEvents[i-1].Ts {
+			t.Fatalf("event %d out of timestamp order", i)
+		}
+	}
+
+	queued, warm, restages, replans, ordered := 0, 0, 0, 0, 0
+	for _, e := range tr.Events() {
+		switch e.Cat {
+		case "queue":
+			queued++
+		case "batch":
+			if e.Args == nil || e.Args.Batch == 0 {
+				t.Fatal("batch span without args")
+			}
+			if !e.Args.Cold {
+				warm++
+			}
+		case "restage":
+			restages++
+		case "control":
+			replans++
+			// A re-plan that only re-weights can order zero restages,
+			// but the drift that triggered it always exceeds threshold.
+			if e.Args == nil || e.Args.Drift <= 0.15 || e.Args.Restages < 0 {
+				t.Fatalf("replan instant args %+v, want drift above threshold", e.Args)
+			}
+			ordered += e.Args.Restages
+			if e.Args.Seq != replans {
+				t.Fatalf("replan seq %d, want %d", e.Args.Seq, replans)
+			}
+		}
+	}
+	if ordered == 0 {
+		t.Fatal("no replan instant recorded ordered restages")
+	}
+	if queued != rep.Served {
+		t.Fatalf("%d queue spans, want one per served request (%d)", queued, rep.Served)
+	}
+	if warm != rep.WarmDispatches {
+		t.Fatalf("%d warm batch spans, report says %d", warm, rep.WarmDispatches)
+	}
+	if restages != rep.Restages || replans != rep.Replans {
+		t.Fatalf("trace has %d restages / %d replans, report %d / %d",
+			restages, replans, rep.Restages, rep.Replans)
+	}
+}
+
+// TestSimulateTraceColdReloadSubSpans: on a reactive two-model run every
+// cold batch span must carry a reload sub-span and a service sub-span
+// that stitch exactly — service starts where reload ends, and the two
+// sum to the batch's occupancy.
+func TestSimulateTraceColdReloadSubSpans(t *testing.T) {
+	_, _, backend := planBackend(t)
+	opts := Options{MaxBatch: 8, MaxLinger: 5 * time.Millisecond, QueueDepth: 1 << 20,
+		GroupSize: 7, Trace: NewTracer()}
+	rep, err := Simulate(backend, opts, Load{
+		Rate: 600, Requests: 2_000, Seed: 11, Poisson: true,
+		Mix: []ModelShare{{Model: "inception_v3", Weight: 0.5}, {Model: "resnet_18", Weight: 0.5}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ColdDispatches == 0 {
+		t.Fatal("reactive alternating mix paid no cold dispatches")
+	}
+	// Simulate emits batch, reload, service back to back; emission
+	// order is the single-threaded event order.
+	events := opts.Trace.Events()
+	cold := 0
+	for i, e := range events {
+		if e.Cat != "batch" || e.Args == nil || !e.Args.Cold {
+			continue
+		}
+		cold++
+		if i+2 >= len(events) {
+			t.Fatal("cold batch span missing sub-spans at trace tail")
+		}
+		rel, svc := events[i+1], events[i+2]
+		if rel.Name != "reload" || svc.Name != "service" {
+			t.Fatalf("cold batch followed by %q, %q; want reload, service", rel.Name, svc.Name)
+		}
+		if rel.Tid != e.Tid || svc.Tid != e.Tid {
+			t.Fatal("cold sub-spans landed on a different lane than their batch")
+		}
+		// Timestamps are Micros of exact duration sums, so comparing
+		// float sums needs an epsilon well under a nanosecond.
+		if rel.Ts != e.Ts ||
+			math.Abs(svc.Ts-(e.Ts+rel.Dur)) > 1e-6 ||
+			math.Abs(rel.Dur+svc.Dur-e.Dur) > 1e-6 {
+			t.Fatalf("cold sub-spans do not stitch: batch [%v +%v], reload [%v +%v], service [%v +%v]",
+				e.Ts, e.Dur, rel.Ts, rel.Dur, svc.Ts, svc.Dur)
+		}
+	}
+	if cold != rep.ColdDispatches {
+		t.Fatalf("%d cold batch spans, report says %d", cold, rep.ColdDispatches)
+	}
+}
+
+// TestSimulateTimelineSumsMatchReport: every windowed timeline counter
+// must sum to the run's total, utilization must integrate exactly on
+// the virtual clock, and the controller's drift must surface.
+func TestSimulateTimelineSumsMatchReport(t *testing.T) {
+	rep, _ := driftTraceRun(t, 0)
+	tl := rep.Timeline
+	if tl == nil || tl.Interval != 500*time.Millisecond || len(tl.Samples) == 0 {
+		t.Fatalf("timeline missing or mis-configured: %+v", tl)
+	}
+	var offered, served, rejected, warmN, coldN, restages, replans int
+	drifted := false
+	for _, p := range tl.Samples {
+		offered += p.Offered
+		served += p.Served
+		rejected += p.Rejected
+		warmN += p.WarmDispatches
+		coldN += p.ColdDispatches
+		restages += p.Restages
+		replans += p.Replans
+		if len(p.GroupUtil) != rep.Replicas {
+			t.Fatalf("sample carries %d group utilizations, want %d", len(p.GroupUtil), rep.Replicas)
+		}
+		for g, u := range p.GroupUtil {
+			if u < 0 || u > 1 {
+				t.Fatalf("virtual-clock utilization %v on group %d escapes [0, 1]", u, g)
+			}
+		}
+		if p.MixDrift > 0.15 {
+			drifted = true
+		}
+	}
+	if offered != rep.Offered || served != rep.Served || rejected != rep.Rejected {
+		t.Fatalf("windowed sums offered/served/rejected %d/%d/%d, report %d/%d/%d",
+			offered, served, rejected, rep.Offered, rep.Served, rep.Rejected)
+	}
+	if warmN != rep.WarmDispatches || coldN != rep.ColdDispatches {
+		t.Fatalf("windowed dispatch sums %d warm / %d cold, report %d / %d",
+			warmN, coldN, rep.WarmDispatches, rep.ColdDispatches)
+	}
+	if restages != rep.Restages || replans != rep.Replans {
+		t.Fatalf("windowed sums %d restages / %d replans, report %d / %d",
+			restages, replans, rep.Restages, rep.Replans)
+	}
+	if !drifted {
+		t.Fatal("no sample saw the controller's drift cross the threshold")
+	}
+}
+
+// TestLoadReportTimelineJSON: a report's timeline survives a JSON
+// round-trip, and a run without sampling emits no timeline key at all —
+// the k=1 golden schemas must stay byte-identical.
+func TestLoadReportTimelineJSON(t *testing.T) {
+	sys := newSystem(t, 0)
+	m := neuralcache.InceptionV3()
+	opts := Options{MaxBatch: 8, MaxLinger: 500 * time.Microsecond, QueueDepth: 256,
+		TimelineInterval: 50 * time.Millisecond}
+	load := Load{Rate: 5000, Requests: 2_000, Seed: 7, Poisson: true}
+	rep, err := Simulate(NewAnalyticBackend(sys, m), opts, load)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Timeline == nil || len(rep.Timeline.Samples) == 0 {
+		t.Fatal("sampled run carries no timeline")
+	}
+	blob, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back LoadReport
+	if err := json.Unmarshal(blob, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rep.Timeline, back.Timeline) {
+		t.Fatal("timeline did not survive the JSON round-trip")
+	}
+
+	opts.TimelineInterval = 0
+	plain, err := Simulate(NewAnalyticBackend(sys, m), opts, load)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pblob, _ := json.Marshal(plain)
+	if bytes.Contains(pblob, []byte(`"timeline"`)) {
+		t.Fatal("unsampled report leaked a timeline key into JSON")
+	}
+}
+
+// TestServerTraceAndTimelineWallClock smokes the wall-clock side: a
+// real Server with a tracer and sampler attached records queue and
+// batch spans stamped on the wall clock and a timeline whose windowed
+// counters sum to the load test's totals.
+func TestServerTraceAndTimelineWallClock(t *testing.T) {
+	sys := newSystem(t, 0)
+	m := neuralcache.SmallCNN()
+	tr := NewTracer()
+	srv, err := NewServer(NewAnalyticBackend(sys, m),
+		Options{MaxBatch: 4, MaxLinger: NoLinger, Trace: tr,
+			TimelineInterval: 2 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := LoadTest(srv, Load{Rate: 10_000, Requests: 64, Seed: 3, Poisson: true}, nil)
+	if cerr := srv.Close(); cerr != nil {
+		t.Fatal(cerr)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Served == 0 || rep.Served+rep.Rejected != 64 {
+		t.Fatalf("served %d / rejected %d of 64", rep.Served, rep.Rejected)
+	}
+	if rep.Timeline == nil || len(rep.Timeline.Samples) == 0 {
+		t.Fatal("wall-clock run carries no timeline")
+	}
+	served, batches := 0, 0
+	for _, p := range rep.Timeline.Samples {
+		served += p.Served
+		batches += p.WarmDispatches + p.ColdDispatches
+	}
+	if served != rep.Served || batches != rep.Batches {
+		t.Fatalf("windowed sums %d served / %d batches, report %d / %d",
+			served, batches, rep.Served, rep.Batches)
+	}
+	queued, spans := 0, 0
+	for _, e := range tr.Events() {
+		switch e.Cat {
+		case "queue":
+			queued++
+		case "batch":
+			spans++
+			if e.Dur <= 0 {
+				t.Fatal("wall-clock batch span with non-positive duration")
+			}
+		}
+	}
+	if queued != rep.Served || spans != rep.Batches {
+		t.Fatalf("trace has %d queue spans / %d batch spans, report %d / %d",
+			queued, spans, rep.Served, rep.Batches)
+	}
+	var doc struct {
+		TraceEvents []obs.Event `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(traceJSON(t, tr), &doc); err != nil {
+		t.Fatalf("wall-clock trace is not valid JSON: %v", err)
+	}
+}
+
+// TestOptionsRejectNegativeTimelineInterval: withDefaults must refuse a
+// negative sampling interval before any run starts.
+func TestOptionsRejectNegativeTimelineInterval(t *testing.T) {
+	sys := newSystem(t, 0)
+	m := neuralcache.InceptionV3()
+	_, err := Simulate(NewAnalyticBackend(sys, m),
+		Options{MaxBatch: 4, TimelineInterval: -time.Second},
+		Load{Rate: 100, Requests: 10, Seed: 1})
+	if err == nil {
+		t.Fatal("negative timeline interval accepted")
+	}
+}

@@ -129,7 +129,8 @@ func (s *System) convCost(lr *LayerReport, rep *Report, traffic *interconnect.Tr
 	for i := 0; i < slices; i++ {
 		cfg.Fabric.BusBroadcastCycles(traffic, filterBytes/slices)
 	}
-	rep.Ledger.ArrayAccessCycles += uint64(activeArrays) * uint64(plan.Layout.FilterBytes*8)
+	rep.Ledger.ArrayAccessCycles += uint64(activeArrays) *
+		uint64(plan.Layout.FilterElems*plan.Layout.WeightBits)
 
 	// --- Input streaming (per image) ---
 	// Per serial iteration every active lane receives R'·S' fresh input
@@ -145,7 +146,7 @@ func (s *System) convCost(lr *LayerReport, rep *Report, traffic *interconnect.Tr
 	}
 	lr.Seconds[PhaseInputStream] += fBatch * cost.Seconds(inputCycles)
 	rep.Ledger.ArrayAccessCycles += uint64(fBatch) * uint64(activeArrays) *
-		uint64(plan.SerialIters*plan.Layout.FilterBytes*8)
+		uint64(plan.SerialIters*plan.EffFilter*plan.Layout.ActBits)
 	if firstLayer {
 		// The first layer's inputs come from DRAM through the TMU gateway.
 		inBytes := p.In.Elems()
@@ -155,7 +156,8 @@ func (s *System) convCost(lr *LayerReport, rep *Report, traffic *interconnect.Tr
 	}
 
 	// --- MACs ---
-	macCycles := uint64(plan.SerialIters) * uint64(plan.MACsPerIter()) * cost.MACCyclesDensity(density)
+	macCycles := uint64(plan.SerialIters) * uint64(plan.MACsPerIter()) *
+		cost.MACCyclesWidthsDensity(plan.WeightBits, density)
 	lr.Seconds[PhaseMAC] += fBatch * cost.Seconds(macCycles)
 	rep.Ledger.ArrayComputeCycles += uint64(fBatch) * macCycles * uint64(activeArrays)
 

@@ -45,8 +45,17 @@ func (c CostModel) Seconds(cycles uint64) float64 {
 // MACCycles is the cost of one bit-serial multiply-accumulate; 236 cycles
 // at the paper's 8-bit/24-bit operating point (§VI-A).
 func (c CostModel) MACCycles() uint64 {
+	return c.MACCyclesWidths(c.ActBits)
+}
+
+// MACCyclesWidths is MACCycles for a layer whose weights are wBits wide:
+// wBits multiplier slices over an ActBits multiplicand (the asymmetric
+// charged form of isa.OpMulAcc). wBits = ActBits reproduces MACCycles
+// exactly; a 4-bit-weight layer at the paper's operating point charges
+// 166 cycles instead of 236 — Stripes-style precision-proportional cost.
+func (c CostModel) MACCyclesWidths(wBits int) uint64 {
 	return uint64(isa.ChargedCycles(isa.Instruction{
-		Op: isa.OpMulAcc, Width: c.ActBits, AccWidth: c.AccBits,
+		Op: isa.OpMulAcc, Width: c.ActBits, WidthB: wBits, AccWidth: c.AccBits,
 	}))
 }
 
@@ -57,14 +66,22 @@ func (c CostModel) MACCycles() uint64 {
 // the exact per-slice saving of sram.MulAccSkip. d = 1 is the dense
 // MACCycles; d = 0 leaves the slice-scan and accumulate floor.
 func (c CostModel) MACCyclesDensity(d float64) uint64 {
-	dense := c.MACCycles()
+	return c.MACCyclesWidthsDensity(c.ActBits, d)
+}
+
+// MACCyclesWidthsDensity composes the width-proportional MAC cost with the
+// density discount: a wBits-weight MAC scans wBits multiplier slices, and
+// each of the (1−d)·wBits elided slices saves its ActBits+1-cycle
+// predicated add. wBits = ActBits reproduces MACCyclesDensity exactly.
+func (c CostModel) MACCyclesWidthsDensity(wBits int, d float64) uint64 {
+	dense := c.MACCyclesWidths(wBits)
 	if d >= 1 {
 		return dense
 	}
 	if d < 0 {
 		d = 0
 	}
-	saved := uint64(math.Round((1 - d) * float64(c.ActBits) * float64(c.ActBits+1)))
+	saved := uint64(math.Round((1 - d) * float64(wBits) * float64(c.ActBits+1)))
 	if saved >= dense {
 		return 0
 	}

@@ -5,6 +5,7 @@ import (
 	"runtime"
 	"sync"
 
+	"neuralcache/internal/bitvec"
 	"neuralcache/internal/geometry"
 	"neuralcache/internal/interconnect"
 	"neuralcache/internal/mapping"
@@ -369,6 +370,8 @@ func (f *funcExec) recordSkip(name string, fn func() error) error {
 func (f *funcExec) convAccs(plan *mapping.ConvPlan, c *nn.Conv2D, x *tensor.Quant, bias []int32) ([]int64, error) {
 	L := plan.LanesPerConv
 	lay := plan.Layout
+	wb := plan.WeightBits
+	ab := plan.ActBits
 	out := c.OutShape(x.Shape)
 	total := out.H * out.W * c.Cout
 	accs := make([]int64, total)
@@ -387,39 +390,74 @@ func (f *funcExec) convAccs(plan *mapping.ConvPlan, c *nn.Conv2D, x *tensor.Quan
 	return accs, f.runGroups(nGroups, arraysPer, func(g int, arrs []*sram.Array, acct *groupShare) error {
 		base := g * slotsPer
 		slots := min(slotsPer, total-base)
-		filterCol := make([][]uint64, arraysPer)
-		inputCol := make([][]uint64, arraysPer)
-		for p := range filterCol {
-			filterCol[p] = make([]uint64, sram.BitLines)
-			inputCol[p] = make([]uint64, sram.BitLines)
-		}
+		// Flat lane columns across the group's arrays: array p stages the
+		// 256-lane window [p·256, (p+1)·256).
+		filterFlat := make([]uint64, arraysPer*sram.BitLines)
+		inputFlat := make([]uint64, arraysPer*sram.BitLines)
+		inPlanes := make([]bitvec.Vec256, 8)
 		saHost := make([]int64, slots)
 
-		// fill assembles the transposed filter and input planes for MAC
-		// step j across the group's arrays, lane by lane.
-		fill := func(j int) {
-			for p := range filterCol {
-				for i := range filterCol[p] {
-					filterCol[p][i], inputCol[p][i] = 0, 0
-				}
+		// The gather pair assembles MAC step j's operand bytes lane by
+		// lane — separately, because the streamed-input MAC phase consumes
+		// fresh input bytes against filters that were staged once. The
+		// unsplit/unpacked layout keeps operands channel-contiguous in the
+		// tensors, so each slot's L lanes bulk-copy from one tensor row.
+		fillFilter := func(j int) {
+			for i := range filterFlat {
+				filterFlat[i] = 0
 			}
 			for slot := 0; slot < slots; slot++ {
-				e, fw, m := decodeConv(base+slot, out)
+				_, _, m := decodeConv(base+slot, out)
+				dst := filterFlat[slot*L : slot*L+L]
+				if plan.PackFactor == 1 && plan.SplitFactor == 1 {
+					row := c.Filter.Data[(m*c.R*c.S+j)*c.Cin:]
+					for lane := 0; lane < min(L, c.Cin); lane++ {
+						dst[lane] = uint64(row[lane])
+					}
+					continue
+				}
 				for lane := 0; lane < L; lane++ {
-					fv, iv := operandBytes(plan, c, x, e, fw, m, lane, j)
-					gl := slot*L + lane
-					filterCol[gl/sram.BitLines][gl%sram.BitLines] = uint64(fv)
-					inputCol[gl/sram.BitLines][gl%sram.BitLines] = uint64(iv)
+					pos, ch := operandIndex(plan, lane, j)
+					dst[lane] = uint64(filterByte(c, m, pos, ch))
+				}
+			}
+		}
+		fillInput := func(j int) {
+			for i := range inputFlat {
+				inputFlat[i] = 0
+			}
+			for slot := 0; slot < slots; slot++ {
+				e, fw, _ := decodeConv(base+slot, out)
+				h0 := e*c.Stride - c.PadH
+				w0 := fw*c.Stride - c.PadW
+				dst := inputFlat[slot*L : slot*L+L]
+				if plan.PackFactor == 1 && plan.SplitFactor == 1 {
+					h, wd := h0+j/c.S, w0+j%c.S
+					if h < 0 || h >= x.Shape.H || wd < 0 || wd >= x.Shape.W {
+						continue
+					}
+					row := x.Data[(h*x.Shape.W+wd)*x.Shape.C:]
+					for lane := 0; lane < min(L, c.Cin); lane++ {
+						dst[lane] = uint64(row[lane])
+					}
+					continue
+				}
+				for lane := 0; lane < L; lane++ {
+					pos, ch := operandIndex(plan, lane, j)
+					dst[lane] = uint64(inputByte(c, x, h0, w0, pos, ch))
 				}
 			}
 		}
 
 		for j := 0; j < plan.EffFilter; j++ {
-			fill(j)
+			fillFilter(j)
 			for p, arr := range arrs {
-				arr.WriteElements(lay.FilterRow()+8*j, 8, filterCol[p])
-				if !plan.InputStreamed {
-					arr.WriteElements(lay.InputRow()+8*j, 8, inputCol[p])
+				arr.WriteElements(lay.FilterRow()+wb*j, wb, filterFlat[p*sram.BitLines:(p+1)*sram.BitLines])
+			}
+			if !plan.InputStreamed {
+				fillInput(j)
+				for p, arr := range arrs {
+					arr.WriteElements(lay.InputRow()+ab*j, ab, inputFlat[p*sram.BitLines:(p+1)*sram.BitLines])
 				}
 			}
 		}
@@ -430,18 +468,33 @@ func (f *funcExec) convAccs(plan *mapping.ConvPlan, c *nn.Conv2D, x *tensor.Quan
 			arr.Zero(lay.ScratchRow(), 24, false)
 		}
 		for j := 0; j < plan.EffFilter; j++ {
-			inRow := lay.InputRow() + 8*j
+			inRow := lay.InputRow() + ab*j
 			if plan.InputStreamed {
-				// Stream this MAC step's input byte for every lane.
-				fill(j)
+				// Stream this MAC step's input byte for every lane: pack
+				// the bit planes once, stage them, and fold the same planes
+				// into the host's Σq_a by popcounting each plane over the
+				// slot's lane window (Σ 2^i · ones(plane_i)) — the word-
+				// packed replacement for a per-lane accumulation loop.
+				fillInput(j)
 				inRow = lay.InputRow()
 				for p, arr := range arrs {
-					arr.WriteElements(inRow, 8, inputCol[p])
-				}
-				for slot := 0; slot < slots; slot++ {
-					for lane := 0; lane < L; lane++ {
-						gl := slot*L + lane
-						saHost[slot] += int64(inputCol[gl/sram.BitLines][gl%sram.BitLines])
+					vals := inputFlat[p*sram.BitLines : (p+1)*sram.BitLines]
+					if ab < 8 {
+						for lane, v := range vals {
+							if v>>uint(ab) != 0 {
+								panic(fmt.Sprintf("core: %s input %#x at lane %d exceeds ActBits=%d",
+									c.LayerName, v, lane, ab))
+							}
+						}
+					}
+					bitvec.PackPlanes(vals, ab, inPlanes[:ab])
+					arr.WritePlanes(inRow, ab, inPlanes[:ab], sram.BitLines)
+					plo := p * sram.BitLines
+					for slot := 0; slot < slots; slot++ {
+						lo := slot*L - plo
+						for i := 0; i < ab; i++ {
+							saHost[slot] += int64(inPlanes[i].OnesCountRange(lo, lo+L)) << uint(i)
+						}
 					}
 				}
 			}
@@ -453,15 +506,17 @@ func (f *funcExec) convAccs(plan *mapping.ConvPlan, c *nn.Conv2D, x *tensor.Quan
 			// across requests. Both modes share the operand order (the
 			// product is commutative and Multiply's cost value-independent,
 			// so the dense engine is unchanged), which also keeps fault
-			// blast radii identical between dense and skipping runs.
+			// blast radii identical between dense and skipping runs. The
+			// multiplier runs wb slices over an ab-bit multiplicand, so a
+			// narrow-weight layer pays proportionally fewer cycles.
 			for _, arr := range arrs {
 				if skipZero {
-					sk := arr.MulAccSkip(inRow, lay.FilterRow()+8*j, lay.ScratchRow(), lay.PartialRow(), 8, 24)
+					sk := arr.MulAccSkipAsym(inRow, lay.FilterRow()+wb*j, lay.ScratchRow(), lay.PartialRow(), ab, wb, 24)
 					acct.skippedSlices += uint64(sk)
-					acct.totalSlices += 8
-					acct.skipSaved += uint64(sk) * (8 + 1)
+					acct.totalSlices += uint64(wb)
+					acct.skipSaved += uint64(sk) * uint64(ab+1)
 				} else {
-					arr.MulAcc(inRow, lay.FilterRow()+8*j, lay.ScratchRow(), lay.PartialRow(), 8, 24)
+					arr.MulAccAsym(inRow, lay.FilterRow()+wb*j, lay.ScratchRow(), lay.PartialRow(), ab, wb, 24)
 				}
 			}
 		}
@@ -475,7 +530,7 @@ func (f *funcExec) convAccs(plan *mapping.ConvPlan, c *nn.Conv2D, x *tensor.Quan
 				arr.Zero(lay.ScratchRow(), 24, false)
 				for j := 0; j < plan.EffFilter; j++ {
 					arr.Zero(lay.ReduceRow(), 24, false)
-					arr.Copy(lay.InputRow()+8*j, lay.ReduceRow(), 8, false)
+					arr.Copy(lay.InputRow()+ab*j, lay.ReduceRow(), ab, false)
 					arr.AddTrunc(lay.ScratchRow(), lay.ReduceRow(), lay.ScratchRow(), 24)
 				}
 			}
@@ -747,33 +802,41 @@ func (f *funcExec) batchNorm(b *nn.BatchNorm, x *tensor.Quant) (*tensor.Quant, e
 	return nn.FinishBatchNorm(b, x.Shape, x.Scale, beta32, accs, f.tr), nil
 }
 
-// operandBytes returns the filter and input byte for (lane, byte j) of
-// one convolution under the plan's layout: the plain per-channel window,
-// the split-filter segments, or the packed 1×1 channels.
-func operandBytes(plan *mapping.ConvPlan, c *nn.Conv2D, x *tensor.Quant, e, fw, m, lane, j int) (fv, iv uint8) {
-	h0 := e*c.Stride - c.PadH
-	w0 := fw*c.Stride - c.PadW
-	sample := func(pos, ch int) (uint8, uint8) {
-		if pos >= c.R*c.S || ch >= c.Cin {
-			return 0, 0
-		}
-		r, s := pos/c.S, pos%c.S
-		w := c.Filter.At(m, r, s, ch)
-		h, wd := h0+r, w0+s
-		if h < 0 || h >= x.Shape.H || wd < 0 || wd >= x.Shape.W {
-			return w, 0
-		}
-		return w, x.At(h, wd, ch)
-	}
+// operandIndex maps (lane, MAC step j) of one convolution to the filter
+// window position and input channel it samples under the plan's layout:
+// the plain per-channel window, the split-filter segments, or the packed
+// 1×1 channels. Out-of-range (pos, ch) mean the lane is padding for that
+// step and both operand bytes are zero.
+func operandIndex(plan *mapping.ConvPlan, lane, j int) (pos, ch int) {
 	switch {
 	case plan.PackFactor > 1:
-		ch := lane*plan.PackFactor + j
-		return sample(0, ch)
+		return 0, lane*plan.PackFactor + j
 	case plan.SplitFactor > 1:
-		ch := lane / plan.SplitFactor
 		seg := lane % plan.SplitFactor
-		return sample(seg*plan.EffFilter+j, ch)
+		return seg*plan.EffFilter + j, lane / plan.SplitFactor
 	default:
-		return sample(j, lane)
+		return j, lane
 	}
+}
+
+// filterByte samples output channel m's weight at window position pos,
+// input channel ch; zero outside the filter geometry.
+func filterByte(c *nn.Conv2D, m, pos, ch int) uint8 {
+	if pos >= c.R*c.S || ch >= c.Cin {
+		return 0
+	}
+	return c.Filter.At(m, pos/c.S, pos%c.S, ch)
+}
+
+// inputByte samples the input activation under the window anchored at
+// (h0, w0); zero outside the filter geometry or the (zero-padded) image.
+func inputByte(c *nn.Conv2D, x *tensor.Quant, h0, w0, pos, ch int) uint8 {
+	if pos >= c.R*c.S || ch >= c.Cin {
+		return 0
+	}
+	h, wd := h0+pos/c.S, w0+pos%c.S
+	if h < 0 || h >= x.Shape.H || wd < 0 || wd >= x.Shape.W {
+		return 0
+	}
+	return x.At(h, wd, ch)
 }

@@ -78,7 +78,8 @@ type Instruction struct {
 	A, B     int  // source element base rows
 	Dst      int  // destination base row
 	Scratch  int  // scratch base row (sub/compare/divide/max/min)
-	Width    int  // operand width in bits
+	Width    int  // operand width in bits (multiplicand width for multiplies)
+	WidthB   int  // multiplier width for OpMultiply/OpMulAcc; 0 means Width
 	AccWidth int  // accumulator width for OpMulAcc
 	Stride   int  // lane stride for OpReduceStep / OpShiftLanes
 	Pred     bool // gate write-backs by the tag latch
@@ -87,6 +88,9 @@ type Instruction struct {
 // String disassembles the instruction.
 func (in Instruction) String() string {
 	s := fmt.Sprintf("%-8s a=%d b=%d dst=%d w=%d", in.Op, in.A, in.B, in.Dst, in.Width)
+	if in.WidthB != 0 {
+		s += fmt.Sprintf(" wb=%d", in.WidthB)
+	}
 	if in.Scratch != 0 {
 		s += fmt.Sprintf(" scr=%d", in.Scratch)
 	}
@@ -131,9 +135,9 @@ func Execute(a *sram.Array, in Instruction) {
 	case OpSub:
 		a.Sub(in.A, in.B, in.Dst, in.Scratch, n)
 	case OpMultiply:
-		a.Multiply(in.A, in.B, in.Dst, n)
+		a.MultiplyAsym(in.A, in.B, in.Dst, n, widthB(in))
 	case OpMulAcc:
-		a.MulAcc(in.A, in.B, in.Scratch, in.Dst, n, in.AccWidth)
+		a.MulAccAsym(in.A, in.B, in.Scratch, in.Dst, n, widthB(in), in.AccWidth)
 	case OpDivide:
 		a.Divide(in.A, in.B, in.Dst, in.Dst+n, in.Scratch, n)
 	case OpCompareGE:
@@ -184,13 +188,19 @@ func ChargedCycles(in Instruction) int {
 	case OpSub:
 		return 2*n + 1
 	case OpMultiply:
-		return n*n + 5*n - 2 // paper: n²+5n−2
+		// Symmetric n-bit form is the paper's n²+5n−2; the asymmetric
+		// generalization charges nA·nB for the partial products and keeps
+		// the linear term at the mean width, so it reduces to the paper's
+		// form when WidthB = Width.
+		nB := widthB(in)
+		return n*nB + 5*(n+nB)/2 - 2
 	case OpMulAcc:
 		// Paper's §VI-A: 236 cycles for an 8-bit MAC with a 24-bit
-		// accumulator. Decomposed as multiply (n²+5n−2) + accumulate
-		// (accW+1) + staging overhead; see core/cost.go for the named
-		// overhead constant.
-		return n*n + 5*n - 2 + in.AccWidth + 1 + MACStagingOverhead(n)
+		// accumulator. Decomposed as multiply (asymmetric form above) +
+		// accumulate (accW+1) + staging overhead at the mean operand
+		// width; see core/cost.go for the named overhead constant.
+		nB := widthB(in)
+		return n*nB + 5*(n+nB)/2 - 2 + in.AccWidth + 1 + MACStagingOverhead((n+nB)/2)
 	case OpDivide:
 		return (3*n*n + 11*n + 1) / 2 // paper: 1.5n²+5.5n, rounded up
 	case OpCompareGE, OpCompareLT:
@@ -208,6 +218,15 @@ func ChargedCycles(in Instruction) int {
 	default:
 		panic(fmt.Sprintf("isa: no cost for op %v", in.Op))
 	}
+}
+
+// widthB resolves the multiplier width of a multiply-class instruction:
+// WidthB when set, else the symmetric Width.
+func widthB(in Instruction) int {
+	if in.WidthB > 0 {
+		return in.WidthB
+	}
+	return in.Width
 }
 
 // MACStagingOverhead is the per-MAC operand staging / product management

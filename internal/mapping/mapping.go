@@ -46,35 +46,36 @@ func Defaults() Params {
 }
 
 // Layout is the per-bit-line row map of a convolution layer (Figure 10).
-// All quantities are in bytes; one byte occupies eight word lines.
+// Operand regions are element counts times per-element bit widths — the
+// precision plumbing that lets a 4-bit-weight layer genuinely occupy, and
+// execute in, fewer rows. The scratch, accumulator and reduction regions
+// keep the fixed widths of the accumulate path (24/32/32 rows, §IV-A's
+// 3+4+4 bytes); at 8-bit operands every row count and base matches the
+// historical byte-granular layout exactly.
 type Layout struct {
-	FilterBytes  int // resident filter weights per bit line (R'·S')
-	InputBytes   int // resident input bytes per bit line (1 when streamed)
-	ScratchBytes int // multiply product (2) + zero pad (1)
-	PartialBytes int // accumulator, doubling as reduction operand A (4)
-	ReduceBytes  int // reduction operand B (4)
-	OutputBytes  int // stash for serially produced outputs
+	WeightBits  int // element width of the resident filter weights
+	ActBits     int // element width of the activations
+	FilterElems int // resident filter weights per bit line (R'·S')
+	InputElems  int // resident input elements per bit line (1 when streamed)
+	ScratchRows int // multiply product + zero pad (24)
+	PartialRows int // accumulator, doubling as reduction operand A (32)
+	ReduceRows  int // reduction operand B (32)
+	OutputBytes int // stash for serially produced outputs
 }
 
 // Rows returns the word lines consumed per bit line.
 func (l Layout) Rows() int {
-	return 8 * (l.FilterBytes + l.InputBytes + l.ScratchBytes +
-		l.PartialBytes + l.ReduceBytes + l.OutputBytes)
+	return l.WeightBits*l.FilterElems + l.ActBits*l.InputElems +
+		l.ScratchRows + l.PartialRows + l.ReduceRows + 8*l.OutputBytes
 }
 
 // Row bases (in word lines) for the engine's microcode.
 func (l Layout) FilterRow() int  { return 0 }
-func (l Layout) InputRow() int   { return 8 * l.FilterBytes }
-func (l Layout) ScratchRow() int { return 8 * (l.FilterBytes + l.InputBytes) }
-func (l Layout) PartialRow() int {
-	return 8 * (l.FilterBytes + l.InputBytes + l.ScratchBytes)
-}
-func (l Layout) ReduceRow() int {
-	return 8 * (l.FilterBytes + l.InputBytes + l.ScratchBytes + l.PartialBytes)
-}
-func (l Layout) OutputRow() int {
-	return 8 * (l.FilterBytes + l.InputBytes + l.ScratchBytes + l.PartialBytes + l.ReduceBytes)
-}
+func (l Layout) InputRow() int   { return l.WeightBits * l.FilterElems }
+func (l Layout) ScratchRow() int { return l.InputRow() + l.ActBits*l.InputElems }
+func (l Layout) PartialRow() int { return l.ScratchRow() + l.ScratchRows }
+func (l Layout) ReduceRow() int  { return l.PartialRow() + l.PartialRows }
+func (l Layout) OutputRow() int  { return l.ReduceRow() + l.ReduceRows }
 
 // ConvPlan is the complete schedule of one convolution layer.
 type ConvPlan struct {
@@ -101,6 +102,12 @@ type ConvPlan struct {
 	TotalConvs    int // E·F·M
 	SerialIters   int
 	Utilization   float64
+
+	// WeightBits and ActBits are the layer's declared element widths
+	// (Conv2D.WeightBits / Conv2D.ActBits, 8 when unset): the number of
+	// multiplier slices each MAC executes and the staged element widths.
+	WeightBits int
+	ActBits    int
 
 	ReduceSteps int // log₂(LanesPerConv)
 	Layout      Layout
@@ -175,18 +182,22 @@ func PlanConv(p Params, placed nn.Placed) (*ConvPlan, error) {
 		(float64(plan.SerialIters) * float64(pairs*plan.ConvsPerPair))
 	plan.ReduceSteps = bits.TrailingZeros(uint(plan.LanesPerConv))
 
+	plan.WeightBits = elemWidth(c.WeightBits)
+	plan.ActBits = elemWidth(c.ActBits)
 	inputResident := plan.EffFilter
 	if plan.InputStreamed {
 		inputResident = 1
 	}
 	plan.Layout = Layout{
-		FilterBytes:  plan.EffFilter,
-		InputBytes:   inputResident,
-		ScratchBytes: 3,
-		PartialBytes: 4,
-		ReduceBytes:  4,
+		WeightBits:  plan.WeightBits,
+		ActBits:     plan.ActBits,
+		FilterElems: plan.EffFilter,
+		InputElems:  inputResident,
+		ScratchRows: 24,
+		PartialRows: 32,
+		ReduceRows:  32,
 	}
-	spare := sram.SizeBytes/sram.BitLines - plan.Layout.Rows()/8
+	spare := (sram.WordLines - plan.Layout.Rows()) / 8
 	plan.Layout.OutputBytes = clamp(spare, 1, 8)
 	if plan.Layout.Rows() > sram.WordLines {
 		return nil, fmt.Errorf("mapping: %s layout needs %d rows, array has %d",
@@ -243,6 +254,15 @@ func PlanPool(p Params, placed nn.Placed) (*PoolPlan, error) {
 		}
 	}
 	return plan, nil
+}
+
+// elemWidth normalizes a declared Conv2D element width: widths outside
+// (0, 8) mean the full 8-bit operating point.
+func elemWidth(bits int) int {
+	if bits <= 0 || bits > 8 {
+		return 8
+	}
+	return bits
 }
 
 func nextPow2(v int) int {

@@ -104,8 +104,8 @@ func TestFilterPacking1x1(t *testing.T) {
 	if !plan.InputStreamed {
 		t.Error("packed 1×1 layer should stream inputs")
 	}
-	if plan.Layout.InputBytes != 1 {
-		t.Errorf("resident input bytes = %d, want 1", plan.Layout.InputBytes)
+	if plan.Layout.InputElems != 1 {
+		t.Errorf("resident input elements = %d, want 1", plan.Layout.InputElems)
 	}
 	// Packing guarantees the channels of any layer fit an array pair.
 	if plan.LanesPerConv > 512 {
@@ -166,7 +166,9 @@ func TestEveryInceptionConvMaps(t *testing.T) {
 }
 
 func TestLayoutRowBases(t *testing.T) {
-	l := Layout{FilterBytes: 9, InputBytes: 9, ScratchBytes: 3, PartialBytes: 4, ReduceBytes: 4, OutputBytes: 3}
+	// 8-bit operands reproduce the historical byte-granular bases exactly.
+	l := Layout{WeightBits: 8, ActBits: 8, FilterElems: 9, InputElems: 9,
+		ScratchRows: 24, PartialRows: 32, ReduceRows: 32, OutputBytes: 3}
 	if l.Rows() != 8*32 {
 		t.Errorf("Rows = %d, want 256", l.Rows())
 	}
@@ -174,6 +176,12 @@ func TestLayoutRowBases(t *testing.T) {
 		l.PartialRow() != 168 || l.ReduceRow() != 200 || l.OutputRow() != 232 {
 		t.Errorf("row bases: %d %d %d %d %d %d", l.FilterRow(), l.InputRow(),
 			l.ScratchRow(), l.PartialRow(), l.ReduceRow(), l.OutputRow())
+	}
+	// Narrow weights shrink only the filter region; downstream bases slide.
+	n4 := Layout{WeightBits: 4, ActBits: 8, FilterElems: 9, InputElems: 9,
+		ScratchRows: 24, PartialRows: 32, ReduceRows: 32, OutputBytes: 3}
+	if n4.InputRow() != 36 || n4.ScratchRow() != 108 {
+		t.Errorf("4-bit bases: input %d scratch %d, want 36 108", n4.InputRow(), n4.ScratchRow())
 	}
 }
 

@@ -115,19 +115,20 @@ func TestPropertyMoreSlicesNeverSlower(t *testing.T) {
 }
 
 func TestLayoutRowsAccounting(t *testing.T) {
-	f := func(fb, ib uint8) bool {
+	f := func(fb, ib, wb, ab uint8) bool {
 		l := Layout{
-			FilterBytes: int(fb%16) + 1, InputBytes: int(ib%16) + 1,
-			ScratchBytes: 3, PartialBytes: 4, ReduceBytes: 4, OutputBytes: 1,
+			WeightBits: int(wb%8) + 1, ActBits: int(ab%8) + 1,
+			FilterElems: int(fb%16) + 1, InputElems: int(ib%16) + 1,
+			ScratchRows: 24, PartialRows: 32, ReduceRows: 32, OutputBytes: 1,
 		}
 		// Row bases must tile exactly: each region starts where the
-		// previous ends.
+		// previous ends, with operand regions sized elems × width.
 		ok := l.FilterRow() == 0 &&
-			l.InputRow() == l.FilterRow()+8*l.FilterBytes &&
-			l.ScratchRow() == l.InputRow()+8*l.InputBytes &&
-			l.PartialRow() == l.ScratchRow()+8*l.ScratchBytes &&
-			l.ReduceRow() == l.PartialRow()+8*l.PartialBytes &&
-			l.OutputRow() == l.ReduceRow()+8*l.ReduceBytes &&
+			l.InputRow() == l.FilterRow()+l.WeightBits*l.FilterElems &&
+			l.ScratchRow() == l.InputRow()+l.ActBits*l.InputElems &&
+			l.PartialRow() == l.ScratchRow()+l.ScratchRows &&
+			l.ReduceRow() == l.PartialRow()+l.PartialRows &&
+			l.OutputRow() == l.ReduceRow()+l.ReduceRows &&
 			l.Rows() == l.OutputRow()+8*l.OutputBytes
 		return ok
 	}

@@ -34,13 +34,25 @@ type Conv2D struct {
 	PadH, PadW int  // symmetric zero padding
 	ReLU       bool // ReLU folded after the accumulation (§IV-D)
 	IsLogits   bool // final classifier: raw accumulators are the output
-	// WeightBits, when in (0, 8), makes InitWeights confine the quantized
-	// filter bytes to that many low bits — a low-magnitude-weight layer
-	// whose top multiplier bit-columns are zero across every lane, the
-	// §VII sparsity the zero-skipping engine elides. 0 means full 8-bit
-	// weights. Both execution engines read the same bytes, so the knob
-	// changes data, never correctness.
+	// WeightBits, when in (0, 8), is the layer's declared weight element
+	// width: InitWeights confines the quantized filter bytes to that many
+	// low bits, and the compute engine stages the weights in that many
+	// word-line rows and runs that many multiplier slices per MAC
+	// (Stripes-style precision-proportional execution). 0 means full 8-bit
+	// weights.
 	WeightBits int
+	// ActBits, when in (0, 8), is the declared activation element width,
+	// threaded the same way through layout and MAC slicing. The engine
+	// does not narrow the activations — the knob is only honored for
+	// layers whose quantized inputs already fit the width. 0 means 8.
+	ActBits int
+	// CoarseBits, when in (0, 8), makes InitWeights zero that many LOW
+	// bits of each filter byte — weights become multiples of 2^k, so the
+	// bottom multiplier bit-columns are zero across every lane: the §VII
+	// sparsity the zero-skipping engine elides. Unlike WeightBits it does
+	// not change the execution width; both engines read the same bytes, so
+	// the knob changes data, never correctness.
+	CoarseBits int
 
 	// Filter and Bias are populated by Network.InitWeights. Bias is the
 	// float batch-norm fold; it is quantized against the input scale at

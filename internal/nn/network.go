@@ -164,8 +164,8 @@ func (n *Network) InitWeights(seed int64) {
 		}
 		c.Filter = tensor.QuantizeFilter(c.R, c.S, c.Cin, c.Cout, w)
 		if c.WeightBits > 0 && c.WeightBits < 8 {
-			// Confine the quantized bytes to the low WeightBits so the top
-			// multiplier bit-columns are zero in every lane (see
+			// Confine the quantized bytes to the low WeightBits so the layer
+			// genuinely executes at the declared width (see
 			// Conv2D.WeightBits). The zero point must stay representable or
 			// every masked weight would decode with the wrong sign.
 			mask := uint8(1<<c.WeightBits - 1)
@@ -175,6 +175,18 @@ func (n *Network) InitWeights(seed int64) {
 			if c.Filter.Zero > mask {
 				c.Filter.Zero = mask >> 1
 			}
+		}
+		if c.CoarseBits > 0 && c.CoarseBits < 8 {
+			// Zero the low CoarseBits of every filter byte — weights become
+			// multiples of 2^k, so the bottom multiplier bit-columns are
+			// zero across every lane (see Conv2D.CoarseBits). The zero
+			// point must stay on the coarse grid or masked weights would
+			// decode with a fractional offset the reference executor lacks.
+			low := uint8(1<<c.CoarseBits - 1)
+			for i := range c.Filter.Data {
+				c.Filter.Data[i] &^= low
+			}
+			c.Filter.Zero &^= low
 		}
 		c.Bias = make([]float32, c.Cout)
 		for i := range c.Bias {

@@ -28,15 +28,34 @@ func SmallCNN() *Network {
 	}
 }
 
-// SparseCNN is SmallCNN with every convolution's weights confined to the
-// low 4 bits (Conv2D.WeightBits): each filter byte's top four multiplier
-// bit-columns are zero across all 256 lanes of every array, so the
-// zero-skipping engine (core.Config.SkipZeroSlices) elides at least half
-// of each MAC's bit-slices while the dense engine pays full price. It is
-// the verification net that pins skip-mode's strict cycle win.
+// SparseCNN is SmallCNN with every convolution's weights coarsened to
+// multiples of 16 (Conv2D.CoarseBits = 4): each filter byte's bottom four
+// multiplier bit-columns are zero across all 256 lanes of every array, so
+// the zero-skipping engine (core.Config.SkipZeroSlices) elides at least
+// half of each MAC's bit-slices while the dense engine pays full price.
+// It is the verification net that pins skip-mode's strict cycle win —
+// unlike Int4CNN, the execution width stays 8 bits, so all the savings
+// come from the data-dependent wired-OR skip.
 func SparseCNN() *Network {
 	n := SmallCNN()
 	n.Name = "sparse_cnn"
+	for _, p := range n.Flatten() {
+		if c := p.Conv(); c != nil {
+			c.CoarseBits = 4
+		}
+	}
+	return n
+}
+
+// Int4CNN is SmallCNN with every convolution declared 4-bit-weight
+// (Conv2D.WeightBits = 4): InitWeights confines the filter bytes to the
+// low 4 bits, the layout engine allocates 4 filter rows per weight, and
+// every MAC runs 4 multiplier slices instead of 8 — Stripes-style
+// precision-proportional execution. It is the verification net that pins
+// the static (data-independent) cycle win of narrow weights.
+func Int4CNN() *Network {
+	n := SmallCNN()
+	n.Name = "int4_cnn"
 	for _, p := range n.Flatten() {
 		if c := p.Conv(); c != nil {
 			c.WeightBits = 4

@@ -153,8 +153,11 @@ func (a *Array) PokeRow(r int, v bitvec.Vec256) {
 func (a *Array) WriteElement(lane, base, n int, v uint64) {
 	checkRows("WriteElement", base, n)
 	checkLane(lane)
+	w, off := lane>>6, uint(lane)&63
 	for i := 0; i < n; i++ {
-		a.setRow(base+i, a.rows[base+i].SetBit(lane, uint(v>>uint(i))&1))
+		row := a.rows[base+i]
+		row[w] = row[w]&^(1<<off) | (v>>uint(i)&1)<<off
+		a.setRow(base+i, row)
 	}
 	a.stats.AccessCycles += uint64(n)
 }
@@ -176,28 +179,58 @@ func (a *Array) PeekElement(lane, base, n int) uint64 {
 }
 
 func (a *Array) peekElement(lane, base, n int) uint64 {
+	w, off := lane>>6, uint(lane)&63
 	var v uint64
 	for i := 0; i < n; i++ {
-		v |= uint64(a.rows[base+i].Bit(lane)) << uint(i)
+		v |= (a.rows[base+i][w] >> off & 1) << uint(i)
 	}
 	return v
 }
 
+// checkElemWidth panics if an element width cannot be carried in one
+// uint64 per lane, the contract of the plane pack/unpack kernels.
+func checkElemWidth(what string, n int) {
+	if n < 1 || n > 64 {
+		panic(fmt.Sprintf("sram: %s element width %d outside [1,64]", what, n))
+	}
+}
+
+// WritePlanes stores n pre-packed bit planes, plane i into row base+i,
+// touching only the first lanes bit lines; lanes at or beyond that keep
+// their stored bits. Every row passes through the fault-injection write
+// hook like any other store. One access cycle per row, matching the
+// TMU's transposed store.
+func (a *Array) WritePlanes(base, n int, planes []bitvec.Vec256, lanes int) {
+	checkRows("WritePlanes", base, n)
+	if lanes < 0 || lanes > BitLines {
+		panic(fmt.Sprintf("sram: WritePlanes lane count %d outside [0,%d]", lanes, BitLines))
+	}
+	mask := bitvec.Mask(lanes)
+	for i := 0; i < n; i++ {
+		a.setRow(base+i, planes[i].Select(a.rows[base+i], mask))
+	}
+	a.stats.AccessCycles += uint64(n)
+}
+
 // WriteElements stores the same-shaped n-bit value per lane for the first
-// len(vals) lanes, LSB at row base.
+// len(vals) lanes, LSB at row base; lanes at or beyond len(vals) keep
+// their stored bits. Every value must fit in n bits.
 func (a *Array) WriteElements(base, n int, vals []uint64) {
 	if len(vals) > BitLines {
 		panic(fmt.Sprintf("sram: %d values exceed %d bit lines", len(vals), BitLines))
 	}
+	checkElemWidth("WriteElements", n)
 	checkRows("WriteElements", base, n)
-	for i := 0; i < n; i++ {
-		row := a.rows[base+i]
+	if n < 64 {
 		for lane, v := range vals {
-			row = row.SetBit(lane, uint(v>>uint(i))&1)
+			if v>>uint(n) != 0 {
+				panic(fmt.Sprintf("sram: WriteElements value %#x at lane %d outside [0,1<<%d)", v, lane, n))
+			}
 		}
-		a.setRow(base+i, row)
 	}
-	a.stats.AccessCycles += uint64(n)
+	var planes [64]bitvec.Vec256
+	bitvec.PackPlanes(vals, n, planes[:n])
+	a.WritePlanes(base, n, planes[:n], len(vals))
 }
 
 // ReadElements reads count n-bit elements from lanes [0, count), LSB at
@@ -206,11 +239,10 @@ func (a *Array) ReadElements(base, n, count int) []uint64 {
 	if count > BitLines {
 		panic(fmt.Sprintf("sram: %d values exceed %d bit lines", count, BitLines))
 	}
+	checkElemWidth("ReadElements", n)
 	checkRows("ReadElements", base, n)
 	vals := make([]uint64, count)
-	for lane := range vals {
-		vals[lane] = a.peekElement(lane, base, n)
-	}
+	bitvec.UnpackPlanes(a.rows[base:base+n], n, vals)
 	a.stats.AccessCycles += uint64(n)
 	return vals
 }

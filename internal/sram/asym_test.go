@@ -1,0 +1,109 @@
+package sram
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Asymmetric-width multiply ops: nB multiplier slices over an nA-bit
+// multiplicand. The symmetric forms are the nA = nB special case, so
+// these tests pin the independent-width behavior the precision plumbing
+// relies on: correct products, the nA·nB + nA + 3nB emergent cost, and
+// skip-mode equivalence.
+
+func TestMultiplyAsymCyclesAndValues(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	cases := []struct{ nA, nB int }{
+		{8, 4}, {8, 1}, {4, 8}, {8, 8}, {12, 3}, {5, 7},
+	}
+	for _, c := range cases {
+		var a Array
+		av := randVals(r, BitLines, c.nA)
+		bv := randVals(r, BitLines, c.nB)
+		fill(&a, 0, c.nA, av)
+		fill(&a, c.nA, c.nB, bv)
+		a.ResetStats()
+		a.MultiplyAsym(0, c.nA, c.nA+c.nB, c.nA, c.nB)
+		got := a.Stats().ComputeCycles
+		want := uint64(c.nA*c.nB + c.nA + 3*c.nB)
+		if got != want {
+			t.Errorf("nA=%d nB=%d: MultiplyAsym cost %d, want nA·nB+nA+3nB = %d",
+				c.nA, c.nB, got, want)
+		}
+		for lane := 0; lane < BitLines; lane++ {
+			wantP := av[lane] * bv[lane]
+			if gotP := a.PeekElement(lane, c.nA+c.nB, c.nA+c.nB); gotP != wantP {
+				t.Fatalf("nA=%d nB=%d lane %d: %d·%d = %d, got %d",
+					c.nA, c.nB, lane, av[lane], bv[lane], wantP, gotP)
+			}
+		}
+	}
+}
+
+func TestMulAccAsym(t *testing.T) {
+	r := rand.New(rand.NewSource(13))
+	const nA, nB, accW = 8, 4, 24
+	const (
+		fBase    = 0
+		inBase   = nB
+		accBase  = nB + nA
+		prodBase = accBase + accW
+	)
+	var a Array
+	acc := make([]uint64, BitLines)
+	for mac := 0; mac < 9; mac++ {
+		av := randVals(r, BitLines, nA)
+		bv := randVals(r, BitLines, nB)
+		fill(&a, inBase, nA, av)
+		fill(&a, fBase, nB, bv)
+		a.MulAccAsym(inBase, fBase, prodBase, accBase, nA, nB, accW)
+		for lane := 0; lane < BitLines; lane++ {
+			acc[lane] += av[lane] * bv[lane]
+		}
+	}
+	for lane := 0; lane < BitLines; lane++ {
+		if got := a.PeekElement(lane, accBase, accW); got != acc[lane] {
+			t.Fatalf("lane %d: 9-MAC asym accumulator = %d, want %d", lane, got, acc[lane])
+		}
+	}
+}
+
+// TestMultiplySkipAsymMatchesMultiplyAsym pins skip-mode equivalence at
+// independent widths: identical product rows and post-op latch state, and
+// a cycle saving of exactly nA+1 per elided multiplier slice.
+func TestMultiplySkipAsymMatchesMultiplyAsym(t *testing.T) {
+	r := rand.New(rand.NewSource(29))
+	for trial := 0; trial < 20; trial++ {
+		nA := 2 + r.Intn(10)
+		nB := 1 + r.Intn(10)
+		av := randVals(r, BitLines, nA)
+		// Sparse multipliers: mask a few random bit-columns to zero across
+		// every lane so some slices are genuinely skippable.
+		colMask := r.Uint64() & (1<<uint(nB) - 1)
+		bv := randVals(r, BitLines, nB)
+		for i := range bv {
+			bv[i] &= colMask
+		}
+		var dense, skip Array
+		for _, a := range []*Array{&dense, &skip} {
+			fill(a, 0, nA, av)
+			fill(a, nA, nB, bv)
+			a.ResetStats()
+		}
+		dense.MultiplyAsym(0, nA, nA+nB, nA, nB)
+		skipped := skip.MultiplySkipAsym(0, nA, nA+nB, nA, nB)
+		for row := 0; row < nA+nB+nA+nB; row++ {
+			if dense.PeekRow(row) != skip.PeekRow(row) {
+				t.Fatalf("trial %d (nA=%d nB=%d): row %d diverges", trial, nA, nB, row)
+			}
+		}
+		if dense.carry != skip.carry || dense.tag != skip.tag {
+			t.Fatalf("trial %d (nA=%d nB=%d): post-op latch state diverges", trial, nA, nB)
+		}
+		saved := dense.Stats().ComputeCycles - skip.Stats().ComputeCycles
+		if want := uint64(skipped) * uint64(nA+1); saved != want {
+			t.Errorf("trial %d (nA=%d nB=%d): %d slices skipped saved %d cycles, want %d",
+				trial, nA, nB, skipped, saved, want)
+		}
+	}
+}

@@ -76,10 +76,38 @@ func BenchmarkWriteElements(b *testing.B) {
 	var a Array
 	vals := make([]uint64, BitLines)
 	for i := range vals {
-		vals[i] = uint64(i * 3)
+		vals[i] = uint64(i*3) & 0xff
 	}
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		a.WriteElements(0, 8, vals)
+	}
+}
+
+// The staging pair measures the word-packed element staging (plane
+// transpose kernels) against the bit-by-bit path it replaced; CI
+// publishes both side by side and fails if the packed path regresses
+// toward the bitwise one.
+func BenchmarkStagingPacked(b *testing.B) {
+	var a Array
+	vals := make([]uint64, BitLines)
+	for i := range vals {
+		vals[i] = uint64(i*7) & 0xff
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		a.WriteElements(0, 8, vals)
+	}
+}
+
+func BenchmarkStagingBitwise(b *testing.B) {
+	var a Array
+	vals := make([]uint64, BitLines)
+	for i := range vals {
+		vals[i] = uint64(i*7) & 0xff
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		writeElementsBitwise(&a, 0, 8, vals)
 	}
 }

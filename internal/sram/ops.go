@@ -29,6 +29,13 @@ import (
 func (a *Array) Copy(src, dst, n int, pred bool) {
 	checkRows("Copy src", src, n)
 	checkRows("Copy dst", dst, n)
+	if a.faults == nil && !pred {
+		for i := 0; i < n; i++ {
+			a.rows[dst+i] = a.rows[src+i]
+		}
+		a.stats.ComputeCycles += uint64(n)
+		return
+	}
 	for i := 0; i < n; i++ {
 		a.cycleCopyRow(src+i, dst+i, pred)
 	}
@@ -51,6 +58,13 @@ func (a *Array) NotCopy(src, dst, n int, pred bool) {
 // bulk zero), one cycle per row. Predicated per lane when pred is true.
 func (a *Array) Zero(dst, n int, pred bool) {
 	checkRows("Zero", dst, n)
+	if a.faults == nil && !pred {
+		for i := 0; i < n; i++ {
+			a.rows[dst+i] = bitvec.Vec256{}
+		}
+		a.stats.ComputeCycles += uint64(n)
+		return
+	}
 	for i := 0; i < n; i++ {
 		a.cycleWriteImm(dst+i, bitvec.Zero(), pred)
 	}
@@ -123,12 +137,64 @@ func (a *Array) addCommon(aBase, bBase, dstBase, n int, storeCarry, pred bool) {
 	if !pred {
 		a.carry = bitvec.Zero() // latch reset on op issue, not a cycle
 	}
+	if a.faults == nil {
+		a.fusedAdd(aBase, bBase, dstBase, n, storeCarry, pred)
+		return
+	}
 	for i := 0; i < n; i++ {
 		a.cycleAddBit(aBase+i, bBase+i, dstBase+i, pred)
 	}
 	if storeCarry {
 		a.cycleStoreCarry(dstBase+n, pred)
 	}
+}
+
+// fusedAdd is addCommon's healthy-array fast path: the same ripple add,
+// one word-parallel pass per row without the per-cycle sense plumbing.
+// Cycle accounting and all architectural state (rows, carry and tag
+// latches) match the stepped microcode bit for bit; arrays with injected
+// faults keep the stepped path so every write crosses the fault hook.
+func (a *Array) fusedAdd(aBase, bBase, dstBase, n int, storeCarry, pred bool) {
+	carry := a.carry
+	tag := a.tag
+	for i := 0; i < n; i++ {
+		ra := &a.rows[aBase+i]
+		rb := &a.rows[bBase+i]
+		dst := &a.rows[dstBase+i]
+		if pred {
+			for w := 0; w < bitvec.Words; w++ {
+				x := ra[w] ^ rb[w]
+				and := ra[w] & rb[w]
+				sum := x ^ carry[w]
+				cout := and | x&carry[w]
+				dst[w] = sum&tag[w] | dst[w]&^tag[w]
+				carry[w] = cout&tag[w] | carry[w]&^tag[w]
+			}
+		} else {
+			for w := 0; w < bitvec.Words; w++ {
+				x := ra[w] ^ rb[w]
+				and := ra[w] & rb[w]
+				sum := x ^ carry[w]
+				carry[w] = and | x&carry[w]
+				dst[w] = sum
+			}
+		}
+	}
+	a.stats.ComputeCycles += uint64(n)
+	if storeCarry {
+		dst := &a.rows[dstBase+n]
+		if pred {
+			for w := 0; w < bitvec.Words; w++ {
+				dst[w] = carry[w]&tag[w] | dst[w]&^tag[w]
+				carry[w] &^= tag[w]
+			}
+		} else {
+			*dst = carry
+			carry = bitvec.Vec256{}
+		}
+		a.stats.ComputeCycles++
+	}
+	a.carry = carry
 }
 
 // LoadTag senses row r and latches it into the tag latch (one compute
@@ -245,24 +311,67 @@ func (a *Array) Equal(aBase, bBase, n int) {
 // cycles (equals the paper's n²+5n−2 at its n=2 example; cheaper by n−2
 // for larger n — the analytic ledger charges the paper's form).
 func (a *Array) Multiply(aBase, bBase, prod, n int) {
-	checkRows("Multiply a", aBase, n)
-	checkRows("Multiply b", bBase, n)
-	checkRows("Multiply prod", prod, 2*n)
-	// The full 2n-row product window is read and written while the
-	// operands are still live, so no part of it may touch either operand
-	// (a prod that started n rows above aBase would pass a width-n check
-	// yet clobber the multiplicand's top bits mid-multiply).
-	checkDisjoint("Multiply prod", prod, 2*n, "a", aBase, n)
-	checkDisjoint("Multiply prod", prod, 2*n, "b", bBase, n)
-	a.Zero(prod, 2*n, false)
-	for i := 0; i < n; i++ {
+	a.MultiplyAsym(aBase, bBase, prod, n, n)
+}
+
+// MultiplyAsym is Multiply with independent operand widths — the
+// Stripes-style precision hook: an nA-bit multiplicand at aBase times an
+// nB-bit multiplier at bBase into the (nA+nB)-bit product at prod. The
+// multiplier width sets the slice count, so a 4-bit-weight layer runs
+// half the slices of an 8-bit one. Emergent cost: nA·nB + nA + 3nB
+// cycles (n²+4n at nA = nB = n).
+func (a *Array) MultiplyAsym(aBase, bBase, prod, nA, nB int) {
+	checkRows("Multiply a", aBase, nA)
+	checkRows("Multiply b", bBase, nB)
+	checkRows("Multiply prod", prod, nA+nB)
+	// The full product window is read and written while the operands are
+	// still live, so no part of it may touch either operand (a prod that
+	// started nA rows above aBase would pass a width-nA check yet clobber
+	// the multiplicand's top bits mid-multiply).
+	checkDisjoint("Multiply prod", prod, nA+nB, "a", aBase, nA)
+	checkDisjoint("Multiply prod", prod, nA+nB, "b", bBase, nB)
+	a.Zero(prod, nA+nB, false)
+	for i := 0; i < nB; i++ {
 		a.cycleLoadTag(bBase + i)
 		a.carry = bitvec.Zero() // latch reset on issue
-		for j := 0; j < n; j++ {
-			a.cycleAddBit(aBase+j, prod+i+j, prod+i+j, true)
-		}
-		a.cycleStoreCarry(prod+i+n, true)
+		a.mulSlice(aBase, prod+i, nA)
 	}
+}
+
+// mulSlice executes one multiplier bit-slice: the tag-predicated add of
+// the nA-bit multiplicand into the shifted product window at win, then
+// the predicated carry store above it. Emergent cost: nA+1 cycles. On
+// healthy arrays the slice runs fused at word granularity; state and
+// cycle accounting match the stepped microcode exactly.
+func (a *Array) mulSlice(aBase, win, nA int) {
+	if a.faults == nil {
+		carry := a.carry
+		tag := a.tag
+		for j := 0; j < nA; j++ {
+			ra := &a.rows[aBase+j]
+			dst := &a.rows[win+j]
+			for w := 0; w < bitvec.Words; w++ {
+				x := ra[w] ^ dst[w]
+				and := ra[w] & dst[w]
+				sum := x ^ carry[w]
+				cout := and | x&carry[w]
+				dst[w] = sum&tag[w] | dst[w]&^tag[w]
+				carry[w] = cout&tag[w] | carry[w]&^tag[w]
+			}
+		}
+		top := &a.rows[win+nA]
+		for w := 0; w < bitvec.Words; w++ {
+			top[w] = carry[w]&tag[w] | top[w]&^tag[w]
+			carry[w] &^= tag[w]
+		}
+		a.carry = carry
+		a.stats.ComputeCycles += uint64(nA + 1)
+		return
+	}
+	for j := 0; j < nA; j++ {
+		a.cycleAddBit(aBase+j, win+j, win+j, true)
+	}
+	a.cycleStoreCarry(win+nA, true)
 }
 
 // MulAcc multiplies the n-bit elements at aBase and bBase into the scratch
@@ -275,34 +384,43 @@ func (a *Array) Multiply(aBase, bBase, prod, n int) {
 // reads the pad while the product is live, so even an exact alias
 // corrupts. Emergent cost: n²+4n + accW cycles.
 func (a *Array) MulAcc(aBase, bBase, prod, accBase, n, accW int) {
-	a.mulAccChecks(aBase, bBase, prod, accBase, n, accW)
-	a.Multiply(aBase, bBase, prod, n)
+	a.MulAccAsym(aBase, bBase, prod, accBase, n, n, accW)
+}
+
+// MulAccAsym is MulAcc with independent operand widths: the nA-bit
+// multiplicand at aBase times the nB-bit multiplier at bBase into the
+// scratch product rows [prod, prod+nA+nB), accumulated into the accW-bit
+// accumulator at accBase. The pad contract covers [prod+nA+nB,
+// prod+accW). Emergent cost: nA·nB + nA + 3nB + accW cycles.
+func (a *Array) MulAccAsym(aBase, bBase, prod, accBase, nA, nB, accW int) {
+	a.mulAccChecks(aBase, bBase, prod, accBase, nA, nB, accW)
+	a.MultiplyAsym(aBase, bBase, prod, nA, nB)
 	a.AddTrunc(accBase, prod, accBase, accW)
 }
 
 // mulAccChecks enforces the row-map contract shared by MulAcc and
 // MulAccSkip: a wide-enough accumulator, in-bounds windows, an
 // accumulator disjoint from the product window and both operands, and a
-// zeroed pad [prod+2n, prod+accW). The pad check is skipped on arrays
+// zeroed pad [prod+nA+nB, prod+accW). The pad check is skipped on arrays
 // with injected faults — a stuck-at defect in the pad region legitimately
 // dirties it, and the resulting mis-accumulation is exactly the blast
 // radius fault campaigns measure.
-func (a *Array) mulAccChecks(aBase, bBase, prod, accBase, n, accW int) {
-	if accW < 2*n {
-		panic(fmt.Sprintf("sram: MulAcc accumulator width %d < product width %d", accW, 2*n))
+func (a *Array) mulAccChecks(aBase, bBase, prod, accBase, nA, nB, accW int) {
+	if accW < nA+nB {
+		panic(fmt.Sprintf("sram: MulAcc accumulator width %d < product width %d", accW, nA+nB))
 	}
 	checkRows("MulAcc prod+pad", prod, accW)
 	checkRows("MulAcc acc", accBase, accW)
 	checkDisjoint("MulAcc acc", accBase, accW, "prod+pad", prod, accW)
-	checkDisjoint("MulAcc acc", accBase, accW, "a", aBase, n)
-	checkDisjoint("MulAcc acc", accBase, accW, "b", bBase, n)
+	checkDisjoint("MulAcc acc", accBase, accW, "a", aBase, nA)
+	checkDisjoint("MulAcc acc", accBase, accW, "b", bBase, nB)
 	if a.faults != nil {
 		return
 	}
-	for r := prod + 2*n; r < prod+accW; r++ {
+	for r := prod + nA + nB; r < prod+accW; r++ {
 		if !a.rows[r].IsZero() {
 			panic(fmt.Sprintf("sram: MulAcc pad row %d dirty; rows [%d,%d) must stay zero",
-				r, prod+2*n, prod+accW))
+				r, prod+nA+nB, prod+accW))
 		}
 	}
 }

@@ -25,12 +25,19 @@ import "neuralcache/internal/bitvec"
 // return value is the number of elided bit-slices, in [0, n]; each saved
 // its n+1 predicated add+carry-store cycles.
 func (a *Array) MultiplySkip(aBase, bBase, prod, n int) int {
-	checkRows("MultiplySkip a", aBase, n)
-	checkRows("MultiplySkip b", bBase, n)
-	checkRows("MultiplySkip prod", prod, 2*n)
-	checkDisjoint("MultiplySkip prod", prod, 2*n, "a", aBase, n)
-	checkDisjoint("MultiplySkip prod", prod, 2*n, "b", bBase, n)
-	a.Zero(prod, 2*n, false)
+	return a.MultiplySkipAsym(aBase, bBase, prod, n, n)
+}
+
+// MultiplySkipAsym is MultiplySkip with independent operand widths (see
+// MultiplyAsym): nB multiplier slices over an nA-bit multiplicand, each
+// elidable by the wired-OR flag for nA+1 saved cycles.
+func (a *Array) MultiplySkipAsym(aBase, bBase, prod, nA, nB int) int {
+	checkRows("MultiplySkip a", aBase, nA)
+	checkRows("MultiplySkip b", bBase, nB)
+	checkRows("MultiplySkip prod", prod, nA+nB)
+	checkDisjoint("MultiplySkip prod", prod, nA+nB, "a", aBase, nA)
+	checkDisjoint("MultiplySkip prod", prod, nA+nB, "b", bBase, nB)
+	a.Zero(prod, nA+nB, false)
 	// Latch reset on op issue (free, like addCommon's): a skipped slice
 	// elides its per-slice carry reset and StoreCarry, and without this a
 	// trailing skipped slice would leave the carry latch holding the last
@@ -40,17 +47,14 @@ func (a *Array) MultiplySkip(aBase, bBase, prod, n int) int {
 	// for every density, including the all-zero multiplier.
 	a.carry = bitvec.Zero()
 	skipped := 0
-	for i := 0; i < n; i++ {
+	for i := 0; i < nB; i++ {
 		a.cycleLoadTag(bBase + i)
 		if a.tag.IsZero() {
 			skipped++
 			continue // wired-OR flag: no lane needs this partial product
 		}
 		a.carry = bitvec.Zero()
-		for j := 0; j < n; j++ {
-			a.cycleAddBit(aBase+j, prod+i+j, prod+i+j, true)
-		}
-		a.cycleStoreCarry(prod+i+n, true)
+		a.mulSlice(aBase, prod+i, nA)
 	}
 	return skipped
 }
@@ -61,8 +65,15 @@ func (a *Array) MultiplySkip(aBase, bBase, prod, n int) int {
 // emergent cycle count changes, by n+1 cycles per elided slice. Returns
 // the number of elided bit-slices, in [0, n].
 func (a *Array) MulAccSkip(aBase, bBase, prod, accBase, n, accW int) int {
-	a.mulAccChecks(aBase, bBase, prod, accBase, n, accW)
-	skipped := a.MultiplySkip(aBase, bBase, prod, n)
+	return a.MulAccSkipAsym(aBase, bBase, prod, accBase, n, n, accW)
+}
+
+// MulAccSkipAsym is MulAccSkip with independent operand widths (see
+// MulAccAsym). Returns the number of elided multiplier slices, in
+// [0, nB]; each saved nA+1 cycles.
+func (a *Array) MulAccSkipAsym(aBase, bBase, prod, accBase, nA, nB, accW int) int {
+	a.mulAccChecks(aBase, bBase, prod, accBase, nA, nB, accW)
+	skipped := a.MultiplySkipAsym(aBase, bBase, prod, nA, nB)
 	a.AddTrunc(accBase, prod, accBase, accW)
 	return skipped
 }

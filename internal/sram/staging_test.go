@@ -1,0 +1,160 @@
+package sram
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"neuralcache/internal/bitvec"
+)
+
+// writeElementsBitwise is the pre-plane-kernel staging path — one SetBit
+// per (lane, bit) — kept as the oracle the word-packed WriteElements must
+// match, on healthy and fault-injected arrays alike. WriteRow routes the
+// store through the same fault hook WriteElements uses and charges the
+// same one access cycle per row.
+func writeElementsBitwise(a *Array, base, n int, vals []uint64) {
+	for i := 0; i < n; i++ {
+		row := a.PeekRow(base + i)
+		for lane, v := range vals {
+			row = row.SetBit(lane, uint(v>>uint(i))&1)
+		}
+		a.WriteRow(base+i, row)
+	}
+}
+
+func injectStagingFaults(a *Array, r *rand.Rand) {
+	for k := 0; k < 8; k++ {
+		switch r.Intn(3) {
+		case 0:
+			a.InjectStuckAt(r.Intn(WordLines), r.Intn(BitLines), uint(r.Intn(2)))
+		case 1:
+			a.InjectDeadLane(r.Intn(BitLines))
+		case 2:
+			a.InjectStuckAt(r.Intn(WordLines), r.Intn(BitLines), 1)
+		}
+	}
+}
+
+func TestPropertyWriteElementsMatchesBitwise(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 100; trial++ {
+		n := 1 + r.Intn(32)
+		base := r.Intn(WordLines - n + 1)
+		count := 1 + r.Intn(BitLines)
+		vals := make([]uint64, count)
+		var mask uint64 = 1<<uint(n) - 1
+		for i := range vals {
+			vals[i] = r.Uint64() & mask
+		}
+		var packed, bitwise Array
+		faulty := trial%2 == 1
+		if faulty {
+			fr := rand.New(rand.NewSource(int64(trial)))
+			injectStagingFaults(&packed, fr)
+			fr = rand.New(rand.NewSource(int64(trial)))
+			injectStagingFaults(&bitwise, fr)
+		}
+		// Pre-fill with noise so untouched lanes/rows must be preserved.
+		for row := 0; row < WordLines; row++ {
+			noise := bitvec.Vec256{r.Uint64(), r.Uint64(), r.Uint64(), r.Uint64()}
+			packed.PokeRow(row, noise)
+			bitwise.PokeRow(row, noise)
+		}
+		packed.WriteElements(base, n, vals)
+		writeElementsBitwise(&bitwise, base, n, vals)
+		for row := 0; row < WordLines; row++ {
+			if packed.PeekRow(row) != bitwise.PeekRow(row) {
+				t.Fatalf("trial %d (faulty=%v, n=%d, base=%d, count=%d): row %d\npacked  %v\nbitwise %v",
+					trial, faulty, n, base, count, row, packed.PeekRow(row), bitwise.PeekRow(row))
+			}
+		}
+		if packed.Stats() != bitwise.Stats() {
+			t.Fatalf("trial %d: stats %+v vs bitwise %+v", trial, packed.Stats(), bitwise.Stats())
+		}
+	}
+}
+
+func TestPropertyReadElementsMatchesPeek(t *testing.T) {
+	r := rand.New(rand.NewSource(12))
+	for trial := 0; trial < 100; trial++ {
+		n := 1 + r.Intn(32)
+		base := r.Intn(WordLines - n + 1)
+		count := 1 + r.Intn(BitLines)
+		var a Array
+		for row := 0; row < WordLines; row++ {
+			a.PokeRow(row, bitvec.Vec256{r.Uint64(), r.Uint64(), r.Uint64(), r.Uint64()})
+		}
+		got := a.ReadElements(base, n, count)
+		for lane := 0; lane < count; lane++ {
+			if want := a.PeekElement(lane, base, n); got[lane] != want {
+				t.Fatalf("trial %d (n=%d, base=%d): lane %d = %#x, want %#x",
+					trial, n, base, lane, got[lane], want)
+			}
+		}
+	}
+}
+
+func TestWritePlanesPreservesUnstagedLanes(t *testing.T) {
+	var a Array
+	noise := bitvec.Ones()
+	a.PokeRow(3, noise)
+	planes := make([]bitvec.Vec256, 8)
+	bitvec.PackPlanesRef(make([]uint64, 10), 8, planes) // stage zeros on 10 lanes
+	a.WritePlanes(3, 8, planes, 10)
+	got := a.PeekRow(3)
+	for lane := 0; lane < BitLines; lane++ {
+		want := uint(1)
+		if lane < 10 {
+			want = 0
+		}
+		if got.Bit(lane) != want {
+			t.Fatalf("lane %d = %d, want %d", lane, got.Bit(lane), want)
+		}
+	}
+	if a.Stats().AccessCycles != 8 {
+		t.Fatalf("WritePlanes cost %d access cycles, want 8", a.Stats().AccessCycles)
+	}
+}
+
+func mustPanicWith(t *testing.T, substr string, fn func()) {
+	t.Helper()
+	defer func() {
+		t.Helper()
+		r := recover()
+		if r == nil {
+			t.Fatalf("no panic (want one containing %q)", substr)
+		}
+		msg, ok := r.(string)
+		if !ok || !strings.Contains(msg, substr) {
+			t.Fatalf("panic %v does not contain %q", r, substr)
+		}
+	}()
+	fn()
+}
+
+func TestWriteElementsValidation(t *testing.T) {
+	var a Array
+	mustPanicWith(t, "values exceed", func() {
+		a.WriteElements(0, 8, make([]uint64, BitLines+1))
+	})
+	mustPanicWith(t, "element width", func() {
+		a.WriteElements(0, 0, []uint64{1})
+	})
+	mustPanicWith(t, "element width", func() {
+		a.WriteElements(0, 65, []uint64{1})
+	})
+	mustPanicWith(t, "row range", func() {
+		a.WriteElements(250, 8, []uint64{1})
+	})
+	mustPanicWith(t, "outside [0,1<<8)", func() {
+		a.WriteElements(0, 8, []uint64{0xff, 0x100})
+	})
+	// In-range widths and values must not panic, including the 64-bit
+	// width where every uint64 fits by construction.
+	a.WriteElements(0, 8, []uint64{0, 0xff})
+	a.WriteElements(8, 64, []uint64{^uint64(0)})
+	mustPanicWith(t, "element width", func() {
+		a.ReadElements(0, 0, 4)
+	})
+}

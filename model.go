@@ -34,11 +34,17 @@ func WideCNN() *Model { return &Model{net: nn.WideCNN()} }
 // layer (scalar multiply + shift + per-channel adds + requantize).
 func BNNet() *Model { return &Model{net: nn.BNNet()} }
 
-// SparseCNN builds SmallCNN with every convolution's weights confined
-// to 4 bits — a net whose filter bit-columns are half zeros, so a
-// Config.SkipZeroSlices run completes in strictly fewer compute cycles
+// SparseCNN builds SmallCNN with every convolution's weights coarsened
+// to multiples of 16 — a net whose filter bit-columns are half zeros, so
+// a Config.SkipZeroSlices run completes in strictly fewer compute cycles
 // than the dense engine while producing byte-identical outputs.
 func SparseCNN() *Model { return &Model{net: nn.SparseCNN()} }
+
+// Int4CNN builds SmallCNN with every convolution declared 4-bit-weight:
+// the engine stages four filter rows per weight and runs four multiplier
+// slices per MAC, so the net completes in fewer compute cycles than its
+// 8-bit twin independent of data — precision-proportional execution.
+func Int4CNN() *Model { return &Model{net: nn.Int4CNN()} }
 
 // ResNet18 builds a quantized ResNet-18 — the extension model exercising
 // residual shortcut adds (identity and strided projections) on the
@@ -51,7 +57,7 @@ func SmallResNet() *Model { return &Model{net: nn.SmallResNet()} }
 
 // ModelNames lists the bundled models ModelByName accepts.
 func ModelNames() []string {
-	return []string{"inception", "resnet", "small", "smallresnet", "branchy", "wide", "bn", "sparse"}
+	return []string{"inception", "resnet", "small", "smallresnet", "branchy", "wide", "bn", "sparse", "int4"}
 }
 
 // ModelByName builds a bundled model from its CLI name.
@@ -73,6 +79,8 @@ func ModelByName(name string) (*Model, error) {
 		return BNNet(), nil
 	case "sparse":
 		return SparseCNN(), nil
+	case "int4":
+		return Int4CNN(), nil
 	}
 	return nil, fmt.Errorf("neuralcache: unknown model %q (have %s)",
 		name, strings.Join(ModelNames(), ", "))

@@ -1,0 +1,31 @@
+package serve
+
+import (
+	"testing"
+
+	"neuralcache"
+)
+
+// TestServicePricesNarrowWeights: the serving tier's clock must pick up
+// the precision-proportional estimate — a 4-bit-weight model's batch
+// service time lands strictly below its 8-bit twin's on the same system,
+// before any measured-density discount.
+func TestServicePricesNarrowWeights(t *testing.T) {
+	sys := newSystem(t, 0)
+	m8 := neuralcache.SmallCNN()
+	m4 := neuralcache.Int4CNN()
+	backend := NewAnalyticBackend(sys, m8, m4)
+	for _, batch := range []int{1, 8} {
+		t8, err := backend.ServiceTime(m8.Name(), batch, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t4, err := backend.ServiceTime(m4.Name(), batch, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if t4 >= t8 {
+			t.Errorf("batch %d: int4 service time %v not below int8's %v", batch, t4, t8)
+		}
+	}
+}

@@ -43,6 +43,19 @@
 // expvar (live queue depth, busy groups, counters, observed mix) while
 // the load runs.
 //
+// -cache N puts a memoizing front-cache of N entries ahead of the
+// admission queue: repeated inputs are served at admission without
+// touching a replica group. -reuse U -zipf s makes the generated load
+// reusable — each arrival draws its input identity from a Zipf(s)
+// distribution over U distinct inputs — so the cache has something to
+// hit. -cache-policy lsh adds SimHash similarity buckets
+// (-cache-tables × -cache-bits random hyperplanes) in front of the
+// exact-match check; an exact byte comparison still guards every hit,
+// so a cached response is never wrong. -sweep-cache 0,256,1024 runs
+// the same reusable load at several capacities and prints the
+// break-even frontier — which hit rate turns the cache into free
+// replica capacity.
+//
 // -plan turns on the mix-aware residency planner: warm sets are sized
 // from the -mix weights and pre-staged across the replica groups, and
 // the group size is co-selected over the divisors of -slices (an
@@ -70,6 +83,9 @@
 //	ncserve -models inception,resnet -mix 0.8,0.2 -rate 600 -group 7 -plan \
 //	        -replan-threshold 0.15 -mix-shift 15s:0.2,0.8 -trace trace.json -timeline 500ms
 //	ncserve -backend bitexact -model small -requests 32 -debug-addr localhost:6060
+//	ncserve -model inception -rate 4000 -reuse 4096 -zipf 1.1 -cache 1024
+//	ncserve -model inception -rate 4000 -reuse 4096 -zipf 1.1 -sweep-cache 0,256,1024,4096
+//	ncserve -backend bitexact -model small -requests 64 -reuse 16 -zipf 1.2 -cache 8 -cache-policy lsh
 package main
 
 import (
@@ -78,6 +94,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"math"
 	"math/rand"
 	"net"
 	"net/http"
@@ -122,12 +139,22 @@ func main() {
 		traceFile   = flag.String("trace", "", "write the run's Chrome trace-event JSON here (open in ui.perfetto.dev)")
 		timeline    = flag.Duration("timeline", 0, "sample the run's time series every interval into the report's timeline (0 = off)")
 		debugAddr   = flag.String("debug-addr", "", "serve net/http/pprof and expvar debug vars on host:port during the run (bitexact only)")
+		cacheCap    = flag.Int("cache", 0, "memoizing front-cache capacity in entries (0 = no cache)")
+		cachePolicy = flag.String("cache-policy", "exact", "front-cache match policy: exact or lsh (SimHash similarity buckets)")
+		cacheTables = flag.Int("cache-tables", 0, "LSH hash tables (0 = default 4; needs -cache-policy lsh)")
+		cacheBits   = flag.Int("cache-bits", 0, "LSH hyperplanes (signature bits) per table (0 = default 16)")
+		sweepCache  = flag.String("sweep-cache", "", "comma-separated front-cache capacities to sweep (analytic only; overrides -cache)")
+		reuse       = flag.Int("reuse", 0, "reusable-input universe size: arrivals draw from this many distinct inputs (0 = every arrival unique)")
+		zipf        = flag.Float64("zipf", 1.1, "Zipf skew of the reuse distribution (must exceed 1; needs -reuse)")
 	)
 	flag.Parse()
-	groupSet := false
+	groupSet, zipfSet := false, false
 	flag.Visit(func(f *flag.Flag) {
-		if f.Name == "group" {
+		switch f.Name {
+		case "group":
 			groupSet = true
+		case "zipf":
+			zipfSet = true
 		}
 	})
 
@@ -167,12 +194,41 @@ func main() {
 		names[i] = m.Name()
 	}
 
+	// Cache and reuse flags fail fast here, mirroring the library's own
+	// Load/Options validation, so a typo dies before the model weights
+	// are initialized rather than inside the run.
+	if *cacheCap < 0 {
+		log.Fatalf("-cache %d: capacity must be non-negative", *cacheCap)
+	}
+	policy, err := serve.ParseCachePolicy(*cachePolicy)
+	if err != nil {
+		log.Fatalf("-cache-policy: %v", err)
+	}
+	if *cacheTables < 0 || *cacheBits < 0 {
+		log.Fatalf("-cache-tables %d / -cache-bits %d: must be non-negative", *cacheTables, *cacheBits)
+	}
+	if *reuse < 0 {
+		log.Fatalf("-reuse %d: universe must be non-negative", *reuse)
+	}
+	if *reuse > 0 && (math.IsNaN(*zipf) || math.IsInf(*zipf, 0) || *zipf <= 1) {
+		log.Fatalf("-zipf %v: Zipf skew must be a finite value exceeding 1", *zipf)
+	}
+	if zipfSet && *reuse == 0 {
+		log.Fatal("-zipf requires -reuse (a unique-input load has no reuse distribution)")
+	}
+
 	opts := serve.Options{
 		QueueDepth: *queue,
 		MaxBatch:   *maxBatch,
 		MaxLinger:  *linger,
 		GroupSize:  *group,
 		Replicas:   *replicas,
+		Cache: serve.CacheOptions{
+			Capacity: *cacheCap,
+			Policy:   policy,
+			Tables:   *cacheTables,
+			Bits:     *cacheBits,
+		},
 	}
 	if *linger == 0 {
 		opts.MaxLinger = serve.NoLinger
@@ -186,6 +242,9 @@ func main() {
 		Concurrency: *concurrency,
 		Mix:         parseMix(names, *mix),
 		MixSchedule: parseMixShifts(names, *mixShift),
+	}
+	if *reuse > 0 {
+		load.Reuse = serve.Reuse{ZipfS: *zipf, Universe: *reuse}
 	}
 	if *replanThr != 0 && !*planFlag {
 		log.Fatal("-replan-threshold requires -plan")
@@ -201,8 +260,11 @@ func main() {
 	if *timeline < 0 {
 		log.Fatalf("-timeline %v: interval must be positive", *timeline)
 	}
-	if (*traceFile != "" || *timeline > 0) && *sweepGroups != "" {
-		log.Fatal("-trace/-timeline record a single run and cannot be combined with -sweep-groups")
+	if (*traceFile != "" || *timeline > 0) && (*sweepGroups != "" || *sweepCache != "") {
+		log.Fatal("-trace/-timeline record a single run and cannot be combined with a sweep")
+	}
+	if *sweepCache != "" && *sweepGroups != "" {
+		log.Fatal("-sweep-cache cannot be combined with -sweep-groups (one axis per sweep)")
 	}
 	var traceOut *os.File
 	if *traceFile != "" {
@@ -254,6 +316,37 @@ func main() {
 			return
 		}
 		fmt.Println(serve.SweepTable(points))
+		return
+	}
+
+	if *sweepCache != "" {
+		if *backend != "analytic" {
+			log.Fatalf("-sweep-cache needs the analytic backend, not %q", *backend)
+		}
+		if *planFlag {
+			log.Fatal("-sweep-cache cannot be combined with -plan (sweep one axis at a time)")
+		}
+		be := serve.NewAnalyticBackend(sys, resident[0], resident[1:]...)
+		fillLoad(&load, be, opts, 100_000)
+		points, err := serve.SweepCache(be, opts, load, parseCaps(*sweepCache))
+		if err != nil {
+			log.Fatal(err)
+		}
+		if *jsonOut {
+			// The frontier rows only; drop the per-run reports to keep the
+			// sweep JSON a compact, diffable artifact.
+			rows := make([]serve.CacheSweepPoint, len(points))
+			for i, p := range points {
+				rows[i] = p
+				rows[i].Report = nil
+			}
+			emitJSON(struct {
+				Config neuralcache.Config      `json:"config"`
+				Sweep  []serve.CacheSweepPoint `json:"sweep"`
+			}{cfg, rows})
+			return
+		}
+		fmt.Println(serve.SweepCacheTable(points))
 		return
 	}
 
@@ -354,6 +447,12 @@ func publishDebugVars(srv *serve.Server) {
 			"replans":      st.Replans,
 			"utilization":  st.Utilization,
 		}
+		if st.CacheHits+st.CacheMisses > 0 {
+			out["cache_hits"] = st.CacheHits
+			out["cache_misses"] = st.CacheMisses
+			out["cache_inserts"] = st.CacheInserts
+			out["cache_evictions"] = st.CacheEvictions
+		}
 		if ctrl := srv.Controller(); ctrl != nil {
 			out["mix_drift"] = ctrl.Drift()
 			out["observed_mix"] = ctrl.Observed()
@@ -380,6 +479,20 @@ func parseGroups(s string) []int {
 			log.Fatalf("-sweep-groups entry %q: %v", p, err)
 		}
 		out[i] = k
+	}
+	return out
+}
+
+// parseCaps parses the -sweep-cache capacity list.
+func parseCaps(s string) []int {
+	parts := strings.Split(s, ",")
+	out := make([]int, len(parts))
+	for i, p := range parts {
+		c, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			log.Fatalf("-sweep-cache entry %q: %v", p, err)
+		}
+		out[i] = c
 	}
 	return out
 }

@@ -1,0 +1,111 @@
+// Package simhash provides the hashing primitives behind the serving
+// tier's memoizing front-cache: a 64-bit FNV-1a input digest for
+// exact-match keying, and banks of random hyperplanes for
+// locality-sensitive signatures (the num_tables × hash_bits table
+// design of SNIPPETS §1's LSHReflex/NeuralCache exemplar).
+//
+// Everything here is integer arithmetic on seeded generators, so
+// digests and signatures are bit-deterministic across runs, worker
+// counts and platforms — a requirement for the serving tier's
+// byte-identical virtual-clock reports.
+package simhash
+
+import (
+	"encoding/binary"
+	"math"
+	"math/rand"
+)
+
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// Digest is the FNV-1a 64-bit digest of a quantized input tensor: the
+// byte payload prefixed by its shape and scale, so two inputs share a
+// digest only when their geometry, quantization and bytes all agree.
+func Digest(h, w, c int, scale float64, data []byte) uint64 {
+	var hdr [32]byte
+	binary.LittleEndian.PutUint64(hdr[0:], uint64(h))
+	binary.LittleEndian.PutUint64(hdr[8:], uint64(w))
+	binary.LittleEndian.PutUint64(hdr[16:], uint64(c))
+	binary.LittleEndian.PutUint64(hdr[24:], math.Float64bits(scale))
+	d := uint64(fnvOffset64)
+	for _, b := range hdr {
+		d ^= uint64(b)
+		d *= fnvPrime64
+	}
+	for _, b := range data {
+		d ^= uint64(b)
+		d *= fnvPrime64
+	}
+	return d
+}
+
+// DigestKey folds an abstract 64-bit identity (the simulator's reuse
+// keys) through the same FNV-1a mix, so key-identified cache entries
+// spread across buckets like byte-identified ones.
+func DigestKey(key uint64) uint64 {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], key)
+	d := uint64(fnvOffset64)
+	for _, b := range buf {
+		d ^= uint64(b)
+		d *= fnvPrime64
+	}
+	return d
+}
+
+// Planes is a bank of random hyperplanes for locality-sensitive
+// signatures: Tables independent tables of Bits hyperplanes each, over
+// a Dim-element byte vector. One signature per table; each signature
+// bit is the sign of the integer dot product of one hyperplane's
+// coefficients against the centered input (byte − 128). Inputs that
+// agree on most bytes agree on most signs, so near-identical inputs
+// land in the same buckets with high probability.
+type Planes struct {
+	Tables, Bits, Dim int
+	coef              []int8 // Tables × Bits × Dim coefficients
+}
+
+// NewPlanes draws a plane bank from the seeded generator: coefficients
+// uniform in [-127, 127]. Bits must be at most 64 (one uint64 signature
+// per table); Dim, Tables and Bits must be positive.
+func NewPlanes(dim, tables, bits int, seed int64) *Planes {
+	if dim <= 0 || tables <= 0 || bits <= 0 || bits > 64 {
+		panic("simhash: invalid plane geometry")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	p := &Planes{Tables: tables, Bits: bits, Dim: dim,
+		coef: make([]int8, tables*bits*dim)}
+	for i := range p.coef {
+		p.coef[i] = int8(rng.Intn(255) - 127)
+	}
+	return p
+}
+
+// Signatures appends one Bits-bit signature per table for the input
+// vector x (which must have exactly Dim elements) and returns the
+// extended slice. Pass a reused out slice to avoid allocation.
+func (p *Planes) Signatures(x []byte, out []uint64) []uint64 {
+	if len(x) != p.Dim {
+		panic("simhash: input dimension mismatch")
+	}
+	k := 0
+	for t := 0; t < p.Tables; t++ {
+		var sig uint64
+		for b := 0; b < p.Bits; b++ {
+			row := p.coef[k : k+p.Dim]
+			k += p.Dim
+			var dot int64
+			for j, v := range x {
+				dot += int64(row[j]) * (int64(v) - 128)
+			}
+			if dot >= 0 {
+				sig |= 1 << uint(b)
+			}
+		}
+		out = append(out, sig)
+	}
+	return out
+}

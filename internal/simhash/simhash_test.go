@@ -1,0 +1,89 @@
+package simhash
+
+import "testing"
+
+func TestDigestDeterministicAndSensitive(t *testing.T) {
+	data := make([]byte, 64)
+	for i := range data {
+		data[i] = byte(i * 7)
+	}
+	d1 := Digest(4, 4, 4, 1.0/255, data)
+	d2 := Digest(4, 4, 4, 1.0/255, data)
+	if d1 != d2 {
+		t.Fatalf("same input digested differently: %x vs %x", d1, d2)
+	}
+	// Any header or payload change must move the digest.
+	if Digest(4, 4, 4, 1.0/128, data) == d1 {
+		t.Fatal("scale change did not change the digest")
+	}
+	if Digest(8, 4, 2, 1.0/255, data) == d1 {
+		t.Fatal("shape change did not change the digest")
+	}
+	flipped := append([]byte(nil), data...)
+	flipped[17] ^= 1
+	if Digest(4, 4, 4, 1.0/255, flipped) == d1 {
+		t.Fatal("single-bit payload change did not change the digest")
+	}
+}
+
+func TestDigestKeyDistinct(t *testing.T) {
+	seen := make(map[uint64]uint64)
+	for k := uint64(0); k < 10_000; k++ {
+		d := DigestKey(k)
+		if prev, ok := seen[d]; ok {
+			t.Fatalf("keys %d and %d share digest %x", prev, k, d)
+		}
+		seen[d] = k
+		if d != DigestKey(k) {
+			t.Fatalf("key %d digests nondeterministically", k)
+		}
+	}
+}
+
+func TestPlanesSignaturesDeterministic(t *testing.T) {
+	x := make([]byte, 32)
+	for i := range x {
+		x[i] = byte(i * 13)
+	}
+	p1 := NewPlanes(len(x), 4, 16, 99)
+	p2 := NewPlanes(len(x), 4, 16, 99)
+	s1 := p1.Signatures(x, nil)
+	s2 := p2.Signatures(x, nil)
+	if len(s1) != 4 {
+		t.Fatalf("got %d signatures, want one per table (4)", len(s1))
+	}
+	for i := range s1 {
+		if s1[i] != s2[i] {
+			t.Fatalf("table %d: same seed signed differently: %x vs %x", i, s1[i], s2[i])
+		}
+		if s1[i]>>16 != 0 {
+			t.Fatalf("table %d: signature %x uses more than 16 bits", i, s1[i])
+		}
+	}
+	s3 := NewPlanes(len(x), 4, 16, 100).Signatures(x, nil)
+	same := true
+	for i := range s1 {
+		if s1[i] != s3[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds drew identical hyperplanes")
+	}
+}
+
+func TestPlanesDimensionPanics(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("zero dim", func() { NewPlanes(0, 4, 16, 1) })
+	mustPanic("65 bits", func() { NewPlanes(8, 4, 65, 1) })
+	p := NewPlanes(8, 2, 8, 1)
+	mustPanic("wrong input length", func() { p.Signatures(make([]byte, 7), nil) })
+}

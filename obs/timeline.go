@@ -30,6 +30,10 @@ type TimelinePoint struct {
 	// Replans its applied controller re-plans.
 	Restages int `json:"restages,omitempty"`
 	Replans  int `json:"replans,omitempty"`
+	// CacheHits counts the window's front-cache hits — requests served
+	// at admission without touching a replica group. Always 0 (and
+	// omitted) when the run has no cache.
+	CacheHits int `json:"cache_hits,omitempty"`
 	// GroupUtil is each replica group's busy fraction of the window, in
 	// group-ordinal order. Virtual-clock samples integrate exactly;
 	// wall-clock samples charge a batch's busy time at completion, so a

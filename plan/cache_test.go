@@ -1,0 +1,111 @@
+package plan
+
+import (
+	"math"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// TestOptionsCacheHitRateValidation: hit rates must be finite and in
+// [0, 1) — a rate of 1 would zero a model's miss traffic and the
+// surviving offered rate with it.
+func TestOptionsCacheHitRateValidation(t *testing.T) {
+	sys := newSystem(t)
+	models := twoModels()
+	for _, h := range []float64{math.NaN(), -0.1, 1.0, 1.5} {
+		o := Options{GroupSize: 7, MaxBatch: 16, CacheHitRate: map[string]float64{"inception_v3": h}}
+		if _, err := Compute(sys, models, shares(1, 1), o); err == nil {
+			t.Errorf("Compute accepted cache hit rate %v", h)
+		}
+	}
+	o := Options{GroupSize: 7, MaxBatch: 16, CacheHitRate: map[string]float64{"inception_v3": 0.5}}
+	if _, err := Compute(sys, models, shares(1, 1), o); err != nil {
+		t.Fatalf("Compute rejected a valid hit rate: %v", err)
+	}
+}
+
+// TestComputeCacheDiscount pins the discount semantics: a plan computed
+// under observed hit rates must be identical to one computed from the
+// equivalent miss-only mix at the surviving offered rate. With a
+// 0.5/0.5 mix and inception hitting 50%, the miss mix is 0.25/0.5
+// (normalized 1/3, 2/3) and 75% of the offered rate survives.
+func TestComputeCacheDiscount(t *testing.T) {
+	sys := newSystem(t)
+	models := twoModels()
+	discounted, err := Compute(sys, models, shares(1, 1), Options{
+		GroupSize: 7, MaxBatch: 16, RatePerSec: 400,
+		CacheHitRate: map[string]float64{"inception_v3": 0.5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	manual, err := Compute(sys, models, shares(1, 2), Options{
+		GroupSize: 7, MaxBatch: 16, RatePerSec: 300,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(discounted, manual) {
+		t.Fatalf("discounted plan differs from the equivalent miss-only plan:\n%+v\nvs\n%+v", discounted, manual)
+	}
+	if discounted.RatePerSec != 300 {
+		t.Fatalf("surviving rate %v, want 300 (75%% of 400)", discounted.RatePerSec)
+	}
+	// A model absent from the map is undiscounted: an empty map is the
+	// undiscounted plan.
+	plain, err := Compute(sys, models, shares(1, 1), Options{GroupSize: 7, MaxBatch: 16, RatePerSec: 400})
+	if err != nil {
+		t.Fatal(err)
+	}
+	zero, err := Compute(sys, models, shares(1, 1), Options{
+		GroupSize: 7, MaxBatch: 16, RatePerSec: 400,
+		CacheHitRate: map[string]float64{"inception_v3": 0},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(plain, zero) {
+		t.Fatal("a zero hit rate changed the plan")
+	}
+}
+
+// TestControllerHitRates: hits feed a separate EWMA from the
+// dispatch-fed served mix — HitRates is hits over hits-plus-dispatches
+// per model, nil before any hit, and decays on the same clock.
+func TestControllerHitRates(t *testing.T) {
+	ctrl, _ := driftPlan(t)
+	if hr := ctrl.HitRates(); hr != nil {
+		t.Fatalf("hit rates %v before any hit, want nil", hr)
+	}
+	now := 100 * time.Millisecond
+	ctrl.Observe("inception_v3", 6, now)
+	for i := 0; i < 6; i++ {
+		ctrl.ObserveCacheHit("inception_v3", now)
+	}
+	ctrl.Observe("resnet_18", 4, now)
+	ctrl.ObserveCacheHit("not_registered", now) // ignored
+	hr := ctrl.HitRates()
+	if hr == nil {
+		t.Fatal("no hit rates after observed hits")
+	}
+	if got := hr["inception_v3"]; math.Abs(got-0.5) > 1e-9 {
+		t.Fatalf("inception hit rate %v, want 0.5 (6 hits / 6 dispatches)", got)
+	}
+	if got := hr["resnet_18"]; got != 0 {
+		t.Fatalf("resnet hit rate %v with no hits, want 0", got)
+	}
+	// The rates are valid Options.CacheHitRate input as-is.
+	sys := newSystem(t)
+	if _, err := Compute(sys, twoModels(), shares(6, 4), Options{
+		GroupSize: 7, MaxBatch: 16, RatePerSec: 400, CacheHitRate: hr,
+	}); err != nil {
+		t.Fatalf("Compute rejected controller-observed hit rates: %v", err)
+	}
+	// Uniform decay cannot change a ratio: much later, with no new
+	// traffic, the rates hold.
+	ctrl.Observe("inception_v3", 0, 10*time.Second)
+	if got := ctrl.HitRates()["inception_v3"]; math.Abs(got-0.5) > 1e-9 {
+		t.Fatalf("decay changed a pure ratio: %v", got)
+	}
+}

@@ -91,7 +91,14 @@ type Controller struct {
 	opts    Options
 	current *Plan
 
-	counts     []float64 // decayed per-model served-request mass
+	counts []float64 // decayed per-model served-request mass
+	// hitCounts is the decayed per-model front-cache-hit mass, aged on
+	// the same clock. counts is dispatch-fed — already the miss-only
+	// mix the warm sets should serve — so hits are tracked separately:
+	// HitRates (hits over hits+misses) is what feeds
+	// Options.CacheHitRate when re-running Compute/CoSelect, never a
+	// second discount on counts.
+	hitCounts  []float64
 	lastObs    time.Duration
 	lastReplan time.Duration
 	replans    int
@@ -115,12 +122,13 @@ func NewController(sys *neuralcache.System, models []*neuralcache.Model, current
 		return nil, fmt.Errorf("plan: controller got %d models for a %d-model plan", len(models), len(current.Models))
 	}
 	ctrl := &Controller{
-		pr:      newPricer(sys),
-		models:  models,
-		index:   make(map[string]int, len(models)),
-		cfg:     c,
-		current: current,
-		counts:  make([]float64, len(models)),
+		pr:        newPricer(sys),
+		models:    models,
+		index:     make(map[string]int, len(models)),
+		cfg:       c,
+		current:   current,
+		counts:    make([]float64, len(models)),
+		hitCounts: make([]float64, len(models)),
 	}
 	for i, m := range models {
 		if m == nil || m.Name() != current.Models[i].Model {
@@ -164,7 +172,52 @@ func (c *Controller) Observe(model string, n int, now time.Duration) {
 	c.counts[i] += float64(n)
 }
 
-// decay ages the EWMA to clock time now; callers hold mu.
+// ObserveCacheHit feeds one front-cache hit of a model into the
+// hit-rate EWMA at clock time now. Hits are absorbed before dispatch,
+// so they deliberately do not touch the served-mix counts — those stay
+// the miss-only mix the warm sets actually serve. Unknown model names
+// are ignored.
+func (c *Controller) ObserveCacheHit(model string, now time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	i, ok := c.index[model]
+	if !ok {
+		return
+	}
+	c.decay(now)
+	c.hitCounts[i]++
+}
+
+// HitRates returns each model's observed front-cache hit rate —
+// decayed hit mass over hit-plus-dispatch mass, in the plan's model
+// order — or nil when no hits have been observed. This is the feed for
+// Options.CacheHitRate when recomputing a plan: the dispatch-fed
+// served-mix counts are already miss-only, so applying the discount to
+// them again would double-count the cache. Read-only like Drift
+// (uniform decay cannot change a ratio).
+func (c *Controller) HitRates() map[string]float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	any := false
+	for _, h := range c.hitCounts {
+		if h > 0 {
+			any = true
+			break
+		}
+	}
+	if !any {
+		return nil
+	}
+	out := make(map[string]float64, len(c.models))
+	for i, m := range c.models {
+		if total := c.hitCounts[i] + c.counts[i]; total > 0 {
+			out[m.Name()] = c.hitCounts[i] / total
+		}
+	}
+	return out
+}
+
+// decay ages the EWMAs to clock time now; callers hold mu.
 func (c *Controller) decay(now time.Duration) {
 	if now <= c.lastObs {
 		return
@@ -172,6 +225,7 @@ func (c *Controller) decay(now time.Duration) {
 	f := math.Exp2(-float64(now-c.lastObs) / float64(c.cfg.HalfLife))
 	for i := range c.counts {
 		c.counts[i] *= f
+		c.hitCounts[i] *= f
 	}
 	c.lastObs = now
 }

@@ -1,0 +1,236 @@
+package serve
+
+import (
+	"math/rand"
+	"testing"
+
+	"neuralcache"
+)
+
+func TestCacheOptionsValidation(t *testing.T) {
+	bad := []CacheOptions{
+		{Capacity: 0},
+		{Capacity: -4},
+		{Capacity: 8, Policy: CachePolicy(9)},
+		{Capacity: 8, Policy: CacheLSH, Tables: 65},
+		{Capacity: 8, Policy: CacheLSH, Tables: -1},
+		{Capacity: 8, Policy: CacheLSH, Bits: 65},
+		{Capacity: 8, Policy: CacheLSH, Bits: -1},
+	}
+	for i, o := range bad {
+		if _, err := NewCache(o); err == nil {
+			t.Errorf("case %d: NewCache(%+v) accepted invalid options", i, o)
+		}
+	}
+	c, err := NewCache(CacheOptions{Capacity: 8, Policy: CacheLSH})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o := c.Options(); o.Tables != 4 || o.Bits != 16 || o.Seed == 0 {
+		t.Fatalf("defaults not filled: %+v", o)
+	}
+	if _, err := ParseCachePolicy("banana"); err == nil {
+		t.Fatal("ParseCachePolicy accepted an unknown policy")
+	}
+	for _, p := range []CachePolicy{CacheExact, CacheLSH} {
+		back, err := ParseCachePolicy(p.String())
+		if err != nil || back != p {
+			t.Fatalf("policy %v did not round-trip: %v, %v", p, back, err)
+		}
+	}
+}
+
+// TestCacheLRUMatchesReference drives the cache and a naive
+// map+timestamp reference LRU through the same random key stream and
+// requires identical hit/miss outcomes on every probe.
+func TestCacheLRUMatchesReference(t *testing.T) {
+	const capacity = 16
+	c, err := NewCache(CacheOptions{Capacity: capacity})
+	if err != nil {
+		t.Fatal(err)
+	}
+	type refEntry struct{ lastUse int }
+	ref := make(map[uint64]*refEntry)
+	tick := 0
+	touch := func(k uint64) {
+		tick++
+		ref[k].lastUse = tick
+	}
+	insert := func(k uint64) {
+		tick++
+		if _, ok := ref[k]; ok {
+			ref[k].lastUse = tick
+			return
+		}
+		ref[k] = &refEntry{lastUse: tick}
+		if len(ref) > capacity {
+			var victim uint64
+			oldest := tick + 1
+			for rk, re := range ref {
+				if re.lastUse < oldest {
+					oldest = re.lastUse
+					victim = rk
+				}
+			}
+			delete(ref, victim)
+		}
+	}
+
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 20_000; i++ {
+		k := uint64(rng.Intn(48)) // 3× capacity: steady eviction pressure
+		got := c.LookupKey("m", k)
+		_, want := ref[k]
+		if got != want {
+			t.Fatalf("op %d key %d: cache hit=%v, reference hit=%v", i, k, got, want)
+		}
+		if want {
+			touch(k)
+		} else {
+			c.InsertKey("m", k)
+			insert(k)
+		}
+	}
+	if c.Len() != len(ref) {
+		t.Fatalf("cache holds %d entries, reference %d", c.Len(), len(ref))
+	}
+}
+
+// TestCacheCapacityInvariants checks the counter algebra the report
+// relies on: hits+misses == probes offered, evictions == inserts −
+// live entries, and the entry count never exceeds capacity.
+func TestCacheCapacityInvariants(t *testing.T) {
+	const capacity = 32
+	c, err := NewCache(CacheOptions{Capacity: capacity})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	probes := 0
+	for i := 0; i < 10_000; i++ {
+		k := uint64(rng.Intn(200))
+		probes++
+		if !c.LookupKey("m", k) {
+			c.InsertKey("m", k)
+		}
+		if c.Len() > capacity {
+			t.Fatalf("op %d: %d live entries exceed capacity %d", i, c.Len(), capacity)
+		}
+	}
+	st := c.Stats()
+	if st.Hits+st.Misses != probes {
+		t.Fatalf("hits %d + misses %d != probes %d", st.Hits, st.Misses, probes)
+	}
+	if c.Len() != capacity {
+		t.Fatalf("steady state holds %d entries, want full capacity %d", c.Len(), capacity)
+	}
+	if st.Evictions != st.Inserts-capacity {
+		t.Fatalf("evictions %d != inserts %d - capacity %d", st.Evictions, st.Inserts, capacity)
+	}
+	ms := c.ModelStats()["m"]
+	if ms != st {
+		t.Fatalf("single-model per-model stats %+v differ from totals %+v", ms, st)
+	}
+}
+
+// TestCacheRefreshDoesNotCountInsert: re-inserting a cached input
+// refreshes recency without incrementing Inserts — the invariant that
+// keeps evictions == inserts − capacity meaningful.
+func TestCacheRefreshDoesNotCountInsert(t *testing.T) {
+	c, err := NewCache(CacheOptions{Capacity: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		c.InsertKey("m", 7)
+	}
+	if st := c.Stats(); st.Inserts != 1 || st.Evictions != 0 {
+		t.Fatalf("3 inserts of one key: %+v, want exactly 1 insert", st)
+	}
+	// The refresh must also restore recency: key 7 was oldest, but after
+	// refreshing it, a capacity overflow should evict key 1 instead.
+	for _, k := range []uint64{1, 2, 3} {
+		c.InsertKey("m", k)
+	}
+	c.InsertKey("m", 7) // refresh: 7 is now most recent, 1 oldest
+	c.InsertKey("m", 4) // overflow: evicts 1
+	if !c.LookupKey("m", 7) {
+		t.Fatal("refreshed key was evicted; refresh did not restore recency")
+	}
+	if c.LookupKey("m", 1) {
+		t.Fatal("oldest key survived an overflow eviction")
+	}
+}
+
+// cacheInput builds a small deterministic tensor whose bytes are a
+// function of key.
+func cacheInput(key int) *neuralcache.Tensor {
+	in := neuralcache.NewTensor(4, 4, 1, 1.0/255)
+	r := rand.New(rand.NewSource(int64(1000 + key)))
+	for j := range in.Data {
+		in.Data[j] = uint8(r.Intn(256))
+	}
+	return in
+}
+
+// TestCacheLSHGuardNeverServesWrongOutput degenerates the LSH geometry
+// to one 1-bit table — near-certain bucket collisions between distinct
+// inputs — and requires every hit to return exactly the output that was
+// inserted for that input. The collisions show up as NearHits, never as
+// wrong answers.
+func TestCacheLSHGuardNeverServesWrongOutput(t *testing.T) {
+	c, err := NewCache(CacheOptions{Capacity: 64, Policy: CacheLSH, Tables: 1, Bits: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 32
+	outputs := make([]*neuralcache.InferenceResult, n)
+	for k := 0; k < n; k++ {
+		outputs[k] = &neuralcache.InferenceResult{ArraysUsed: k + 1}
+		c.Insert("m", cacheInput(k), outputs[k])
+	}
+	for k := 0; k < n; k++ {
+		got, ok := c.Lookup("m", cacheInput(k))
+		if !ok {
+			t.Fatalf("key %d missed despite being cached under capacity", k)
+		}
+		if got != outputs[k] {
+			t.Fatalf("key %d served output %+v, want its own %+v — the exact-match guard failed", k, got, outputs[k])
+		}
+	}
+	// A never-inserted input lands in a crowded bucket but must miss.
+	for k := n; k < 2*n; k++ {
+		if _, ok := c.Lookup("m", cacheInput(k)); ok {
+			t.Fatalf("uncached input %d hit — an LSH bucket collision was served", k)
+		}
+	}
+	st := c.Stats()
+	if st.NearHits == 0 {
+		t.Fatal("1-bit LSH produced zero near-hits; the collision guard was never exercised")
+	}
+	if st.Hits != n || st.Misses != n {
+		t.Fatalf("hits %d misses %d, want %d and %d", st.Hits, st.Misses, n, n)
+	}
+}
+
+// TestCacheModelIsolation: the same reuse key on two models is two
+// entries, and eviction is charged to the evicted entry's model.
+func TestCacheModelIsolation(t *testing.T) {
+	c, err := NewCache(CacheOptions{Capacity: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.InsertKey("a", 1)
+	if c.LookupKey("b", 1) {
+		t.Fatal("model b hit model a's entry")
+	}
+	c.InsertKey("b", 1)
+	c.InsertKey("b", 2) // capacity 2: evicts a's entry (oldest)
+	if c.LookupKey("a", 1) {
+		t.Fatal("model a's entry survived eviction")
+	}
+	ms := c.ModelStats()
+	if ms["a"].Evictions != 1 || ms["b"].Evictions != 0 {
+		t.Fatalf("eviction charged wrong: a=%+v b=%+v", ms["a"], ms["b"])
+	}
+}

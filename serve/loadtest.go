@@ -78,6 +78,7 @@ func (tl *wallTimeline) sample(at time.Duration) {
 		ColdDispatches: int(cur.ColdBatches - tl.prev.ColdBatches),
 		Restages:       int(cur.Restages - tl.prev.Restages),
 		Replans:        int(cur.Replans - tl.prev.Replans),
+		CacheHits:      int(cur.CacheHits - tl.prev.CacheHits),
 		GroupUtil:      make([]float64, len(cur.PerShard)),
 	}
 	if width > 0 {
@@ -183,8 +184,12 @@ func (lr *loadResults) done(r *Response) {
 // = the backend's default). inputs, when non-nil, supplies the tensor
 // for the i-th arrival (0-based) of the named model — required for a
 // bit-exact backend; nil submits input-less requests, which the analytic
-// backend serves on modeled time. LoadTest waits for every admitted
-// request to complete and leaves the server running.
+// backend serves on modeled time (and which a front-cache, keyed on
+// input bytes, cannot absorb). Under Load.Reuse, i is the arrival's
+// Zipf-drawn reuse key instead of its ordinal, so repeated keys
+// resubmit the identical tensor and Options.Cache sees genuine repeat
+// traffic. LoadTest waits for every admitted request to complete and
+// leaves the server running.
 func LoadTest(srv *Server, load Load, inputs func(i int, model string) *neuralcache.Tensor) (*LoadReport, error) {
 	if err := load.validate(); err != nil {
 		return nil, err
@@ -238,6 +243,11 @@ func LoadTest(srv *Server, load Load, inputs func(i int, model string) *neuralca
 		WarmDispatches: int(after.WarmBatches - before.WarmBatches),
 		ColdDispatches: int(after.ColdBatches - before.ColdBatches),
 
+		CacheHits:      int(after.CacheHits - before.CacheHits),
+		CacheMisses:    int(after.CacheMisses - before.CacheMisses),
+		CacheInserts:   int(after.CacheInserts - before.CacheInserts),
+		CacheEvictions: int(after.CacheEvictions - before.CacheEvictions),
+
 		// MaxQueueDepth is the server-lifetime high-water (a max cannot
 		// be windowed); the mean is differenced to this run's admissions.
 		MaxQueueDepth: after.QueueHighWater,
@@ -254,7 +264,12 @@ func LoadTest(srv *Server, load Load, inputs func(i int, model string) *neuralca
 		rep.MeanQueueDepth = float64(after.DepthSum-before.DepthSum) / float64(n)
 	}
 	if rep.Batches > 0 {
-		rep.MeanBatch = float64(rep.Served) / float64(rep.Batches)
+		// Cache hits never ride a batch, so the mean batch size covers
+		// the dispatched (miss) traffic only.
+		rep.MeanBatch = float64(rep.Served-rep.CacheHits) / float64(rep.Batches)
+	}
+	if n := rep.CacheHits + rep.CacheMisses; n > 0 {
+		rep.CacheHitRate = float64(rep.CacheHits) / float64(n)
 	}
 	if !results.lastDone.IsZero() {
 		rep.Makespan = results.lastDone.Sub(results.firstArrival)
@@ -275,6 +290,11 @@ func LoadTest(srv *Server, load Load, inputs func(i int, model string) *neuralca
 		u.Batches = int(ac.Batches - bc.Batches)
 		u.WarmBatches = int(ac.WarmBatches - bc.WarmBatches)
 		u.ColdBatches = int(ac.ColdBatches - bc.ColdBatches)
+		u.CacheHits = int(ac.CacheHits - bc.CacheHits)
+		u.CacheMisses = int(ac.CacheMisses - bc.CacheMisses)
+		if n := u.CacheHits + u.CacheMisses; n > 0 {
+			u.CacheHitRate = float64(u.CacheHits) / float64(n)
+		}
 		rep.PerModel = append(rep.PerModel, *u)
 	}
 	rep.PerShard = diffShards(before.PerShard, after.PerShard)
@@ -294,7 +314,7 @@ func openLoop(srv *Server, load Load, inputs func(i int, model string) *neuralca
 	var wg sync.WaitGroup
 	defer wg.Wait()
 	for i := 0; ; i++ {
-		at, model, ok := gen.next()
+		at, model, key, ok := gen.next()
 		if !ok {
 			return nil
 		}
@@ -310,7 +330,11 @@ func openLoop(srv *Server, load Load, inputs func(i int, model string) *neuralca
 		}
 		var in *neuralcache.Tensor
 		if inputs != nil {
-			in = inputs(i, name)
+			if load.Reuse.Enabled() {
+				in = inputs(int(key), name)
+			} else {
+				in = inputs(i, name)
+			}
 		}
 		results.arrival(name, time.Now())
 		ch, err := srv.TrySubmitModel(ctx, name, in)
@@ -349,6 +373,10 @@ func closedLoop(srv *Server, load Load, inputs func(i int, model string) *neural
 		go func(user int) {
 			defer wg.Done()
 			rng := rand.New(rand.NewSource(load.Seed + 0x636c6f73 + int64(user)))
+			var zipf *rand.Zipf
+			if load.Reuse.Enabled() {
+				zipf = rand.NewZipf(rng, load.Reuse.ZipfS, 1, uint64(load.Reuse.Universe-1))
+			}
 			for {
 				// One user's failure ends the whole run (matching the
 				// open-loop driver's first-error abort) instead of the
@@ -378,7 +406,11 @@ func closedLoop(srv *Server, load Load, inputs func(i int, model string) *neural
 				name := m.Name()
 				var in *neuralcache.Tensor
 				if inputs != nil {
-					in = inputs(int(n-1), name)
+					if zipf != nil {
+						in = inputs(int(zipf.Uint64()), name)
+					} else {
+						in = inputs(int(n-1), name)
+					}
 				}
 				results.arrival(name, time.Now())
 				r, err := srv.SubmitModel(ctx, name, in)

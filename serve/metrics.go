@@ -22,8 +22,15 @@ type ModelUsage struct {
 	Batches  int    `json:"batches"`
 	// WarmBatches rode a replica already staging this model;
 	// ColdBatches paid the §IV-E weight reload.
-	WarmBatches      int           `json:"warm_batches"`
-	ColdBatches      int           `json:"cold_batches"`
+	WarmBatches int `json:"warm_batches"`
+	ColdBatches int `json:"cold_batches"`
+	// CacheHits were served from the memoizing front-cache at admission
+	// (never reaching a replica group); CacheMisses went on through the
+	// normal path. All zero — and omitted — when Options.Cache is off,
+	// keeping the historical schema.
+	CacheHits        int           `json:"cache_hits,omitempty"`
+	CacheMisses      int           `json:"cache_misses,omitempty"`
+	CacheHitRate     float64       `json:"cache_hit_rate,omitempty"`
 	ThroughputPerSec float64       `json:"throughput_per_sec"`
 	P50              time.Duration `json:"p50_ns"`
 	P95              time.Duration `json:"p95_ns"`
@@ -67,6 +74,20 @@ type LoadReport struct {
 	// replica's first batch).
 	WarmDispatches int `json:"warm_dispatches"`
 	ColdDispatches int `json:"cold_dispatches"`
+
+	// Front-cache accounting (Options.Cache). CacheHits completed at
+	// admission for a hash probe's cost and never occupied a replica
+	// group; CacheMisses probed and went on through the normal path
+	// (CacheHits + CacheMisses == Offered). CacheInserts counts entries
+	// created on miss completion, CacheEvictions the LRU victims beyond
+	// capacity, and CacheHitRate is hits over probes. All zero — and
+	// omitted from JSON — when the cache is off, keeping the historical
+	// report schema.
+	CacheHits      int     `json:"cache_hits,omitempty"`
+	CacheMisses    int     `json:"cache_misses,omitempty"`
+	CacheInserts   int     `json:"cache_inserts,omitempty"`
+	CacheEvictions int     `json:"cache_evictions,omitempty"`
+	CacheHitRate   float64 `json:"cache_hit_rate,omitempty"`
 
 	// Makespan spans first arrival to last completion.
 	Makespan         time.Duration `json:"makespan_ns"`
@@ -283,6 +304,11 @@ func (r *LoadReport) String() string {
 	fmt.Fprintf(&b, "offered %d  served %d  rejected %d  batches %d (mean %.2f, %d warm / %d cold)\n",
 		r.Offered, r.Served, r.Rejected, r.Batches, r.MeanBatch,
 		r.WarmDispatches, r.ColdDispatches)
+	if r.CacheHits+r.CacheMisses > 0 {
+		fmt.Fprintf(&b, "front-cache: %d hits / %d probes (%s)  %d inserts  %d evictions\n",
+			r.CacheHits, r.CacheHits+r.CacheMisses, report.Pct(r.CacheHitRate),
+			r.CacheInserts, r.CacheEvictions)
+	}
 	if r.Plan != nil {
 		fmt.Fprintf(&b, "residency plan: %d groups pinned, %d overflow; %d restages, %d replans; cold dispatches predicted %d, observed %d (+%d restages)\n",
 			r.Plan.PinnedGroups(), len(r.Plan.Overflow), r.Restages, r.Replans,

@@ -51,6 +51,22 @@
 // Simulate's virtual clock (Load.MixSchedule generates the drift) and
 // live on the real Server.
 //
+// # Memoizing front-cache
+//
+// Production traffic repeats, and a repeated input does not need a
+// replica group: Options.Cache puts a bounded, LRU-evicted memoizing
+// cache (Cache, serve/cache.go) in front of admission. Hits are served
+// at admission for a hash probe's cost — they never enter the batcher,
+// so every hit returns replica-group capacity to the miss traffic —
+// and misses fill the cache when their batch completes. Exact-match
+// keying digests the quantized input bytes; CacheLSH adds random-
+// hyperplane similarity buckets, always guarded by an exact byte
+// compare so a collision can never serve a wrong output. Load.Reuse
+// generates Zipf-repeated traffic to exercise it, LoadReport carries
+// hit/miss/eviction counters, and plan.Options.CacheHitRate lets the
+// planner size warm sets on the residual miss mix. SweepCache answers
+// "what hit rate turns the cache into free capacity".
+//
 // Two backends implement the Backend interface:
 //
 //   - NewBitExactBackend executes every request bit-accurately via
@@ -175,6 +191,13 @@ type Options struct {
 	// disables (Timeline stays nil, keeping the historical report
 	// schema); negative is rejected.
 	TimelineInterval time.Duration
+	// Cache configures the memoizing front-cache consulted at
+	// admission: a hit completes the request immediately — it never
+	// enters the batcher or touches a replica group — and misses fill
+	// the cache when their batch completes. Cache.Capacity 0 (the zero
+	// value) disables it entirely, keeping the historical report
+	// schema; see CacheOptions.
+	Cache CacheOptions
 }
 
 // NoLinger disables the batcher's linger wait: a batch dispatches as
@@ -241,6 +264,15 @@ func (o Options) withDefaults(sys *neuralcache.System) (Options, error) {
 	if o.TimelineInterval < 0 {
 		return o, fmt.Errorf("serve: timeline interval %v", o.TimelineInterval)
 	}
+	if o.Cache.Capacity < 0 {
+		return o, fmt.Errorf("serve: cache capacity %d", o.Cache.Capacity)
+	}
+	if o.Cache.Enabled() {
+		var err error
+		if o.Cache, err = o.Cache.withDefaults(); err != nil {
+			return o, err
+		}
+	}
 	return o, nil
 }
 
@@ -257,7 +289,8 @@ type Shard struct {
 }
 
 // NoShard marks a Response that never reached a replica: the request
-// was canceled while queued and dropped at dispatch.
+// was canceled while queued and dropped at dispatch, or was served
+// from the front-cache at admission.
 var NoShard = Shard{Socket: -1, Slice: -1}
 
 // String formats a single-slice shard like s0/slice3, a wider group like

@@ -34,6 +34,12 @@ type Response struct {
 	// replica's staged model changed (or it was the replica's first
 	// dispatch).
 	Cold bool
+	// CacheHit reports that the front-cache served the request at
+	// admission: it never queued, never rode a batch and never touched
+	// a replica group (Shard is NoShard, BatchSize 0). Result is the
+	// memoized output — treat it as read-only, it is shared with the
+	// cache entry.
+	CacheHit bool
 	// Queued is the time from admission to dispatch — or, for a request
 	// canceled while queued, from admission to the drop. Latency is the
 	// time from admission to completion (zero when canceled).
@@ -249,6 +255,12 @@ type Server struct {
 	queue chan *request
 	pool  *shardPool
 
+	// cache is the memoizing front-cache (nil when Options.Cache is
+	// off): submissions with an input tensor probe it before admission,
+	// hits complete immediately, and misses fill it when their batch
+	// completes successfully.
+	cache *Cache
+
 	// tracer records the request lifecycle on the wall clock (offsets
 	// from started); nil when tracing is off — every emit is a no-op.
 	tracer *Tracer
@@ -327,6 +339,11 @@ func NewServer(backend Backend, opts Options) (*Server, error) {
 		batcherDone: make(chan struct{}),
 		started:     time.Now(),
 	}
+	if o.Cache.Enabled() {
+		if s.cache, err = NewCache(o.Cache); err != nil {
+			return nil, err
+		}
+	}
 	s.stats.perModel = make(map[string]*ModelCounters)
 	s.stats.perShard = make([]ShardUsage, o.Replicas)
 	for i := 0; i < o.Replicas; i++ {
@@ -344,7 +361,7 @@ func NewServer(backend Backend, opts Options) (*Server, error) {
 		for i := range shards {
 			shards[i] = s.stats.perShard[i].Shard
 		}
-		o.Trace.begin("wall", names, shards)
+		o.Trace.begin("wall", names, shards, o.Cache.Enabled())
 		s.tracer = o.Trace
 	}
 	if o.Plan != nil {
@@ -555,6 +572,40 @@ func (s *Server) submit(ctx context.Context, model string, in *neuralcache.Tenso
 	s.submitters.Add(1)
 	s.mu.RUnlock()
 	defer s.submitters.Done()
+	// Probe the front-cache before admission: a hit completes here — it
+	// cannot be rejected by a full queue, never rides a batch and never
+	// claims a replica group. Backends without input tensors have
+	// nothing to key on and skip the cache entirely.
+	if s.cache != nil && in != nil {
+		enqueued := time.Now()
+		if result, ok := s.cache.Lookup(name, in); ok {
+			resp := &Response{
+				ID:       s.nextID.Add(1),
+				Model:    name,
+				Result:   result,
+				Shard:    NoShard,
+				CacheHit: true,
+				Latency:  time.Since(enqueued),
+			}
+			s.stats.Lock()
+			s.stats.submitted++
+			s.stats.served++
+			mc := s.stats.model(name)
+			mc.Served++
+			mc.CacheHits++
+			s.stats.Unlock()
+			s.tracer.cacheHit(name, time.Since(s.started))
+			if s.ctrl != nil {
+				s.ctrl.ObserveCacheHit(name, time.Since(s.started))
+			}
+			ch := make(chan *Response, 1)
+			ch <- resp
+			return ch, nil
+		}
+		s.stats.Lock()
+		s.stats.model(name).CacheMisses++
+		s.stats.Unlock()
+	}
 	if err := s.admit(ctx, wait, name); err != nil {
 		return nil, err
 	}
@@ -903,6 +954,13 @@ func (s *Server) dispatch(model string, batch []*request) {
 			if err == nil && results != nil {
 				resp.Result = results[i]
 			}
+			if err == nil && s.cache != nil && r.input != nil {
+				// Miss fill: memoize the served output under its input so
+				// the next identical submission hits at admission. Failed
+				// batches fill nothing — a hit must always replay a result
+				// that was actually served.
+				s.cache.Insert(model, r.input, resp.Result)
+			}
 			r.resp <- resp
 		}
 		if op, restage := s.pool.release(id); restage {
@@ -945,6 +1003,10 @@ type ModelCounters struct {
 	Rejected                 uint64
 	Batches                  uint64
 	WarmBatches, ColdBatches uint64
+	// CacheHits were served from the front-cache at admission (also
+	// counted in Served); CacheMisses probed and went on through the
+	// normal path. Both stay zero when Options.Cache is off.
+	CacheHits, CacheMisses uint64
 }
 
 // Stats is a point-in-time snapshot of the server's counters.
@@ -962,6 +1024,14 @@ type Stats struct {
 	// pre-stages plus controller rebalances); Replans counts applied
 	// controller re-plans. Both stay zero on reactive servers.
 	Restages, Replans uint64
+	// Front-cache counters (Options.Cache; all zero when off).
+	// CacheHits completed at admission without touching a replica
+	// group, CacheMisses probed and continued, CacheInserts filled on
+	// miss completion and CacheEvictions are LRU victims beyond
+	// capacity.
+	CacheHits, CacheMisses uint64
+	CacheInserts           uint64
+	CacheEvictions         uint64
 	// QueueHighWater is the maximum admitted-minus-dispatched depth
 	// (queued in the channel plus parked in the batcher), tracked
 	// atomically at every admission; it never exceeds QueueDepth, and
@@ -1014,6 +1084,13 @@ func (s *Server) Stats() Stats {
 	}
 	for name, c := range s.stats.perModel {
 		out.PerModel[name] = *c
+	}
+	if s.cache != nil {
+		cs := s.cache.Stats()
+		out.CacheHits = uint64(cs.Hits)
+		out.CacheMisses = uint64(cs.Misses)
+		out.CacheInserts = uint64(cs.Inserts)
+		out.CacheEvictions = uint64(cs.Evictions)
 	}
 	if out.Batches > 0 {
 		out.MeanBatch = float64(s.stats.batched) / float64(out.Batches)

@@ -82,6 +82,49 @@ type Load struct {
 	// deterministic under Seed like everything else, making planned-
 	// versus-reactive comparisons under mix drift reproducible.
 	MixSchedule []MixShift
+	// Reuse makes generated traffic repeat inputs: each arrival draws a
+	// reuse key — which input it asks for — Zipf-distributed over a
+	// finite universe, from the seeded generator, so repeat traffic is
+	// replayable. The zero value keeps every arrival distinct. This is
+	// the knob that exercises Options.Cache: the front-cache's hit rate
+	// is the mass of the Zipf head that fits in its capacity.
+	Reuse Reuse
+}
+
+// Reuse describes the input-repetition distribution of a generated
+// load: arrivals ask for input k with the Zipf(s) probability over a
+// universe of Universe distinct inputs (k = 0 is the most popular).
+// Both fields must be set together: Universe must be positive and ZipfS
+// must exceed 1 (the math/rand Zipf sampler's domain); NaN, infinite
+// and negative skews are rejected.
+type Reuse struct {
+	// ZipfS is the Zipf skew s > 1. Production traces are commonly fit
+	// near s ≈ 1.1; larger s concentrates more mass on the head.
+	ZipfS float64
+	// Universe is the number of distinct inputs N; keys are drawn in
+	// [0, N).
+	Universe int
+}
+
+// Enabled reports whether the load repeats inputs.
+func (r Reuse) Enabled() bool { return r != (Reuse{}) }
+
+// validate applies the reuse rules, mirroring validateMix: fail fast
+// with a clear error rather than misdraw.
+func (r Reuse) validate() error {
+	if !r.Enabled() {
+		return nil
+	}
+	if math.IsNaN(r.ZipfS) || math.IsInf(r.ZipfS, 0) || r.ZipfS < 0 {
+		return fmt.Errorf("serve: reuse Zipf skew %v", r.ZipfS)
+	}
+	if r.ZipfS <= 1 {
+		return fmt.Errorf("serve: reuse Zipf skew %v (must exceed 1)", r.ZipfS)
+	}
+	if r.Universe <= 0 {
+		return fmt.Errorf("serve: reuse universe %d (must be positive)", r.Universe)
+	}
+	return nil
 }
 
 // closed reports whether the load is closed-loop.
@@ -123,6 +166,9 @@ func (l Load) validate() error {
 		return fmt.Errorf("serve: load needs Requests or Duration")
 	}
 	if err := validateMix(l.Mix, "mix"); err != nil {
+		return err
+	}
+	if err := l.Reuse.validate(); err != nil {
 		return err
 	}
 	for i, shift := range l.MixSchedule {
@@ -256,11 +302,14 @@ func (m modelMix) draw(rng *rand.Rand) string {
 
 // arrivalGen yields a deterministic, monotone sequence of arrival
 // offsets from t=0, each tagged with its mix-drawn model name (the mix
-// active at the arrival's time, per Load.MixSchedule).
+// active at the arrival's time, per Load.MixSchedule) and its reuse key
+// (which input it asks for — Zipf-drawn under Load.Reuse, unique per
+// arrival otherwise).
 type arrivalGen struct {
 	load   Load
 	rng    *rand.Rand // interarrival draws (Poisson only)
 	mixRNG *rand.Rand // model-mix draws, independent of arrival times
+	zipf   *rand.Zipf // reuse-key draws (Load.Reuse only)
 	epochs []mixEpoch
 	count  int
 	t      float64 // seconds
@@ -276,15 +325,22 @@ func (l Load) arrivals() *arrivalGen {
 	if l.mixed() {
 		g.mixRNG = rand.New(rand.NewSource(l.Seed ^ 0x6d69780a)) // "mix" salt
 	}
+	if l.Reuse.Enabled() {
+		// An independent salted generator, like the mix draw, so turning
+		// reuse on does not perturb the arrival schedule or mix.
+		rng := rand.New(rand.NewSource(l.Seed ^ 0x72657573)) // "reus" salt
+		g.zipf = rand.NewZipf(rng, l.Reuse.ZipfS, 1, uint64(l.Reuse.Universe-1))
+	}
 	return g
 }
 
-// next returns the next open-loop arrival offset and its model name
-// ("" = the backend's default), or false when the load is exhausted.
-func (g *arrivalGen) next() (time.Duration, string, bool) {
+// next returns the next open-loop arrival offset, its model name
+// ("" = the backend's default) and its reuse key, or false when the
+// load is exhausted.
+func (g *arrivalGen) next() (time.Duration, string, uint64, bool) {
 	g.count++
 	if g.load.Requests > 0 && g.count > g.load.Requests {
-		return 0, "", false
+		return 0, "", 0, false
 	}
 	if g.load.Poisson {
 		g.t += g.rng.ExpFloat64() / g.load.Rate
@@ -293,31 +349,41 @@ func (g *arrivalGen) next() (time.Duration, string, bool) {
 	}
 	at := time.Duration(g.t * float64(time.Second))
 	if g.load.Requests == 0 && at > g.load.Duration {
-		return 0, "", false
+		return 0, "", 0, false
 	}
-	return at, g.model(at), true
+	return at, g.model(at), g.key(), true
 }
 
 // nextClosed returns a closed-loop user's next arrival: the think time
 // after its completion at now (zero when Rate is 0), tagged with the
-// mix-drawn model, or false when the request or duration budget is
-// spent. Draw order follows completion-event order, which the virtual
-// clock makes deterministic.
-func (g *arrivalGen) nextClosed(now time.Duration) (time.Duration, string, bool) {
+// mix-drawn model and reuse key, or false when the request or duration
+// budget is spent. Draw order follows completion-event order, which the
+// virtual clock makes deterministic.
+func (g *arrivalGen) nextClosed(now time.Duration) (time.Duration, string, uint64, bool) {
 	g.count++
 	if g.load.Requests > 0 && g.count > g.load.Requests {
-		return 0, "", false
+		return 0, "", 0, false
 	}
 	at := now + g.load.think(g.rng)
 	if g.load.Requests == 0 && at > g.load.Duration {
-		return 0, "", false
+		return 0, "", 0, false
 	}
-	return at, g.model(at), true
+	return at, g.model(at), g.key(), true
 }
 
 // model draws the arrival's model from the mix active at its time.
 func (g *arrivalGen) model(at time.Duration) string {
 	return mixAt(g.epochs, at).draw(g.mixRNG)
+}
+
+// key draws the arrival's reuse key: Zipf over the universe under
+// Load.Reuse, else the arrival ordinal — every input distinct, so an
+// enabled cache sees pure miss traffic, which is the honest baseline.
+func (g *arrivalGen) key() uint64 {
+	if g.zipf != nil {
+		return g.zipf.Uint64()
+	}
+	return uint64(g.count)
 }
 
 // Event kinds of the discrete-event simulator.
@@ -338,11 +404,13 @@ type event struct {
 	kind int
 	// arrival / completion fields
 	model int
-	user  int // closed-loop user issuing the arrival; -1 open-loop
+	user  int    // closed-loop user issuing the arrival; -1 open-loop
+	key   uint64 // reuse key of the arrival (front-cache identity)
 	// completion-only fields
 	shard    int
 	arrivals []time.Duration
-	users    []int // closed-loop users of the batch, parallel to arrivals
+	users    []int    // closed-loop users of the batch, parallel to arrivals
+	keys     []uint64 // reuse keys of the batch, parallel to arrivals; nil when the cache is off
 }
 
 type eventHeap []*event
@@ -363,6 +431,7 @@ type simModel struct {
 	name  string
 	at    []time.Duration // arrival times of admitted, undispatched requests
 	users []int           // closed-loop users, parallel to at; nil open-loop
+	keys  []uint64        // reuse keys, parallel to at; nil when the cache is off
 	head  int
 
 	offered, served, rejected int
@@ -409,6 +478,13 @@ type sim struct {
 	timeline *simTimeline // nil when timeline sampling is off
 
 	gen *arrivalGen
+
+	// cache is the memoizing front-cache (nil when Options.Cache is
+	// off): arrivals probe it by reuse key before admission, hits
+	// complete cacheHitLatency later without touching a replica group,
+	// and misses fill it at batch completion.
+	cache     *Cache
+	cacheHits int
 
 	offered, served, rejected int
 	batches, batched          int
@@ -457,6 +533,11 @@ func Simulate(backend Backend, opts Options, load Load) (*LoadReport, error) {
 		lastLinger: -1,
 		shardUse:   make([]ShardUsage, o.Replicas),
 	}
+	if o.Cache.Enabled() {
+		if s.cache, err = NewCache(o.Cache); err != nil {
+			return nil, err
+		}
+	}
 	for i, m := range registered {
 		s.models = append(s.models, &simModel{name: m.Name()})
 		s.index[m.Name()] = i
@@ -485,7 +566,7 @@ func Simulate(backend Backend, opts Options, load Load) (*LoadReport, error) {
 		for i := range shards {
 			shards[i] = s.shardUse[i].Shard
 		}
-		o.Trace.begin("virtual", names, shards)
+		o.Trace.begin("virtual", names, shards, o.Cache.Enabled())
 		s.tracer = o.Trace
 	}
 	if o.TimelineInterval > 0 {
@@ -521,12 +602,12 @@ func Simulate(backend Backend, opts Options, load Load) (*LoadReport, error) {
 				return nil, err
 			}
 		}
-	} else if at, model, ok := s.gen.next(); ok {
+	} else if at, model, key, ok := s.gen.next(); ok {
 		mi, err := s.resolve(model)
 		if err != nil {
 			return nil, err
 		}
-		s.push(&event{at: at, kind: evArrival, model: mi, user: -1})
+		s.push(&event{at: at, kind: evArrival, model: mi, user: -1, key: key})
 	}
 	for len(s.events) > 0 {
 		e := heap.Pop(&s.events).(*event)
@@ -660,7 +741,7 @@ func (s *sim) applyReplan(next *plan.Plan, ops []plan.Restage) error {
 // think-time generator relative to `from`; exhausting the budget retires
 // the user.
 func (s *sim) scheduleUser(user int, from time.Duration) error {
-	at, model, ok := s.gen.nextClosed(from)
+	at, model, key, ok := s.gen.nextClosed(from)
 	if !ok {
 		return nil
 	}
@@ -668,7 +749,7 @@ func (s *sim) scheduleUser(user int, from time.Duration) error {
 	if err != nil {
 		return err
 	}
-	s.push(&event{at: at, kind: evArrival, model: mi, user: user})
+	s.push(&event{at: at, kind: evArrival, model: mi, user: user, key: key})
 	return nil
 }
 
@@ -706,17 +787,42 @@ func (s *sim) onArrival(e *event) error {
 	if s.offered == 1 {
 		s.firstArrival = s.now
 	}
-	if s.depth >= s.opts.QueueDepth {
+	switch {
+	case s.cache != nil && s.cache.LookupKey(m.name, e.key):
+		// Front-cache hit: the request completes cacheHitLatency later
+		// without entering the queue — it can neither be rejected nor
+		// occupy a replica group. The probe cost also keeps a think-free
+		// closed loop from resubmitting forever at a frozen instant.
+		done := s.now + cacheHitLatency
+		s.cacheHits++
+		s.served++
+		m.served++
+		s.latencies = append(s.latencies, cacheHitLatency)
+		m.latencies = append(m.latencies, cacheHitLatency)
+		if done > s.lastCompletion {
+			s.lastCompletion = done
+		}
+		s.tracer.cacheHit(m.name, s.now)
+		if s.ctrl != nil {
+			s.ctrl.ObserveCacheHit(m.name, s.now)
+		}
+		if s.closed {
+			return s.scheduleUser(e.user, done)
+		}
+	case s.depth >= s.opts.QueueDepth:
 		// Unreachable closed-loop: concurrency is validated against the
 		// queue depth, so the population can never overfill it.
 		s.rejected++
 		m.rejected++
 		s.tracer.reject(m.name, s.now)
-	} else {
+	default:
 		s.syncDepth()
 		m.at = append(m.at, s.now)
 		if s.closed {
 			m.users = append(m.users, e.user)
+		}
+		if s.cache != nil {
+			m.keys = append(m.keys, e.key)
 		}
 		s.depth++
 		if s.depth > s.maxDepth {
@@ -726,12 +832,12 @@ func (s *sim) onArrival(e *event) error {
 	if s.closed {
 		return nil // the next arrival chains off this request's completion
 	}
-	if at, model, ok := s.gen.next(); ok {
+	if at, model, key, ok := s.gen.next(); ok {
 		mi, err := s.resolve(model)
 		if err != nil {
 			return err
 		}
-		s.push(&event{at: at, kind: evArrival, model: mi, user: -1})
+		s.push(&event{at: at, kind: evArrival, model: mi, user: -1, key: key})
 	}
 	return nil
 }
@@ -743,10 +849,16 @@ func (s *sim) onCompletion(e *event) error {
 	m := s.models[e.model]
 	s.served += len(e.arrivals)
 	m.served += len(e.arrivals)
-	s.lastCompletion = s.now
+	if s.now > s.lastCompletion {
+		s.lastCompletion = s.now
+	}
 	for _, at := range e.arrivals {
 		s.latencies = append(s.latencies, s.now-at)
 		m.latencies = append(m.latencies, s.now-at)
+	}
+	// Misses fill the cache on completion, in batch order.
+	for _, k := range e.keys {
+		s.cache.InsertKey(m.name, k)
 	}
 	if s.closed {
 		// Each finished user thinks, then submits its next request.
@@ -852,6 +964,10 @@ func (s *sim) dispatchBatch(mi, shard int, warmHit bool) error {
 	if s.closed {
 		users = append([]int(nil), m.users[m.head:m.head+n]...)
 	}
+	var keys []uint64
+	if s.cache != nil {
+		keys = append([]uint64(nil), m.keys[m.head:m.head+n]...)
+	}
 	s.syncDepth()
 	m.head += n
 	s.depth -= n
@@ -860,10 +976,16 @@ func (s *sim) dispatchBatch(mi, shard int, warmHit bool) error {
 		if s.closed {
 			m.users = m.users[:0]
 		}
+		if s.cache != nil {
+			m.keys = m.keys[:0]
+		}
 	} else if m.head > 4096 && m.head > len(m.at)/2 {
 		m.at = append(m.at[:0], m.at[m.head:]...)
 		if s.closed {
 			m.users = append(m.users[:0], m.users[m.head:]...)
+		}
+		if s.cache != nil {
+			m.keys = append(m.keys[:0], m.keys[m.head:]...)
 		}
 		m.head = 0
 	}
@@ -878,7 +1000,7 @@ func (s *sim) dispatchBatch(mi, shard int, warmHit bool) error {
 		}
 	}
 	occupancy := st + rel
-	s.push(&event{at: s.now + occupancy, kind: evCompletion, shard: shard, model: mi, arrivals: batch, users: users})
+	s.push(&event{at: s.now + occupancy, kind: evCompletion, shard: shard, model: mi, arrivals: batch, users: users, keys: keys})
 	s.batches++
 	s.batched += n
 	m.batches++
@@ -980,9 +1102,21 @@ func (s *sim) report(backend Backend, load Load) (*LoadReport, error) {
 	if s.batches > 0 {
 		r.MeanBatch = float64(s.batched) / float64(s.batches)
 	}
+	var cacheStats map[string]CacheStats
+	if s.cache != nil {
+		cs := s.cache.Stats()
+		r.CacheHits = cs.Hits
+		r.CacheMisses = cs.Misses
+		r.CacheInserts = cs.Inserts
+		r.CacheEvictions = cs.Evictions
+		if n := cs.Hits + cs.Misses; n > 0 {
+			r.CacheHitRate = float64(cs.Hits) / float64(n)
+		}
+		cacheStats = s.cache.ModelStats()
+	}
 	perModelLat := make(map[string][]time.Duration, len(s.models))
 	for _, m := range s.models {
-		r.PerModel = append(r.PerModel, ModelUsage{
+		mu := ModelUsage{
 			Model:       m.name,
 			Offered:     m.offered,
 			Served:      m.served,
@@ -990,7 +1124,15 @@ func (s *sim) report(backend Backend, load Load) (*LoadReport, error) {
 			Batches:     m.batches,
 			WarmBatches: m.warm,
 			ColdBatches: m.cold,
-		})
+		}
+		if cs, ok := cacheStats[m.name]; ok {
+			mu.CacheHits = cs.Hits
+			mu.CacheMisses = cs.Misses
+			if n := cs.Hits + cs.Misses; n > 0 {
+				mu.CacheHitRate = float64(cs.Hits) / float64(n)
+			}
+		}
+		r.PerModel = append(r.PerModel, mu)
 		perModelLat[m.name] = m.latencies
 	}
 	if s.timeline != nil {

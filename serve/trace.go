@@ -40,6 +40,9 @@ type Tracer struct {
 	// concurrently).
 	queueTid  map[string]int
 	groupBase int
+	// cacheTid is the front-cache lane (hit instants), after the group
+	// lanes; 0 when the run has no cache.
+	cacheTid int
 }
 
 // NewTracer returns an empty single-run tracer.
@@ -71,9 +74,10 @@ func (t *Tracer) WriteJSON(w io.Writer) error {
 }
 
 // begin declares the run's lanes: process metadata, the control lane,
-// one queue lane per registered model and one lane per replica group.
+// one queue lane per registered model, one lane per replica group and —
+// when the run has a front-cache — a cache lane for hit instants.
 // Called once by the driver before any event is emitted.
-func (t *Tracer) begin(clock string, models []string, shards []Shard) {
+func (t *Tracer) begin(clock string, models []string, shards []Shard, cached bool) {
 	if t == nil {
 		return
 	}
@@ -93,6 +97,24 @@ func (t *Tracer) begin(clock string, models []string, shards []Shard) {
 	for g, sh := range shards {
 		lane(t.groupBase+g, "group "+sh.String())
 	}
+	if cached {
+		t.cacheTid = t.groupBase + len(shards)
+		lane(t.cacheTid, "front-cache")
+	}
+}
+
+// cacheHit records a front-cache hit at admission: an instant on the
+// model's queue lane (where the absorbed request would have queued) and
+// on the cache lane.
+func (t *Tracer) cacheHit(model string, at time.Duration) {
+	if t == nil {
+		return
+	}
+	t.trace.Emit(obs.Event{Name: "cache hit", Cat: "cache", Phase: obs.PhaseInstant,
+		Ts: obs.Micros(at), Tid: t.queueTid[model], Scope: "t", Cname: "good"})
+	t.trace.Emit(obs.Event{Name: model, Cat: "cache", Phase: obs.PhaseInstant,
+		Ts: obs.Micros(at), Tid: t.cacheTid, Scope: "t", Cname: "good",
+		Args: &obs.Args{Model: model}})
 }
 
 // reject records a queue-full rejection on the model's queue lane.
@@ -197,6 +219,7 @@ type simTimeline struct {
 	offered, served, rejected int
 	warm, cold                int
 	restages, replans         int
+	cacheHits                 int
 
 	// Per-group busy accounting. Each claim charges its whole busy
 	// interval up front (the simulator knows both endpoints at claim
@@ -268,6 +291,7 @@ func (tl *simTimeline) sample(at, width time.Duration, s *sim) {
 		ColdDispatches: s.cold - tl.cold,
 		Restages:       s.restages - tl.restages,
 		Replans:        s.replans - tl.replans,
+		CacheHits:      s.cacheHits - tl.cacheHits,
 		GroupUtil:      make([]float64, len(tl.cumBusy)),
 	}
 	for g := range tl.cumBusy {
@@ -287,5 +311,6 @@ func (tl *simTimeline) sample(at, width time.Duration, s *sim) {
 	tl.offered, tl.served, tl.rejected = s.offered, s.served, s.rejected
 	tl.warm, tl.cold = s.warm, s.cold
 	tl.restages, tl.replans = s.restages, s.replans
+	tl.cacheHits = s.cacheHits
 	tl.samples = append(tl.samples, p)
 }

@@ -1,0 +1,109 @@
+package cluster
+
+import (
+	"testing"
+)
+
+func views(accepting ...bool) []NodeView {
+	vs := make([]NodeView, len(accepting))
+	for i, a := range accepting {
+		vs[i] = NodeView{Index: i, Name: nodeName(i), Accepting: a, Groups: 28}
+	}
+	return vs
+}
+
+func nodeName(i int) string { return string(rune('a' + i)) }
+
+func TestLeastLoadedPick(t *testing.T) {
+	vs := views(true, true, true)
+	vs[0].QueueDepth = 10
+	vs[1].QueueDepth = 2
+	vs[2].QueueDepth = 5
+	if got := (LeastLoaded{}).Pick("m", vs); got != 1 {
+		t.Errorf("picked %d, want the lightest node 1", got)
+	}
+	// Ties break to the lowest index.
+	vs[1].QueueDepth = 5
+	if got := (LeastLoaded{}).Pick("m", vs); got != 1 {
+		t.Errorf("tie picked %d, want 1", got)
+	}
+	// Load normalizes per group: deeper queue on a bigger node wins.
+	vs = views(true, true)
+	vs[0].Groups, vs[0].QueueDepth = 28, 40
+	vs[1].Groups, vs[1].QueueDepth = 7, 20
+	if got := (LeastLoaded{}).Pick("m", vs); got != 0 {
+		t.Errorf("picked %d, want the per-group lighter node 0", got)
+	}
+	// Non-accepting nodes are skipped; none accepting means -1.
+	vs = views(false, true)
+	vs[1].QueueDepth = 1 << 20
+	if got := (LeastLoaded{}).Pick("m", vs); got != 1 {
+		t.Errorf("picked %d, want the only accepting node", got)
+	}
+	if got := (LeastLoaded{}).Pick("m", views(false, false)); got != -1 {
+		t.Errorf("picked %d from a fully drained fleet", got)
+	}
+}
+
+func TestAffinityStableHome(t *testing.T) {
+	vs := views(true, true, true, true)
+	r := ModelAffinity{}
+	home := r.Pick("inception_v3", vs)
+	if home < 0 {
+		t.Fatal("no home")
+	}
+	// Same model, same views: same home, regardless of load.
+	vs[home].QueueDepth = 1 << 20
+	if got := r.Pick("inception_v3", vs); got != home {
+		t.Errorf("home moved from %d to %d under load", home, got)
+	}
+	// Removing an unrelated node must not move the home (the rendezvous
+	// minimal-disruption property); removing the home re-ranks it.
+	other := (home + 1) % len(vs)
+	vs[other].Accepting = false
+	if got := r.Pick("inception_v3", vs); got != home {
+		t.Errorf("home moved from %d to %d when node %d drained", home, got, other)
+	}
+	vs[other].Accepting = true
+	vs[home].Accepting = false
+	if got := r.Pick("inception_v3", vs); got == home || got < 0 {
+		t.Errorf("dead home still picked (%d)", got)
+	}
+}
+
+func TestPowerOfTwoDeterministicSeeded(t *testing.T) {
+	vs := views(true, true, true, true)
+	vs[0].QueueDepth, vs[1].QueueDepth, vs[2].QueueDepth, vs[3].QueueDepth = 3, 9, 1, 7
+	a, b := NewPowerOfTwo(42), NewPowerOfTwo(42)
+	for i := 0; i < 200; i++ {
+		pa, pb := a.Pick("m", vs), b.Pick("m", vs)
+		if pa != pb {
+			t.Fatalf("draw %d: same seed diverged (%d vs %d)", i, pa, pb)
+		}
+		if pa < 0 || !vs[pa].Accepting {
+			t.Fatalf("draw %d: picked %d", i, pa)
+		}
+	}
+	// A single accepting node needs no draw.
+	if got := NewPowerOfTwo(1).Pick("m", views(false, true, false)); got != 1 {
+		t.Errorf("picked %d, want 1", got)
+	}
+	if got := NewPowerOfTwo(1).Pick("m", views(false, false)); got != -1 {
+		t.Errorf("picked %d from a drained fleet", got)
+	}
+}
+
+func TestParseRouter(t *testing.T) {
+	for _, name := range []string{"least-loaded", "affinity", "p2c"} {
+		r, err := ParseRouter(name, 7)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if r.Name() != name {
+			t.Errorf("ParseRouter(%q).Name() = %q", name, r.Name())
+		}
+	}
+	if _, err := ParseRouter("random", 7); err == nil {
+		t.Error("unknown router accepted")
+	}
+}

@@ -1,0 +1,151 @@
+package cluster
+
+import (
+	"fmt"
+	"time"
+
+	"neuralcache/obs"
+)
+
+// Lane layout of a cluster trace. The front door is process 0 with a
+// single router lane; each node is its own process (pid = node index +
+// 1) with a control lane (lifecycle instants, queue-full rejections)
+// and one lane per replica group (batch and restage spans). obs.Trace
+// serializes metadata first and sorts by timestamp with emission-order
+// ties, so a virtual-clock trace is byte-identical on every run.
+const (
+	tracePidCluster   = 0
+	traceControlTid   = 0
+	traceGroupBaseTid = 1
+)
+
+// tracer emits the cluster's trace events. A nil tracer is a no-op on
+// every method, so the simulator never branches on tracing.
+type tracer struct {
+	tr *obs.Trace
+}
+
+func newTracer(tr *obs.Trace) *tracer {
+	if tr == nil {
+		return nil
+	}
+	return &tracer{tr: tr}
+}
+
+// begin names the processes and lanes.
+func (t *tracer) begin(specs []NodeSpec) {
+	if t == nil {
+		return
+	}
+	meta := func(pid, tid int, name string) {
+		t.tr.Emit(obs.Event{
+			Name: "thread_name", Phase: obs.PhaseMetadata,
+			Pid: pid, Tid: tid, Args: &obs.Args{Name: name},
+		})
+	}
+	proc := func(pid int, name string) {
+		t.tr.Emit(obs.Event{
+			Name: "process_name", Phase: obs.PhaseMetadata,
+			Pid: pid, Args: &obs.Args{Name: name},
+		})
+	}
+	proc(tracePidCluster, "cluster")
+	meta(tracePidCluster, traceControlTid, "router")
+	for i, spec := range specs {
+		pid := i + 1
+		proc(pid, spec.Name)
+		meta(pid, traceControlTid, "control")
+		for g := 0; g < spec.Replicas; g++ {
+			meta(pid, traceGroupBaseTid+g, fmt.Sprintf("group %d", g))
+		}
+	}
+}
+
+// lifecycle marks a node transition on both the router lane (the
+// command) and the node's control lane (the effect).
+func (t *tracer) lifecycle(node int, kind EventKind, at time.Duration) {
+	if t == nil {
+		return
+	}
+	cname := ""
+	if kind == KillNode {
+		cname = "terrible"
+	}
+	t.tr.Emit(obs.Event{
+		Name: kind.String(), Cat: "lifecycle", Phase: obs.PhaseInstant, Scope: "t",
+		Ts: obs.Micros(at), Pid: node + 1, Tid: traceControlTid, Cname: cname,
+	})
+}
+
+// rejectNoNode marks an arrival no accepting node could take.
+func (t *tracer) rejectNoNode(model string, at time.Duration) {
+	if t == nil {
+		return
+	}
+	t.tr.Emit(obs.Event{
+		Name: "reject:no-node", Cat: "admission", Phase: obs.PhaseInstant, Scope: "t",
+		Ts: obs.Micros(at), Pid: tracePidCluster, Tid: traceControlTid,
+		Cname: "terrible", Args: &obs.Args{Model: model},
+	})
+}
+
+// rejectFull marks a queue-full rejection at a node.
+func (t *tracer) rejectFull(node int, model string, at time.Duration) {
+	if t == nil {
+		return
+	}
+	t.tr.Emit(obs.Event{
+		Name: "reject:queue-full", Cat: "admission", Phase: obs.PhaseInstant, Scope: "t",
+		Ts: obs.Micros(at), Pid: node + 1, Tid: traceControlTid,
+		Cname: "bad", Args: &obs.Args{Model: model},
+	})
+}
+
+// batch emits a dispatch span on the node's group lane; cold spans
+// carry a leading reload sub-span like the single-node tracer.
+func (t *tracer) batch(node, group int, model string, n int, cold bool, seq int, start, service, reload time.Duration) {
+	if t == nil {
+		return
+	}
+	name, cname := "batch:warm", "good"
+	if cold {
+		name, cname = "batch:cold", "bad"
+		t.tr.Emit(obs.Event{
+			Name: "reload", Cat: "dispatch", Phase: obs.PhaseComplete,
+			Ts: obs.Micros(start), Dur: obs.Micros(reload),
+			Pid: node + 1, Tid: traceGroupBaseTid + group, Cname: "terrible",
+			Args: &obs.Args{Model: model},
+		})
+	}
+	t.tr.Emit(obs.Event{
+		Name: name, Cat: "dispatch", Phase: obs.PhaseComplete,
+		Ts: obs.Micros(start), Dur: obs.Micros(service + reload),
+		Pid: node + 1, Tid: traceGroupBaseTid + group, Cname: cname,
+		Args: &obs.Args{Model: model, Batch: n, Seq: seq, Cold: cold},
+	})
+}
+
+// restage emits a planner staging span on the node's group lane.
+func (t *tracer) restage(node, group int, model, from string, start, dur time.Duration) {
+	if t == nil {
+		return
+	}
+	t.tr.Emit(obs.Event{
+		Name: "restage", Cat: "plan", Phase: obs.PhaseComplete,
+		Ts: obs.Micros(start), Dur: obs.Micros(dur),
+		Pid: node + 1, Tid: traceGroupBaseTid + group,
+		Args: &obs.Args{Model: model, From: from},
+	})
+}
+
+// replan marks a node controller's applied re-plan on its control lane.
+func (t *tracer) replan(node int, at time.Duration, seq int, drift float64, restages int) {
+	if t == nil {
+		return
+	}
+	t.tr.Emit(obs.Event{
+		Name: "replan", Cat: "plan", Phase: obs.PhaseInstant, Scope: "t",
+		Ts: obs.Micros(at), Pid: node + 1, Tid: traceControlTid,
+		Args: &obs.Args{Seq: seq, Drift: drift, Restages: restages},
+	})
+}

@@ -68,6 +68,21 @@
 // dispatches) is printed with the report in text and embedded in -json
 // output.
 //
+// -cluster lifts the run from one node to a fleet: it simulates N
+// Neural Cache nodes (a bare count for stock nodes, or comma-separated
+// SOCKETSxSLICES[/GROUP] geometries for a heterogeneous fleet) behind
+// one front door on the same deterministic virtual clock. -router picks
+// the routing policy — least-loaded, affinity (rendezvous-hash models
+// to home nodes, so steady traffic dispatches warm) or p2c
+// (power-of-two-choices). The scenario plays lifecycle events from
+// -kill-node, -drain and -join (semicolon-separated t:node entries) and
+// a diurnal -rate-shift schedule (t:rate); -plan/-replan-threshold give
+// every node a mix-aware warm set and its own drift controller, and
+// -trace/-timeline record the fleet with one process lane per node. The
+// report aggregates fleet percentiles, per-node utilization and
+// warm/cold/reload counts, and rejects by cause (queue-full vs
+// no-accepting-node).
+//
 // Usage:
 //
 //	ncserve -model inception -rate 2000 -requests 100000
@@ -86,6 +101,10 @@
 //	ncserve -model inception -rate 4000 -reuse 4096 -zipf 1.1 -cache 1024
 //	ncserve -model inception -rate 4000 -reuse 4096 -zipf 1.1 -sweep-cache 0,256,1024,4096
 //	ncserve -backend bitexact -model small -requests 64 -reuse 16 -zipf 1.2 -cache 8 -cache-policy lsh
+//	ncserve -cluster 4 -models inception,resnet -mix 0.7,0.3 -router affinity -requests 50000
+//	ncserve -cluster 2x14,2x14,1x14/7 -rate 2000 -kill-node 400ms:2 -join 1s:2 -json
+//	ncserve -cluster 3 -models inception,resnet -plan -replan-threshold 0.2 \
+//	        -mix-shift 5s:0.2,0.8 -rate-shift 10s:800 -drain 2s:0 -join 4s:0
 package main
 
 import (
@@ -105,6 +124,7 @@ import (
 	"time"
 
 	"neuralcache"
+	"neuralcache/cluster"
 	"neuralcache/plan"
 	"neuralcache/serve"
 )
@@ -146,17 +166,51 @@ func main() {
 		sweepCache  = flag.String("sweep-cache", "", "comma-separated front-cache capacities to sweep (analytic only; overrides -cache)")
 		reuse       = flag.Int("reuse", 0, "reusable-input universe size: arrivals draw from this many distinct inputs (0 = every arrival unique)")
 		zipf        = flag.Float64("zipf", 1.1, "Zipf skew of the reuse distribution (must exceed 1; needs -reuse)")
+		clusterSpec = flag.String("cluster", "", "simulate a fleet: node count or comma-separated SOCKETSxSLICES[/GROUP] geometries (analytic only)")
+		routerName  = flag.String("router", "least-loaded", "cluster routing policy: least-loaded, affinity or p2c (needs -cluster)")
+		killNodes   = flag.String("kill-node", "", "cluster kill schedule, semicolon-separated t:node (needs -cluster)")
+		drainNodes  = flag.String("drain", "", "cluster drain schedule, semicolon-separated t:node (needs -cluster)")
+		joinNodes   = flag.String("join", "", "cluster join schedule, semicolon-separated t:node (needs -cluster)")
+		rateShifts  = flag.String("rate-shift", "", "mid-run arrival-rate shifts, semicolon-separated t:rate (needs -cluster)")
 	)
 	flag.Parse()
-	groupSet, zipfSet := false, false
+	groupSet, zipfSet, socketsSet, slicesSet, routerSet := false, false, false, false, false
 	flag.Visit(func(f *flag.Flag) {
 		switch f.Name {
 		case "group":
 			groupSet = true
 		case "zipf":
 			zipfSet = true
+		case "sockets":
+			socketsSet = true
+		case "slices":
+			slicesSet = true
+		case "router":
+			routerSet = true
 		}
 	})
+	if err := validateFlags(runFlags{
+		backend:     *backend,
+		trace:       *traceFile != "",
+		timeline:    *timeline > 0,
+		sweepGroups: *sweepGroups != "",
+		sweepCache:  *sweepCache != "",
+		plan:        *planFlag,
+		replan:      *replanThr != 0,
+		replicas:    *replicas != 0,
+		concurrency: *concurrency != 0,
+		cache:       *cacheCap > 0,
+		reuse:       *reuse > 0,
+		zipfSet:     zipfSet,
+		debugAddr:   *debugAddr != "",
+		geometrySet: socketsSet || slicesSet || groupSet,
+		cluster:     *clusterSpec != "",
+		routerSet:   routerSet,
+		lifecycle:   *killNodes != "" || *drainNodes != "" || *joinNodes != "",
+		rateShift:   *rateShifts != "",
+	}); err != nil {
+		log.Fatal(err)
+	}
 
 	cfg := neuralcache.DefaultConfig()
 	cfg.Slices = *slices
@@ -213,9 +267,6 @@ func main() {
 	if *reuse > 0 && (math.IsNaN(*zipf) || math.IsInf(*zipf, 0) || *zipf <= 1) {
 		log.Fatalf("-zipf %v: Zipf skew must be a finite value exceeding 1", *zipf)
 	}
-	if zipfSet && *reuse == 0 {
-		log.Fatal("-zipf requires -reuse (a unique-input load has no reuse distribution)")
-	}
 
 	opts := serve.Options{
 		QueueDepth: *queue,
@@ -246,13 +297,6 @@ func main() {
 	if *reuse > 0 {
 		load.Reuse = serve.Reuse{ZipfS: *zipf, Universe: *reuse}
 	}
-	if *replanThr != 0 && !*planFlag {
-		log.Fatal("-replan-threshold requires -plan")
-	}
-	if *planFlag && *sweepGroups != "" {
-		log.Fatal("-plan cannot be combined with -sweep-groups (the planner co-selects one group size)")
-	}
-
 	// Observability setup fails fast, before the (possibly minutes-long)
 	// load run: the trace file is created now so an unwritable path
 	// errors immediately, and the debug listener binds now so a taken
@@ -260,41 +304,74 @@ func main() {
 	if *timeline < 0 {
 		log.Fatalf("-timeline %v: interval must be positive", *timeline)
 	}
-	if (*traceFile != "" || *timeline > 0) && (*sweepGroups != "" || *sweepCache != "") {
-		log.Fatal("-trace/-timeline record a single run and cannot be combined with a sweep")
-	}
-	if *sweepCache != "" && *sweepGroups != "" {
-		log.Fatal("-sweep-cache cannot be combined with -sweep-groups (one axis per sweep)")
-	}
 	var traceOut *os.File
 	if *traceFile != "" {
 		traceOut, err = os.Create(*traceFile)
 		if err != nil {
 			log.Fatalf("-trace: %v", err)
 		}
-		opts.Trace = serve.NewTracer()
+		if *clusterSpec == "" {
+			opts.Trace = serve.NewTracer()
+		}
 	}
 	opts.TimelineInterval = *timeline
 	var debugLn net.Listener
 	if *debugAddr != "" {
-		if *backend != "bitexact" {
-			log.Fatalf("-debug-addr needs the wall-clock bitexact backend, not %q (the analytic backend finishes before you could look)", *backend)
-		}
 		debugLn, err = net.Listen("tcp", *debugAddr)
 		if err != nil {
 			log.Fatalf("-debug-addr: %v", err)
 		}
 	}
 
+	if *clusterSpec != "" {
+		specs, err := parseNodeSpecs(*clusterSpec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for i := range specs {
+			specs[i].QueueDepth = *queue
+			specs[i].MaxBatch = *maxBatch
+			specs[i].MaxLinger = *linger
+			if *linger == 0 {
+				specs[i].MaxLinger = -1
+			}
+			specs[i].Workers = *workers
+			specs[i].Plan = *planFlag
+			if *replanThr != 0 {
+				specs[i].Replan = plan.ControllerConfig{Threshold: *replanThr}
+			}
+		}
+		router, err := cluster.ParseRouter(*routerName, *seed)
+		if err != nil {
+			log.Fatalf("-router: %v", err)
+		}
+		events, err := parseClusterEvents(*killNodes, *drainNodes, *joinNodes)
+		if err != nil {
+			log.Fatal(err)
+		}
+		shifts, err := parseClusterRateShifts(*rateShifts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		runCluster(resident, cluster.Options{
+			Nodes:            specs,
+			Router:           router,
+			Events:           events,
+			TimelineInterval: *timeline,
+		}, cluster.Load{
+			Rate:         *rate,
+			Requests:     *requests,
+			Duration:     *duration,
+			Seed:         *seed,
+			Poisson:      *poisson,
+			Mix:          parseMix(names, *mix),
+			MixSchedule:  parseMixShifts(names, *mixShift),
+			RateSchedule: shifts,
+		}, traceOut, *traceFile, *jsonOut)
+		return
+	}
+
 	if *sweepGroups != "" {
-		if *backend != "analytic" {
-			log.Fatalf("-sweep-groups needs the analytic backend, not %q", *backend)
-		}
-		if *replicas != 0 {
-			// SweepGroups schedules on every group of each k; a narrowed
-			// replica count would silently describe a different system.
-			log.Fatal("-replicas cannot be combined with -sweep-groups (each point uses all groups of its size)")
-		}
 		be := serve.NewAnalyticBackend(sys, resident[0], resident[1:]...)
 		fillLoad(&load, be, opts, 100_000)
 		points, err := serve.SweepGroups(be, opts, load, parseGroups(*sweepGroups))
@@ -320,12 +397,6 @@ func main() {
 	}
 
 	if *sweepCache != "" {
-		if *backend != "analytic" {
-			log.Fatalf("-sweep-cache needs the analytic backend, not %q", *backend)
-		}
-		if *planFlag {
-			log.Fatal("-sweep-cache cannot be combined with -plan (sweep one axis at a time)")
-		}
 		be := serve.NewAnalyticBackend(sys, resident[0], resident[1:]...)
 		fillLoad(&load, be, opts, 100_000)
 		points, err := serve.SweepCache(be, opts, load, parseCaps(*sweepCache))

@@ -1,0 +1,106 @@
+// Cluster: route a hot-spot shift across a fleet of Neural Cache nodes.
+//
+// One §VI-B node replicates a model across its LLC slices; a service
+// runs many such nodes behind a front door, and the router decides how
+// often the fleet pays the §IV-E weight reload (~12.9 ms for
+// Inception). This example replays the same deterministic scenario —
+// four stock nodes, a three-model mix whose hot spot inverts mid-run —
+// under two routing policies:
+//
+//   - least-loaded spreads each arrival to the instantaneously
+//     lightest node. Every node ends up serving every model, so each
+//     hot-spot wobble churns group residency: cold dispatches (reloads)
+//     on all nodes.
+//   - affinity rendezvous-hashes the model name over the accepting
+//     nodes. Each model has one home node where its weights stay
+//     staged, so steady traffic dispatches warm and the mix shift only
+//     moves load between homes, not weights between nodes.
+//
+// The run prints each policy's cross-node reload bill (cold dispatches
+// per node) and fleet latency. Affinity serves each model on exactly
+// one node and pays a fraction of least-loaded's reloads; the price is
+// a hotter p99 on the home node of the heavy model, which is why the
+// package also ships p2c and per-node re-plan controllers.
+//
+//	go run ./examples/cluster
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"neuralcache"
+	"neuralcache/cluster"
+	"neuralcache/serve"
+)
+
+func main() {
+	log.SetFlags(0)
+	models := []*neuralcache.Model{
+		neuralcache.InceptionV3(),
+		neuralcache.ResNet18(),
+		neuralcache.SmallCNN(),
+	}
+	// Four stock two-socket nodes; the load starts Inception-heavy and
+	// inverts to SmallCNN-heavy at 4s — the hot-spot scenario that
+	// separates the routers.
+	opts := cluster.Options{
+		Nodes: make([]cluster.NodeSpec, 4),
+	}
+	load := cluster.Load{
+		Rate:     900,
+		Requests: 8_000,
+		Seed:     23,
+		Poisson:  true,
+		Mix: []serve.ModelShare{
+			{Model: "inception_v3", Weight: 0.6},
+			{Model: "resnet_18", Weight: 0.3},
+			{Model: "small_cnn", Weight: 0.1},
+		},
+		MixSchedule: []serve.MixShift{{
+			At: 4 * time.Second,
+			Mix: []serve.ModelShare{
+				{Model: "inception_v3", Weight: 0.1},
+				{Model: "resnet_18", Weight: 0.2},
+				{Model: "small_cnn", Weight: 0.7},
+			},
+		}},
+	}
+
+	fmt.Println("Hot-spot shift at 4s: 60/30/10 inception/resnet/small -> 10/20/70")
+	fmt.Println()
+	reports := make(map[string]*cluster.Report, 2)
+	for _, router := range []cluster.Router{cluster.LeastLoaded{}, cluster.ModelAffinity{}} {
+		o := opts
+		o.Router = router
+		rep, err := cluster.Simulate(models, o, load)
+		if err != nil {
+			log.Fatal(err)
+		}
+		reports[router.Name()] = rep
+
+		fmt.Printf("router %-12s  served %d/%d  fleet p50 %v  p99 %v\n",
+			router.Name(), rep.Served, rep.Offered,
+			rep.P50.Round(time.Microsecond), rep.P99.Round(time.Microsecond))
+		fmt.Printf("  reload bill: %d cold dispatches (%d warm) across the fleet\n",
+			rep.ColdDispatches, rep.WarmDispatches)
+		for _, n := range rep.Nodes {
+			fmt.Printf("    %-6s cold %3d  warm %4d  util %5.1f%%  p99 %v\n",
+				n.Node, n.ColdDispatches, n.WarmDispatches,
+				100*n.Utilization, n.P99.Round(time.Microsecond))
+		}
+		for _, m := range rep.PerModel {
+			fmt.Printf("    %-12s served on %d node(s), %d cold batches\n",
+				m.Model, m.NodesServed, m.ColdBatches)
+		}
+		fmt.Println()
+	}
+
+	ll, aff := reports["least-loaded"], reports["affinity"]
+	fmt.Printf("affinity pays %d reloads where least-loaded pays %d (%.1fx fewer):\n",
+		aff.ColdDispatches, ll.ColdDispatches,
+		float64(ll.ColdDispatches)/float64(aff.ColdDispatches))
+	fmt.Println("each model's weights stay staged on its rendezvous home, so the")
+	fmt.Println("mix shift moves load between homes instead of weights between nodes.")
+}

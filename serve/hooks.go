@@ -1,0 +1,26 @@
+package serve
+
+// Exported scheduling-policy hooks for the cluster tier. A cluster node
+// simulator (package cluster) applies the exact group-selection policy
+// the single-node Server and Simulate use — re-exporting the shared
+// helpers keeps the two tiers' dispatch behavior locked together
+// instead of drifting through a copy.
+
+// PickWarmFirst applies the reactive warm-first replica-group policy to
+// a model index: lowest-ordinal free group already staging the wanted
+// model (warm), else lowest-ordinal never-staged one (staged[i] == -1),
+// else lowest-ordinal free one (evict). Returns id -1 when no group is
+// free. The caller marks the claim and restages on cold.
+func PickWarmFirst(free []bool, staged []int, want int) (id int, warm bool) {
+	return pickShard(free, staged, want, -1)
+}
+
+// PickPlannedGroup applies the plan-aware policy to a model index: the
+// model may claim its own pinned groups (pinned[i] == want) and the
+// overflow pool (pinned[i] == -1), never another model's pinned groups.
+// Preference order: warm pinned > warm overflow > cold pinned >
+// never-staged overflow > any overflow. Returns id -1 when no eligible
+// group is free.
+func PickPlannedGroup(free []bool, staged, pinned []int, want int) (id int, warm bool) {
+	return pickPlanned(free, staged, pinned, want, -1, -1)
+}

@@ -1,0 +1,82 @@
+package serve
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"neuralcache"
+)
+
+// TestStatsConcurrentWithLoadTest hammers the server's observability
+// accessors — Stats, QueueDepth, BusyGroups — from several goroutines
+// while a wall-clock LoadTest is actively admitting, batching and
+// completing requests. Under -race this pins that the debug endpoints
+// (expvar, the timeline sampler) can read mid-run without tearing the
+// counters; the monotonicity checks catch torn or unsynchronized reads
+// even in a plain run.
+func TestStatsConcurrentWithLoadTest(t *testing.T) {
+	sys := newSystem(t, 1)
+	m := neuralcache.SmallCNN()
+	srv, err := NewServer(NewAnalyticBackend(sys, m),
+		Options{MaxBatch: 4, MaxLinger: time.Millisecond, QueueDepth: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	readErrs := make(chan string, 4)
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var lastServed, lastSubmitted uint64
+			for !stop.Load() {
+				st := srv.Stats()
+				if st.Served < lastServed || st.Submitted < lastSubmitted {
+					select {
+					case readErrs <- "counters went backwards":
+					default:
+					}
+					return
+				}
+				lastServed, lastSubmitted = st.Served, st.Submitted
+				if d := srv.QueueDepth(); d < 0 {
+					select {
+					case readErrs <- "negative queue depth":
+					default:
+					}
+					return
+				}
+				if b := srv.BusyGroups(); b < 0 {
+					select {
+					case readErrs <- "negative busy groups":
+					default:
+					}
+					return
+				}
+			}
+		}()
+	}
+
+	rep, err := LoadTest(srv, Load{Rate: 20_000, Requests: 2_000, Seed: 9, Poisson: true}, nil)
+	stop.Store(true)
+	wg.Wait()
+	close(readErrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for msg := range readErrs {
+		t.Error(msg)
+	}
+	st := srv.Stats()
+	if st.Served != uint64(rep.Served) {
+		t.Errorf("Stats served %d, report served %d", st.Served, rep.Served)
+	}
+	if st.Served+st.Rejected+st.Failed+st.Canceled != uint64(rep.Offered) {
+		t.Errorf("stats do not account for all %d offered: %+v", rep.Offered, st)
+	}
+}
